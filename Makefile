@@ -1,0 +1,23 @@
+# Canonical commands for the reproduction repo.
+
+.PHONY: test bench experiments experiments-full examples api-docs all
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments
+
+experiments-full:
+	python -m repro.experiments --full
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done
+
+api-docs:
+	python docs/gen_api.py
+
+all: test bench experiments

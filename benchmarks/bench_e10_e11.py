@@ -1,0 +1,94 @@
+"""Benches for the ablation (E10) and workload-sensitivity (E11) tables,
+plus the Mattson MRC kernel used by E11's characterisation columns."""
+
+import numpy as np
+
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.sim.engine import simulate
+from repro.sim.metrics import total_cost
+from repro.workloads.builders import TenantSpec, multi_tenant_trace
+from repro.workloads.characterize import lru_stack_distances, mattson_miss_ratio_curve
+from repro.workloads.sqlvm import sqlvm_scenario
+from repro.workloads.streams import UniformStream
+
+
+def test_bench_e10_smoothed_variant(benchmark):
+    scenario, k = sqlvm_scenario(num_tenants=6, length=10_000, seed=0)
+    smooth = lambda: AlgDiscrete(derivative_mode="smoothed", smoothing_window=100)
+    r = benchmark(lambda: simulate(scenario.trace, smooth(), k, costs=scenario.costs))
+    sharp = simulate(scenario.trace, AlgDiscrete(), k, costs=scenario.costs)
+    # The E10 headline: smoothing does not hurt on SLA workloads.
+    assert total_cost(r, scenario.costs) <= total_cost(sharp, scenario.costs) * 1.5
+
+
+def test_bench_e11_archetype_cell(benchmark):
+    tenants = [
+        TenantSpec(UniformStream(80), name="steep"),
+        TenantSpec(UniformStream(80), name="cheap"),
+    ]
+    trace = multi_tenant_trace(tenants, 12_000, seed=0)
+    costs = [MonomialCost(2, scale=0.05), LinearCost(0.05)]
+    r = benchmark(lambda: simulate(trace, AlgDiscrete(), 80, costs=costs))
+    assert r.misses > 0
+
+
+def test_bench_mattson_mrc(benchmark, zipf_50k):
+    mrc = benchmark(lambda: mattson_miss_ratio_curve(zipf_50k, max_k=512))
+    assert mrc[0] == 1.0
+    assert np.all(np.diff(mrc) <= 1e-12)
+
+
+def test_bench_stack_distances(benchmark, zipf_50k):
+    d = benchmark(lambda: lru_stack_distances(zipf_50k))
+    assert d.shape == (50_000,)
+
+
+def test_bench_e12_worst_case_search(benchmark):
+    """E12 kernel: a short hill-climb with exact-OPT evaluations."""
+    from repro.analysis.worst_case import search_worst_ratio
+
+    result = benchmark.pedantic(
+        lambda: search_worst_ratio(
+            [MonomialCost(2)] * 2, [0, 0, 1, 1], 2, T=14,
+            iterations=25, restarts=1, seed=0,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.bound_respected
+
+
+def test_bench_e13_randomized_marking_cycle(benchmark):
+    """E13 kernel: randomized marking on the oblivious cycle."""
+    from repro.policies.marking import RandomizedMarkingPolicy
+    from repro.workloads.builders import adversarial_cycle_trace
+
+    trace = adversarial_cycle_trace(k=16, length=60 * 17)
+    r = benchmark(lambda: simulate(trace, RandomizedMarkingPolicy(rng=0), 16))
+    assert r.miss_ratio < 0.5  # far below the deterministic 1.0
+
+
+def test_bench_e14_naive_vs_optimised(benchmark):
+    """E14 kernel: the naive O(k) reference at a mid-size cache."""
+    from repro.core.alg_discrete_naive import NaiveAlgDiscrete
+    from repro.workloads.builders import random_multi_tenant_trace
+
+    trace = random_multi_tenant_trace(8, 128, 20_000, skew=0.0, seed=0)
+    costs = [MonomialCost(2)] * 8
+    r = benchmark.pedantic(
+        lambda: simulate(trace, NaiveAlgDiscrete(), 128, costs=costs, validate=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert r.misses > 0
+
+
+def test_bench_e15_fractional_bbn(benchmark):
+    """E15 kernel: BBN fractional run on the adversarial cycle."""
+    from repro.core.fractional_online import OnlineFractionalCaching
+    from repro.workloads.builders import adversarial_cycle_trace
+
+    trace = adversarial_cycle_trace(16, 40 * 17)
+    result = benchmark(lambda: OnlineFractionalCaching([1.0], 16).run(trace))
+    assert result.max_violation <= 1e-6

@@ -1,0 +1,29 @@
+"""Bench E1 — Corollary 1.2 competitive-ratio cell.
+
+Times one full E1 cell (ALG run + exact branch-and-bound OPT + bound
+evaluation) and asserts the Theorem 1.1 bound on the result, so the
+benchmark doubles as a regeneration of one table cell.
+"""
+
+from repro.analysis.bounds import corollary_1_2_factor
+from repro.analysis.competitive import measure_competitive
+
+
+def test_bench_e1_cell(benchmark, e1_instance):
+    trace, costs, k = e1_instance
+
+    def cell():
+        return measure_competitive(trace, costs, k, opt_method="exact")
+
+    m = benchmark(cell)
+    assert m.opt_is_exact
+    assert m.bound_respected
+    assert m.ratio <= corollary_1_2_factor(2, k)
+
+
+def test_bench_e1_exact_opt_only(benchmark, e1_instance):
+    from repro.core.offline import exact_offline_opt
+
+    trace, costs, k = e1_instance
+    result = benchmark(lambda: exact_offline_opt(trace, costs, k))
+    assert result.optimal

@@ -1,0 +1,44 @@
+"""Bench E2 — Lemma 2.1 invariant verification.
+
+Times an ALG-CONT run with full dual recording plus the from-scratch
+invariant check on a flushed multi-tenant instance, asserting zero
+violations (the Lemma 2.1 claim)."""
+
+from repro.core.alg_continuous import AlgContinuous
+from repro.core.cost_functions import LinearCost, MonomialCost, PiecewiseLinearCost
+from repro.core.invariants import check_invariants, flushed_instance
+from repro.sim.engine import simulate
+from repro.workloads.builders import random_multi_tenant_trace
+
+K = 5
+
+
+def _instance():
+    trace = random_multi_tenant_trace(3, 3, 400, seed=1)
+    costs = [MonomialCost(2), LinearCost(2.0), PiecewiseLinearCost.sla(5.0, 3.0, 0.5)]
+    return flushed_instance(trace, costs, K)
+
+
+def test_bench_e2_run_and_check(benchmark):
+    ftrace, fcosts = _instance()
+
+    def run():
+        alg = AlgContinuous()
+        simulate(ftrace, alg, K, costs=fcosts)
+        return check_invariants(ftrace, alg.ledger, fcosts, K)
+
+    report = benchmark(run)
+    assert report.ok, report.summary()
+
+
+def test_bench_e2_ledger_recording_overhead(benchmark):
+    """ALG-CONT (with ledger) vs the plain run cost: times the recorded
+    variant; E9 covers the discrete one."""
+    ftrace, fcosts = _instance()
+
+    def run():
+        alg = AlgContinuous()
+        return simulate(ftrace, alg, K, costs=fcosts)
+
+    result = benchmark(run)
+    assert result.misses > 0

@@ -1,0 +1,23 @@
+"""Bench E3 — Theorem 1.3 bi-criteria cell: ALG(k) vs exact OPT(h)."""
+
+from repro.analysis.bounds import theorem_1_3_bound
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.offline import exact_offline_opt
+from repro.sim.engine import simulate
+from repro.sim.metrics import total_cost
+
+K, H = 4, 2
+
+
+def test_bench_e3_cell(benchmark, e1_instance):
+    trace, costs, _k = e1_instance
+
+    def cell():
+        alg = simulate(trace, AlgDiscrete(), K, costs=costs)
+        opt_h = exact_offline_opt(trace, costs, H)
+        return total_cost(alg, costs), opt_h
+
+    alg_cost, opt_h = benchmark(cell)
+    assert opt_h.optimal
+    bound = theorem_1_3_bound(costs, K, H, opt_h.user_misses, alpha=2.0)
+    assert alg_cost <= bound * (1 + 1e-9)

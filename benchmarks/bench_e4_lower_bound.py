@@ -1,0 +1,28 @@
+"""Bench E4 — Theorem 1.4 adversarial instance.
+
+Times one full lower-bound measurement (adaptive adversary driving the
+online policy + the §4 batched offline strategy) and asserts the
+measured ratio exceeds the (n/4)^beta floor."""
+
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.lower_bound import AdaptiveAdversary, lower_bound_costs, measure_lower_bound
+from repro.policies.lru import LRUPolicy
+
+N, BETA, T = 9, 2, 3600
+
+
+def test_bench_e4_measure_lru(benchmark):
+    m = benchmark(lambda: measure_lower_bound(LRUPolicy, n=N, beta=BETA, T=T))
+    assert m.ratio >= m.theoretical_ratio
+
+
+def test_bench_e4_measure_alg(benchmark):
+    m = benchmark(lambda: measure_lower_bound(AlgDiscrete, n=N, beta=BETA, T=T))
+    assert m.ratio >= m.theoretical_ratio
+
+
+def test_bench_e4_adversary_only(benchmark):
+    adv = AdaptiveAdversary(n=N, T=T)
+    costs = lower_bound_costs(N, BETA)
+    run = benchmark(lambda: adv.run(AlgDiscrete(), costs=costs))
+    assert run.online_result.misses == T

@@ -1,0 +1,39 @@
+"""Bench E5 — cost-aware vs cost-blind on the contention scenario.
+
+Times the cost-aware algorithm and the LRU baseline on the same
+instance and asserts the headline E5 shape (cost-aware wins on the
+capacity-contention family)."""
+
+import pytest
+
+from repro.core.alg_discrete import AlgDiscrete
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import simulate
+from repro.sim.metrics import total_cost
+from repro.workloads.sqlvm import contention_scenario, sqlvm_scenario
+
+
+@pytest.fixture(scope="module")
+def contention():
+    return contention_scenario(num_tenants=4, pages_per_tenant=60, length=12_000, seed=0)
+
+
+def test_bench_e5_alg_on_contention(benchmark, contention):
+    scenario, k = contention
+    r = benchmark(lambda: simulate(scenario.trace, AlgDiscrete(), k, costs=scenario.costs))
+    alg_cost = total_cost(r, scenario.costs)
+    lru_cost = total_cost(
+        simulate(scenario.trace, LRUPolicy(), k, costs=scenario.costs), scenario.costs
+    )
+    assert alg_cost < lru_cost  # the paper's motivating win
+
+
+def test_bench_e5_lru_on_contention(benchmark, contention):
+    scenario, k = contention
+    r = benchmark(lambda: simulate(scenario.trace, LRUPolicy(), k))
+    assert r.misses > 0
+
+
+def test_bench_e5_sqlvm_scenario_generation(benchmark):
+    scenario, k = benchmark(lambda: sqlvm_scenario(num_tenants=6, length=12_000, seed=0))
+    assert scenario.trace.length == 12_000

@@ -1,0 +1,36 @@
+"""Bench E6 — the alpha=1 linear reduction: exact LP lower bound + ALG.
+
+Times the HiGHS solve of the weighted-caching LP relaxation and the
+primal-dual run, asserting the k-competitive reduction."""
+
+import numpy as np
+
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.convex_program import build_program, solve_fractional
+from repro.core.cost_functions import LinearCost
+from repro.sim.engine import simulate
+from repro.sim.metrics import total_cost
+from repro.workloads.builders import random_multi_tenant_trace
+
+K = 5
+
+
+def _instance():
+    trace = random_multi_tenant_trace(4, 3, 300, seed=3)
+    costs = [LinearCost(w) for w in (1.0, 3.0, 9.0, 27.0)]
+    return trace, costs
+
+
+def test_bench_e6_lp_lower_bound(benchmark):
+    trace, costs = _instance()
+    prog = build_program(trace, K)
+    sol = benchmark(lambda: solve_fractional(prog, costs))
+    assert sol.method == "highs-lp"
+    alg = simulate(trace, AlgDiscrete(), K, costs=costs)
+    assert total_cost(alg, costs) <= K * sol.objective * (1 + 1e-6)
+
+
+def test_bench_e6_program_build(benchmark):
+    trace, _costs = _instance()
+    prog = benchmark(lambda: build_program(trace, K))
+    assert prog.num_vars == trace.length

@@ -1,0 +1,15 @@
+"""Bench E7 — Claim 2.3 evaluation on long sequences (vectorised path)."""
+
+import numpy as np
+
+from repro.core.claims import check_claim_2_3
+from repro.core.cost_functions import MonomialCost
+
+
+def test_bench_e7_claim_long_sequence(benchmark):
+    rng = np.random.default_rng(0)
+    xs = rng.uniform(0.0, 3.0, size=100_000)
+    f = MonomialCost(3)
+    check = benchmark(lambda: check_claim_2_3(f, xs))
+    assert check.holds
+    assert check.tightness > 0.9  # long sequences approach tightness 1

@@ -1,0 +1,50 @@
+"""Bench E8 — multi-pool simulation with rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.multipool import (
+    AllInOneAssignment,
+    CostAwareRebalancing,
+    PoolSystem,
+    RoundRobinAssignment,
+    simulate_multipool,
+)
+from repro.workloads.sqlvm import sqlvm_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return sqlvm_scenario(num_tenants=6, length=10_000, cache_fraction=0.2, seed=0)
+
+
+def test_bench_e8_static_two_pools(benchmark, scenario):
+    sc, k = scenario
+    system = PoolSystem(capacities=np.array([k // 2, k - k // 2]))
+    res = benchmark(
+        lambda: simulate_multipool(
+            sc.trace, sc.costs, system, RoundRobinAssignment(), epoch_length=1000
+        )
+    )
+    assert res.migrations == 0
+
+
+def test_bench_e8_rebalancing(benchmark, scenario):
+    sc, k = scenario
+    system = PoolSystem(
+        capacities=np.array([k // 2, k - k // 2]), migration_cost=0.0
+    )
+    res = benchmark(
+        lambda: simulate_multipool(
+            sc.trace,
+            sc.costs,
+            system,
+            CostAwareRebalancing(start=AllInOneAssignment()),
+            epoch_length=1000,
+        )
+    )
+    # Repairs the degenerate start.
+    static = simulate_multipool(
+        sc.trace, sc.costs, system, AllInOneAssignment(), epoch_length=1000
+    )
+    assert res.total_cost(sc.costs) <= static.total_cost(sc.costs)

@@ -1,0 +1,39 @@
+"""Bench E9 — per-policy engine throughput on a common Zipf trace.
+
+The primary engineering benchmark: requests/second for the paper's
+algorithm vs the baseline zoo (pytest-benchmark reports ops/sec; each
+op is a full 50k-request simulation)."""
+
+import pytest
+
+from repro.core.cost_functions import MonomialCost
+from repro.policies import POLICY_REGISTRY
+from repro.sim.engine import simulate
+
+COSTS = [MonomialCost(2)]
+K = 256
+
+POLICIES = [
+    "alg-discrete",
+    "lru",
+    "fifo",
+    "clock",
+    "lfu",
+    "lru-k",
+    "marking",
+    "greedydual",
+    "random",
+    "static-lru",
+    "belady",
+]
+
+
+@pytest.mark.parametrize("name", POLICIES)
+def test_bench_e9_policy_throughput(benchmark, name, zipf_50k):
+    factory = POLICY_REGISTRY[name]
+
+    def run():
+        return simulate(zipf_50k, factory(), K, costs=COSTS, validate=False)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.misses > 0

@@ -1,0 +1,61 @@
+"""Engine and data-structure microbenchmarks (ablation support).
+
+The DESIGN.md performance claim for the two-level budget index —
+O(log k + log n) per eviction instead of O(k) — is exercised here by
+benchmarking the index against a churn workload, alongside heap and
+workload-generation kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.budget_index import BudgetIndex
+from repro.util.heap import AddressableHeap
+from repro.workloads.builders import zipf_trace
+
+
+def test_bench_heap_churn(benchmark):
+    rng = np.random.default_rng(0)
+    keys = rng.uniform(0, 1, size=10_000)
+
+    def churn():
+        h = AddressableHeap()
+        for i in range(2_000):
+            h.push(i, float(keys[i]))
+        for i in range(2_000, 10_000):
+            h.pop()
+            h.push(i, float(keys[i]))
+        return len(h)
+
+    assert benchmark(churn) == 2_000
+
+
+def test_bench_budget_index_eviction_loop(benchmark):
+    """The ALG-DISCRETE hot loop shape: insert, evict-min, subtract,
+    uplift — 8k rounds over 4 users x 512 resident pages."""
+    rng = np.random.default_rng(1)
+    budgets = rng.uniform(0.5, 2.0, size=20_000)
+
+    def loop():
+        idx = BudgetIndex()
+        for p in range(2_048):
+            idx.insert(p, p % 4, float(budgets[p]))
+        for i in range(8_000):
+            page, user, b = idx.min_page()
+            idx.remove(page)
+            idx.subtract_from_all(b)
+            idx.uplift_user(user, 0.01)
+            idx.insert(2_048 + i, (2_048 + i) % 4, float(budgets[(2_048 + i) % 20_000]))
+        return len(idx)
+
+    assert benchmark(loop) == 2_048
+
+
+def test_bench_trace_generation(benchmark):
+    trace = benchmark(lambda: zipf_trace(5_000, 200_000, skew=0.9, seed=0))
+    assert trace.length == 200_000
+
+
+def test_bench_next_use_table(benchmark, zipf_50k):
+    table = benchmark(zipf_50k.next_use_table)
+    assert table.shape == (50_000,)

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures: representative instances per experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_functions import MonomialCost
+from repro.workloads.builders import small_random_trace, zipf_trace
+
+
+@pytest.fixture(scope="session")
+def e1_instance():
+    """A representative E1 cell: k=4, beta=2, exact-OPT-sized."""
+    trace = small_random_trace(3, 3, 24, seed=0)
+    costs = [MonomialCost(2)] * 3
+    return trace, costs, 4
+
+
+@pytest.fixture(scope="session")
+def zipf_50k():
+    return zipf_trace(2_000, 50_000, skew=0.9, seed=0)
+
+
+@pytest.fixture(scope="session")
+def mt_trace_10k():
+    from repro.workloads.builders import random_multi_tenant_trace
+
+    return random_multi_tenant_trace(4, 50, 10_000, seed=0)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Workload characterisation walkthrough.
+
+Builds a multi-tenant mix, computes its Mattson LRU miss-ratio curve
+(every cache size in one pass), working-set profile and per-tenant
+reuse statistics, then shows the anytime cost curve of ALG-DISCRETE vs
+LRU, and finally round-trips the trace through the CSV format used for
+importing external traces.
+
+Run:  python examples/characterize_workload.py
+"""
+
+import io
+
+import numpy as np
+
+from repro.analysis.report import ascii_series, ascii_table
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.policies import LRUPolicy
+from repro.sim import load_csv, save_csv, simulate
+from repro.sim.metrics import cost_curve
+from repro.workloads import (
+    TenantSpec,
+    mattson_miss_ratio_curve,
+    multi_tenant_trace,
+    per_tenant_summary,
+    working_set_profile,
+)
+from repro.workloads.streams import HotColdStream, ScanStream, ZipfStream
+
+
+def main():
+    tenants = [
+        TenantSpec(ZipfStream(120, skew=0.9), weight=2.0, name="web"),
+        TenantSpec(HotColdStream(60, 0.15, 0.9), weight=1.5, name="oltp"),
+        TenantSpec(ScanStream(200), weight=1.0, name="analytics"),
+    ]
+    trace = multi_tenant_trace(tenants, 15_000, seed=4, name="mix")
+    costs = [MonomialCost(2, scale=0.02), MonomialCost(2, scale=0.05), LinearCost(0.05)]
+
+    print(ascii_table(per_tenant_summary(trace), title=f"per-tenant summary of {trace}"))
+    print()
+
+    mrc = mattson_miss_ratio_curve(trace)
+    ks = [int(x) for x in np.linspace(1, len(mrc) - 1, 12)]
+    print(
+        ascii_series(
+            [float(k) for k in ks],
+            {"LRU miss ratio": [float(mrc[k]) for k in ks]},
+            title="Mattson MRC: LRU miss ratio vs cache size (one pass, exact)",
+        )
+    )
+    print()
+
+    ws = working_set_profile(trace, window=1_000)
+    print(
+        f"working set (window 1000): mean {ws.mean_size:.0f} pages, "
+        f"peak {ws.peak_size} of {trace.num_pages} total"
+    )
+    print()
+
+    k = 120
+    alg = simulate(trace, AlgDiscrete(), k, costs=costs, record_curve=True)
+    lru = simulate(trace, LRUPolicy(), k, costs=costs, record_curve=True)
+    sample = np.linspace(0, trace.length - 1, 20).astype(int)
+    print(
+        ascii_series(
+            [float(t) for t in sample],
+            {
+                "alg-discrete": cost_curve(alg, costs)[sample].tolist(),
+                "lru": cost_curve(lru, costs)[sample].tolist(),
+            },
+            title=f"anytime objective sum f_i(m_i(t)), k={k}",
+        )
+    )
+    print()
+
+    # CSV round trip (the import format for external traces).  Loading
+    # densifies page/tenant ids in first-appearance order, so ids are
+    # relabelled — but the access structure is preserved exactly, which
+    # the identical LRU miss count demonstrates.
+    buf = io.StringIO()
+    save_csv(trace, buf, tenant_labels=[t.name for t in tenants])
+    buf.seek(0)
+    loaded = load_csv(buf)
+    orig_misses = simulate(trace, LRUPolicy(), k).misses
+    loaded_misses = simulate(loaded.trace, LRUPolicy(), k).misses
+    print(
+        f"CSV round-trip: {loaded.trace.length} requests, tenants "
+        f"{loaded.tenant_labels} (relabelled in appearance order); "
+        f"LRU misses {orig_misses} == {loaded_misses}: "
+        f"{orig_misses == loaded_misses}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Lineage demo: the BBN fractional LP algorithm vs deterministic k.
+
+The paper's convex program builds on the Bansal–Buchbinder–Naor LP for
+weighted caching.  This example runs our implementation of BBN's online
+*fractional* primal-dual algorithm next to the deterministic
+ALG-DISCRETE on the classical cyclic adversarial instance, against the
+exact LP optimum — showing the O(log k) vs k separation, and that the
+fractional solutions are feasible points of the paper's (CP).
+
+Run:  python examples/fractional_vs_integral.py
+"""
+
+import math
+
+from repro.analysis.report import ascii_series, ascii_table
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.convex_program import build_program, fractional_opt_lower_bound
+from repro.core.cost_functions import LinearCost
+from repro.core.fractional_online import OnlineFractionalCaching
+from repro.sim.engine import simulate
+from repro.sim.metrics import total_cost
+from repro.workloads.builders import adversarial_cycle_trace
+
+
+def main():
+    rows = []
+    ks = [4, 8, 16, 32]
+    for k in ks:
+        trace = adversarial_cycle_trace(k, 60 * (k + 1))
+        costs = [LinearCost(1.0)]
+        lp = fractional_opt_lower_bound(trace, costs, k)
+
+        det = total_cost(simulate(trace, AlgDiscrete(), k, costs=costs), costs)
+
+        frac_alg = OnlineFractionalCaching([1.0], k)
+        frac = frac_alg.run(trace)
+        prog = build_program(trace, k)
+        feasible = prog.is_feasible(frac_alg.to_program_vector(trace, frac), tol=1e-6)
+
+        rows.append(
+            {
+                "k": k,
+                "LP optimum": lp,
+                "deterministic ratio": det / lp,
+                "fractional ratio": frac.cost / lp,
+                "ln(1+k)": math.log(1 + k),
+                "fractional (CP)-feasible": feasible,
+            }
+        )
+    print(
+        ascii_table(
+            rows, title="cyclic scan over k+1 pages: deterministic k vs fractional log k"
+        )
+    )
+    print()
+    print(
+        ascii_series(
+            [float(r["k"]) for r in rows],
+            {
+                "deterministic": [r["deterministic ratio"] for r in rows],
+                "fractional": [r["fractional ratio"] for r in rows],
+            },
+            title="competitive ratio vs k (log y)",
+            logy=True,
+        )
+    )
+    print(
+        "\nThe deterministic ratio tracks k (the Sleator-Tarjan bound is"
+        " tight here);\nthe fractional primal-dual algorithm stays near"
+        " ln(1+k) — the LP view the paper's\nconvex program generalises."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — reproduction of *Online Caching with Convex Costs*
+(Menache & Singh, SPAA 2015).
+
+A single cache of size :math:`k` is shared by users whose pages arrive
+online; user *i* pays :math:`f_i(m_i)` on :math:`m_i` misses for convex
+increasing :math:`f_i`.  This package implements the paper's
+primal-dual online algorithms (ALG-CONT / ALG-DISCRETE), the convex
+programming machinery behind their analysis, offline optima, the
+Theorem 1.4 lower-bound construction, a multi-tenant cache simulator
+with a zoo of baseline policies, synthetic workloads, and an experiment
+harness that empirically validates every theorem.
+
+Quickstart::
+
+    import repro
+
+    trace = repro.workloads.zipf_trace(
+        num_pages=200, length=5_000, skew=0.8, seed=0)
+    costs = [repro.MonomialCost(beta=2)]
+    result = repro.simulate(trace, repro.AlgDiscrete(), k=32, costs=costs)
+    print(result.misses, result.cost(costs))
+"""
+
+from repro import analysis, core, experiments, multipool, policies, sim, util, workloads
+from repro.core import (
+    AlgContinuous,
+    AlgDiscrete,
+    ExponentialCost,
+    LinearCost,
+    MonomialCost,
+    PiecewiseLinearCost,
+    PolynomialCost,
+    TableCost,
+    check_claim_2_3,
+    check_invariants,
+    combined_alpha,
+    exact_offline_opt,
+    flushed_instance,
+    fractional_opt_lower_bound,
+    measure_lower_bound,
+)
+from repro.policies import POLICY_REGISTRY, make_policy
+from repro.sim import SimResult, Trace, make_trace, simulate, single_user_trace, total_cost
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "core",
+    "policies",
+    "sim",
+    "workloads",
+    "analysis",
+    "experiments",
+    "multipool",
+    "util",
+    # most-used names re-exported at top level
+    "AlgDiscrete",
+    "AlgContinuous",
+    "LinearCost",
+    "MonomialCost",
+    "PolynomialCost",
+    "PiecewiseLinearCost",
+    "ExponentialCost",
+    "TableCost",
+    "combined_alpha",
+    "check_invariants",
+    "check_claim_2_3",
+    "flushed_instance",
+    "exact_offline_opt",
+    "fractional_opt_lower_bound",
+    "measure_lower_bound",
+    "Trace",
+    "make_trace",
+    "single_user_trace",
+    "simulate",
+    "SimResult",
+    "total_cost",
+    "POLICY_REGISTRY",
+    "make_policy",
+]

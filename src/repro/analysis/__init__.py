@@ -1,0 +1,48 @@
+"""Analysis utilities: competitive-ratio measurement, theoretical bound
+evaluators, parameter sweeps, and plain-text reporting.
+"""
+
+from repro.analysis.bounds import (
+    bound_holds,
+    corollary_1_2_factor,
+    theorem_1_1_bound,
+    theorem_1_3_bound,
+    theorem_1_4_floor,
+)
+from repro.analysis.competitive import (
+    OPT_METHODS,
+    CompetitiveMeasurement,
+    PolicyComparison,
+    compare_policies,
+    measure_competitive,
+)
+from repro.analysis.report import ascii_bars, ascii_series, ascii_table, to_csv, write_csv
+from repro.analysis.stats import PairedComparison, Summary, bootstrap_summary, paired_comparison
+from repro.analysis.sweep import SweepResult, run_sweep
+from repro.analysis.worst_case import WorstCaseResult, search_worst_ratio
+
+__all__ = [
+    "theorem_1_1_bound",
+    "theorem_1_3_bound",
+    "corollary_1_2_factor",
+    "theorem_1_4_floor",
+    "bound_holds",
+    "OPT_METHODS",
+    "CompetitiveMeasurement",
+    "measure_competitive",
+    "PolicyComparison",
+    "compare_policies",
+    "ascii_table",
+    "ascii_bars",
+    "ascii_series",
+    "to_csv",
+    "write_csv",
+    "SweepResult",
+    "run_sweep",
+    "WorstCaseResult",
+    "search_worst_ratio",
+    "Summary",
+    "bootstrap_summary",
+    "PairedComparison",
+    "paired_comparison",
+]

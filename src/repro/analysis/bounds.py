@@ -1,0 +1,88 @@
+"""Evaluators for the paper's theoretical guarantees.
+
+Theorem 1.1 is stated in *miss-vector* form —
+:math:`\\sum_i f_i(a_i) \\le \\sum_i f_i(\\alpha k\\, b_i)` — which is
+stronger than a single multiplicative ratio; :func:`theorem_1_1_bound`
+evaluates the right-hand side for a measured OPT miss vector.  For
+monomials it collapses to the scalar :math:`\\beta^\\beta k^\\beta`
+factor of Corollary 1.2 (:func:`corollary_1_2_factor`).  Theorem 1.3's
+bi-criteria bound replaces :math:`k` with :math:`k/(k-h+1)`
+(:func:`theorem_1_3_bound`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction, combined_alpha
+from repro.util.validation import check_positive_int
+
+
+def theorem_1_1_bound(
+    costs: Sequence[CostFunction],
+    k: int,
+    opt_misses: np.ndarray,
+    alpha: float | None = None,
+) -> float:
+    """RHS of Theorem 1.1: :math:`\\sum_i f_i(\\alpha k\\, b_i)`."""
+    k = check_positive_int(k, "k")
+    misses = np.asarray(opt_misses, dtype=float)
+    if alpha is None:
+        alpha = combined_alpha(costs[: misses.size])
+    return float(
+        sum(f.value(alpha * k * b) for f, b in zip(costs, misses))
+    )
+
+
+def theorem_1_3_bound(
+    costs: Sequence[CostFunction],
+    k: int,
+    h: int,
+    opt_misses: np.ndarray,
+    alpha: float | None = None,
+) -> float:
+    """RHS of Theorem 1.3:
+    :math:`\\sum_i f_i\\bigl(\\alpha \\tfrac{k}{k-h+1} b_i\\bigr)` where
+    :math:`b_i` are the misses of OPT *with cache size h*."""
+    k = check_positive_int(k, "k")
+    h = check_positive_int(h, "h")
+    if h > k:
+        raise ValueError(f"need h <= k, got h={h} > k={k}")
+    misses = np.asarray(opt_misses, dtype=float)
+    if alpha is None:
+        alpha = combined_alpha(costs[: misses.size])
+    factor = alpha * k / (k - h + 1)
+    return float(sum(f.value(factor * b) for f, b in zip(costs, misses)))
+
+
+def corollary_1_2_factor(beta: float, k: int) -> float:
+    """Corollary 1.2's scalar competitive factor :math:`\\beta^\\beta k^\\beta`."""
+    k = check_positive_int(k, "k")
+    if beta < 1:
+        raise ValueError(f"beta must be >= 1, got {beta}")
+    return float(beta**beta) * float(k**beta)
+
+
+def theorem_1_4_floor(n: int, beta: float) -> float:
+    """Theorem 1.4's concrete lower-bound constant :math:`(n/4)^\\beta`
+    for the §4 instance (``k = n - 1``)."""
+    check_positive_int(n, "n")
+    return float((n / 4.0) ** beta)
+
+
+def bound_holds(
+    alg_cost: float, bound_value: float, rtol: float = 1e-9
+) -> bool:
+    """Whether a measured algorithm cost respects a theoretical bound."""
+    return alg_cost <= bound_value * (1.0 + rtol) + 1e-12
+
+
+__all__ = [
+    "theorem_1_1_bound",
+    "theorem_1_3_bound",
+    "corollary_1_2_factor",
+    "theorem_1_4_floor",
+    "bound_holds",
+]

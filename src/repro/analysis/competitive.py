@@ -1,0 +1,176 @@
+"""Competitive-ratio measurement against the offline optimum ladder.
+
+One call — :func:`measure_competitive` — runs ALG-DISCRETE on an
+instance, computes OPT by the strongest affordable method (exact
+branch-and-bound, Belady where exact, fractional (CP) lower bound, or
+the cost-aware offline heuristic as a last resort), and evaluates the
+Theorem 1.1 / Corollary 1.2 bound alongside.  :func:`compare_policies`
+runs a whole policy zoo over one instance for the baseline-comparison
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.bounds import theorem_1_1_bound
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.convex_program import fractional_opt_lower_bound
+from repro.core.cost_functions import CostFunction, combined_alpha
+from repro.core.offline import exact_offline_opt, heuristic_offline_cost
+from repro.sim.engine import SimResult, simulate
+from repro.sim.metrics import cost_of_misses, total_cost
+from repro.sim.policy import EvictionPolicy
+from repro.sim.trace import Trace
+
+#: OPT estimation methods, strongest first.
+OPT_METHODS = ("exact", "fractional", "heuristic")
+
+
+@dataclass
+class CompetitiveMeasurement:
+    """ALG vs OPT on one instance."""
+
+    trace_name: str
+    k: int
+    alpha: float
+    alg_cost: float
+    alg_misses: np.ndarray
+    opt_cost: float
+    opt_misses: Optional[np.ndarray]
+    opt_method: str
+    opt_is_exact: bool
+    bound_value: Optional[float]
+
+    @property
+    def ratio(self) -> float:
+        """Measured cost ratio ALG/OPT.
+
+        When ``opt_method='fractional'`` this is an *upper bound* on
+        the true ratio (the denominator lower-bounds OPT); when
+        ``'heuristic'`` it is a *lower* bound (denominator
+        upper-bounds OPT).
+        """
+        if self.opt_cost <= 0:
+            return np.inf if self.alg_cost > 0 else 1.0
+        return self.alg_cost / self.opt_cost
+
+    @property
+    def bound_respected(self) -> Optional[bool]:
+        """Theorem 1.1 check — only meaningful with an OPT miss vector
+        (exact method), since the bound is stated on miss vectors."""
+        if self.bound_value is None:
+            return None
+        return self.alg_cost <= self.bound_value * (1 + 1e-9) + 1e-12
+
+
+def measure_competitive(
+    trace: Trace,
+    costs: Sequence[CostFunction],
+    k: int,
+    opt_method: str = "exact",
+    node_limit: int = 2_000_000,
+    policy_factory: Callable[[], EvictionPolicy] = AlgDiscrete,
+) -> CompetitiveMeasurement:
+    """Run the online algorithm and compute OPT by *opt_method*.
+
+    ``opt_method='exact'`` uses branch-and-bound (falls back to flagging
+    non-exact if the node limit is hit); ``'fractional'`` solves the
+    (CP) relaxation (certified lower bound on OPT, so the reported
+    ratio upper-bounds the true one); ``'heuristic'`` uses the
+    cost-aware offline schedule (upper bound on OPT, ratio is a lower
+    bound).
+    """
+    if opt_method not in OPT_METHODS:
+        raise ValueError(f"opt_method must be one of {OPT_METHODS}, got {opt_method!r}")
+    alpha = combined_alpha(costs[: trace.num_users])
+
+    alg_result = simulate(trace, policy_factory(), k, costs=costs)
+    alg_cost = total_cost(alg_result, costs)
+
+    opt_misses: Optional[np.ndarray] = None
+    bound_value: Optional[float] = None
+    if opt_method == "exact":
+        opt = exact_offline_opt(trace, costs, k, node_limit=node_limit)
+        opt_cost = opt.cost
+        opt_misses = opt.user_misses
+        opt_is_exact = opt.optimal
+        if opt_is_exact:
+            bound_value = theorem_1_1_bound(costs, k, opt_misses, alpha=alpha)
+    elif opt_method == "fractional":
+        opt_cost = fractional_opt_lower_bound(trace, costs, k)
+        opt_is_exact = False
+    else:
+        opt_cost, opt_misses = heuristic_offline_cost(trace, costs, k)
+        opt_is_exact = False
+        # With an OPT *upper* bound the Theorem 1.1 RHS evaluated on its
+        # miss vector is still a valid bound target (f increasing).
+        bound_value = theorem_1_1_bound(costs, k, opt_misses, alpha=alpha)
+
+    return CompetitiveMeasurement(
+        trace_name=trace.name,
+        k=k,
+        alpha=alpha,
+        alg_cost=alg_cost,
+        alg_misses=alg_result.user_misses,
+        opt_cost=float(opt_cost),
+        opt_misses=opt_misses,
+        opt_method=opt_method,
+        opt_is_exact=opt_is_exact,
+        bound_value=bound_value,
+    )
+
+
+@dataclass
+class PolicyComparison:
+    """Cost/miss table of many policies on one instance."""
+
+    trace_name: str
+    k: int
+    rows: List[Dict[str, object]]
+
+    def best(self, key: str = "cost") -> Dict[str, object]:
+        return min(self.rows, key=lambda r: r[key])
+
+    def by_policy(self, name: str) -> Dict[str, object]:
+        for row in self.rows:
+            if row["policy"] == name:
+                return row
+        raise KeyError(name)
+
+
+def compare_policies(
+    trace: Trace,
+    costs: Sequence[CostFunction],
+    k: int,
+    policy_factories: Dict[str, Callable[[], EvictionPolicy]],
+) -> PolicyComparison:
+    """Run every policy on the same instance; returns per-policy rows
+    with total cost, total misses, and per-user misses."""
+    rows: List[Dict[str, object]] = []
+    for name, factory in policy_factories.items():
+        policy = factory()
+        result = simulate(trace, policy, k, costs=costs)
+        rows.append(
+            {
+                "policy": name,
+                "cost": total_cost(result, costs),
+                "misses": result.misses,
+                "miss_ratio": result.miss_ratio,
+                "user_misses": result.user_misses.tolist(),
+            }
+        )
+    rows.sort(key=lambda r: r["cost"])
+    return PolicyComparison(trace_name=trace.name, k=k, rows=rows)
+
+
+__all__ = [
+    "OPT_METHODS",
+    "CompetitiveMeasurement",
+    "measure_competitive",
+    "PolicyComparison",
+    "compare_policies",
+]

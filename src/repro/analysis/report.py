@@ -1,0 +1,148 @@
+"""Plain-text reporting: aligned ASCII tables, simple bar/line charts,
+and CSV export.  (No plotting dependency is available offline; every
+experiment prints its table and series so the paper-shape checks are
+readable directly in a terminal or log.)
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+def _format_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return format(value, floatfmt)
+    return str(value)
+
+
+def ascii_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    floatfmt: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned monospace table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format_cell(row.get(c, ""), floatfmt) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in table)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in table:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart scaled to the largest value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title] if title else []
+    top = max((v for v in values if math.isfinite(v)), default=0.0)
+    label_w = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        if not math.isfinite(value) or top <= 0:
+            bar = "?"
+        else:
+            bar = "#" * max(1, int(round(width * value / top))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_w)}  {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: Optional[str] = None,
+    logy: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series gets a marker (a, b, c, …); overlapping points show
+    the later series' marker.  With ``logy`` values are log10-scaled
+    (non-positive values are dropped).
+    """
+    pts: List[tuple[float, float, str]] = []
+    markers = "abcdefghij"
+    legend = []
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"{marker}={name}")
+        for x, y in zip(xs, ys):
+            y = float(y)
+            if logy:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            if math.isfinite(float(x)) and math.isfinite(y):
+                pts.append((float(x), y, marker))
+    lines = [title] if title else []
+    lines.append("legend: " + ", ".join(legend) + ("  [log10 y]" if logy else ""))
+    if not pts:
+        lines.append("(no finite points)")
+        return "\n".join(lines)
+    xmin = min(p[0] for p in pts)
+    xmax = max(p[0] for p in pts)
+    ymin = min(p[1] for p in pts)
+    ymax = max(p[1] for p in pts)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, m in pts:
+        col = int(round((x - xmin) / xspan * (width - 1)))
+        row = height - 1 - int(round((y - ymin) / yspan * (height - 1)))
+        grid[row][col] = m
+    for i, row in enumerate(grid):
+        yval = ymax - i * yspan / (height - 1) if height > 1 else ymax
+        lines.append(f"{yval:>9.3g} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':10} {xmin:<.4g}{'':{max(1, width - 16)}}{xmax:>.4g}")
+    return "\n".join(lines)
+
+
+def to_csv(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise dict-rows to CSV text."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_csv(
+    path: str, rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None
+) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        fh.write(to_csv(rows, columns))
+
+
+__all__ = ["ascii_table", "ascii_bars", "ascii_series", "to_csv", "write_csv"]

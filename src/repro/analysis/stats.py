@@ -1,0 +1,113 @@
+"""Statistical helpers for experiment reporting.
+
+Replicated measurements want uncertainty estimates: this module
+provides summary statistics with percentile-bootstrap confidence
+intervals and a simple paired comparison, used by the full-mode
+experiment reports and available to library users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.rng import RandomSource, ensure_rng
+from repro.util.validation import check_in_range, check_positive_int
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a bootstrap confidence interval."""
+
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    n: int
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} ± [{self.ci_low:.4g}, {self.ci_high:.4g}] "
+            f"({int(self.confidence * 100)}% CI, n={self.n})"
+        )
+
+
+def bootstrap_summary(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    seed: RandomSource = 0,
+) -> Summary:
+    """Mean, std and a percentile-bootstrap CI of the mean."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    confidence = check_in_range(confidence, "confidence", 0.0, 1.0)
+    resamples = check_positive_int(resamples, "resamples")
+    rng = ensure_rng(seed)
+    if arr.size == 1:
+        v = float(arr[0])
+        return Summary(v, 0.0, v, v, 1, confidence)
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    lo = float(np.percentile(means, 100 * (1 - confidence) / 2))
+    hi = float(np.percentile(means, 100 * (1 + confidence) / 2))
+    return Summary(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)),
+        ci_low=lo,
+        ci_high=hi,
+        n=int(arr.size),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """A beats B? Paired differences with a bootstrap CI."""
+
+    mean_diff: float
+    ci_low: float
+    ci_high: float
+    fraction_a_wins: float
+    n: int
+
+    @property
+    def significant(self) -> bool:
+        """CI of (B - A) excludes 0 — a clear winner either way."""
+        return self.ci_low > 0 or self.ci_high < 0
+
+
+def paired_comparison(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    seed: RandomSource = 0,
+) -> PairedComparison:
+    """Bootstrap the paired differences ``b - a`` (positive = A smaller,
+    i.e. A wins when lower-is-better)."""
+    arr_a = np.asarray(list(a), dtype=float)
+    arr_b = np.asarray(list(b), dtype=float)
+    if arr_a.shape != arr_b.shape or arr_a.size == 0:
+        raise ValueError("a and b must be equal-length, non-empty")
+    diffs = arr_b - arr_a
+    rng = ensure_rng(seed)
+    if diffs.size == 1:
+        d = float(diffs[0])
+        return PairedComparison(d, d, d, float(d > 0), 1)
+    idx = rng.integers(0, diffs.size, size=(resamples, diffs.size))
+    means = diffs[idx].mean(axis=1)
+    return PairedComparison(
+        mean_diff=float(diffs.mean()),
+        ci_low=float(np.percentile(means, 100 * (1 - confidence) / 2)),
+        ci_high=float(np.percentile(means, 100 * (1 + confidence) / 2)),
+        fraction_a_wins=float((diffs > 0).mean()),
+        n=int(diffs.size),
+    )
+
+
+__all__ = ["Summary", "bootstrap_summary", "PairedComparison", "paired_comparison"]

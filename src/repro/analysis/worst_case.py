@@ -1,0 +1,153 @@
+"""Adversarial search for worst-case competitive ratios.
+
+Random instances are benign (E1 measures ratios far below the
+`β^β k^β` ceiling); this module *hunts* for bad instances with a
+mutation-based local search over request sequences, maximising the
+measured ratio ALG / exact-OPT.  Experiment E12 uses it to probe how
+much of the theoretical gap is reachable by search — and to check the
+bound survives adversarial instance optimisation, a much stronger test
+than random sampling.
+
+The search is deliberately simple (hill climbing with restarts and
+occasional double mutations): the point is coverage pressure, not
+state-of-the-art optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.bounds import theorem_1_1_bound
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import CostFunction, combined_alpha
+from repro.core.offline import exact_offline_opt
+from repro.sim.engine import simulate
+from repro.sim.metrics import total_cost
+from repro.sim.policy import EvictionPolicy
+from repro.sim.trace import Trace
+from repro.util.rng import RandomSource, ensure_rng
+from repro.util.validation import check_positive_int
+
+
+@dataclass
+class WorstCaseResult:
+    """Outcome of one adversarial search."""
+
+    trace: Trace
+    ratio: float
+    alg_cost: float
+    opt_cost: float
+    opt_misses: np.ndarray
+    bound_value: float
+    evaluations: int
+
+    @property
+    def bound_respected(self) -> bool:
+        return self.alg_cost <= self.bound_value * (1 + 1e-9)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorstCaseResult(ratio={self.ratio:.4g}, "
+            f"bound={self.bound_value:.4g}, evals={self.evaluations})"
+        )
+
+
+def _evaluate(
+    requests: np.ndarray,
+    owners: np.ndarray,
+    costs: Sequence[CostFunction],
+    k: int,
+    alpha: float,
+    policy_factory: Callable[[], EvictionPolicy],
+) -> tuple[float, float, float, np.ndarray, float]:
+    trace = Trace(requests, owners)
+    alg = simulate(trace, policy_factory(), k, costs=costs)
+    alg_cost = total_cost(alg, costs)
+    opt = exact_offline_opt(trace, costs, k)
+    ratio = alg_cost / opt.cost if opt.cost > 0 else (np.inf if alg_cost > 0 else 1.0)
+    bound = theorem_1_1_bound(costs, k, opt.user_misses, alpha=alpha)
+    return ratio, alg_cost, opt.cost, opt.user_misses, bound
+
+
+def search_worst_ratio(
+    costs: Sequence[CostFunction],
+    owners: Sequence[int],
+    k: int,
+    T: int = 24,
+    iterations: int = 300,
+    restarts: int = 3,
+    seed: RandomSource = None,
+    policy_factory: Callable[[], EvictionPolicy] = AlgDiscrete,
+) -> WorstCaseResult:
+    """Hill-climb request sequences to maximise ALG / exact-OPT.
+
+    Parameters
+    ----------
+    costs, owners, k:
+        The fixed instance skeleton (page universe = ``len(owners)``).
+    T:
+        Sequence length (keep small: every evaluation solves exact OPT).
+    iterations:
+        Mutation steps per restart; each step flips 1-2 positions to
+        random pages and keeps the change iff the ratio does not drop.
+    restarts:
+        Independent random starting sequences.
+    seed:
+        Reproducibility.
+
+    Returns the best instance found across all restarts.
+    """
+    check_positive_int(T, "T")
+    check_positive_int(iterations, "iterations")
+    check_positive_int(restarts, "restarts")
+    owners_arr = np.asarray(list(owners), dtype=np.int64)
+    num_pages = owners_arr.size
+    rng = ensure_rng(seed)
+    alpha = combined_alpha(costs[: int(owners_arr.max()) + 1])
+
+    best: Optional[WorstCaseResult] = None
+    evaluations = 0
+    for _r in range(restarts):
+        requests = rng.integers(0, num_pages, size=T).astype(np.int64)
+        ratio, alg_cost, opt_cost, opt_misses, bound = _evaluate(
+            requests, owners_arr, costs, k, alpha, policy_factory
+        )
+        evaluations += 1
+        for _i in range(iterations):
+            candidate = requests.copy()
+            flips = 1 if rng.random() < 0.7 else 2
+            for _f in range(flips):
+                pos = int(rng.integers(0, T))
+                candidate[pos] = int(rng.integers(0, num_pages))
+            c_ratio, c_alg, c_opt, c_misses, c_bound = _evaluate(
+                candidate, owners_arr, costs, k, alpha, policy_factory
+            )
+            evaluations += 1
+            if c_ratio >= ratio:
+                requests = candidate
+                ratio, alg_cost, opt_cost, opt_misses, bound = (
+                    c_ratio,
+                    c_alg,
+                    c_opt,
+                    c_misses,
+                    c_bound,
+                )
+        result = WorstCaseResult(
+            trace=Trace(requests, owners_arr, name="worst-case-search"),
+            ratio=ratio,
+            alg_cost=alg_cost,
+            opt_cost=opt_cost,
+            opt_misses=opt_misses,
+            bound_value=bound,
+            evaluations=evaluations,
+        )
+        if best is None or result.ratio > best.ratio:
+            best = result
+    assert best is not None
+    return best
+
+
+__all__ = ["WorstCaseResult", "search_worst_ratio"]

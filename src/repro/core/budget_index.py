@@ -1,0 +1,189 @@
+"""Two-level budget index for ALG-DISCRETE / ALG-CONT.
+
+The Fig. 3 update rules apply two kinds of bulk change to resident
+budgets:
+
+* step 3 — subtract the evicted budget from **every** resident page;
+* step 4 — add a (per-eviction) constant to every resident page of
+  **one** user.
+
+Both are uniform shifts over their scope, so neither needs to touch
+pages individually.  The index keeps:
+
+* a per-user addressable min-heap of stored keys
+  :math:`\\kappa'(p) = B_{set}(p) + O_{set} - V_{set}[u]` where
+  :math:`O` is the cumulative global subtraction and :math:`V[u]` the
+  user's cumulative uplift, both *at set time*;  the current budget is
+  :math:`B(p) = \\kappa'(p) - O + V[u]` — within one user all pages
+  share the :math:`-O + V[u]` correction, so within-user order is the
+  stored-key order;
+* a top-level addressable min-heap over users keyed by
+  :math:`T_u = \\min_p \\kappa'(p) + V[u]` — adding the common
+  :math:`-O` does not change the arg-min across users, so the global
+  minimum-budget page is ``top.peek() -> user`` then
+  ``user_heap.peek() -> page``.
+
+Cost per operation: O(log k) within the user's heap plus O(log n) in
+the top heap; the two bulk updates are O(1) and O(log n) respectively.
+This is what makes the algorithm's throughput competitive with
+GreedyDual (benchmarked in experiment E9) instead of O(k) per
+eviction.
+
+Tie-breaking is deterministic: users tie-break by the insertion order
+of their current minimum entry, pages within a user FIFO by insertion.
+Both algorithm implementations share this index, so their eviction
+sequences agree exactly (tested).
+
+Representation limit: the lazy form stores ``B + O - V[u]``, so two
+budgets whose difference is below one ulp of the accumulated offsets
+are absorbed and may order arbitrarily (e.g. a 1e-213 budget after an
+offset of 1.0).  For the algorithm this is harmless — such budgets are
+equal for every practical purpose and any tie-break is admissible —
+but exact-arithmetic comparisons in tests use dyadic inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.util.heap import AddressableHeap
+
+
+class BudgetIndex:
+    """Budgets over resident pages with O(1)/O(log n) bulk updates."""
+
+    __slots__ = ("_user_heaps", "_top", "_O", "_V", "_user_of_page")
+
+    def __init__(self) -> None:
+        self._user_heaps: Dict[int, AddressableHeap[int]] = {}
+        self._top: AddressableHeap[int] = AddressableHeap()
+        self._O = 0.0  # cumulative global subtraction
+        self._V: Dict[int, float] = {}  # cumulative per-user uplift
+        self._user_of_page: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._user_of_page)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._user_of_page
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _refresh_top(self, user: int) -> None:
+        heap = self._user_heaps.get(user)
+        if heap is None or not heap:
+            if user in self._top:
+                self._top.remove(user)
+            return
+        _page, min_key = heap.peek()
+        self._top.push_or_update(user, min_key + self._V.get(user, 0.0))
+
+    def _stored_key(self, user: int, budget: float) -> float:
+        return budget + self._O - self._V.get(user, 0.0)
+
+    def _clamp(self, budget: float) -> float:
+        """Snap float-noise negatives to 0.
+
+        For convex costs budgets are non-negative in exact arithmetic
+        (the minimum is evicted exactly when it reaches 0), but the
+        lazy offsets introduce last-ulp rounding; values within
+        tolerance of 0 are snapped.  Genuinely negative budgets are
+        *legal* for non-convex costs (§2.5 arbitrary-cost mode: the
+        same-user uplift ``f'(m+2) - f'(m+1)`` can be negative) and are
+        passed through unchanged.
+        """
+        if budget >= 0.0:
+            return budget
+        scale = max(1.0, abs(self._O))
+        if budget > -1e-9 * scale:
+            return 0.0
+        return budget
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert(self, page: int, user: int, budget: float) -> None:
+        """Add a resident page with a fresh budget."""
+        if page in self._user_of_page:
+            raise KeyError(f"page {page} already indexed; use refresh()")
+        heap = self._user_heaps.get(user)
+        if heap is None:
+            heap = self._user_heaps[user] = AddressableHeap()
+        heap.push(page, self._stored_key(user, budget))
+        self._user_of_page[page] = user
+        self._refresh_top(user)
+
+    def refresh(self, page: int, budget: float) -> None:
+        """Reset a resident page's budget (hit refresh, Fig. 3 step 2)."""
+        user = self._user_of_page[page]
+        self._user_heaps[user].update(page, self._stored_key(user, budget))
+        self._refresh_top(user)
+
+    def remove(self, page: int) -> float:
+        """Remove a page, returning its current budget."""
+        user = self._user_of_page.pop(page)
+        key = self._user_heaps[user].remove(page)
+        self._refresh_top(user)
+        return self._clamp(key - self._O + self._V.get(user, 0.0))
+
+    def subtract_from_all(self, delta: float) -> None:
+        """Fig. 3 step 3: subtract *delta* from every resident budget.
+
+        O(1): both heap levels' orders are invariant to the shift.
+        """
+        self._O += delta
+
+    def uplift_user(self, user: int, delta: float) -> None:
+        """Fig. 3 step 4: add *delta* to every resident page of *user*.
+
+        O(log n): within-user order unchanged; only the user's top-heap
+        entry moves.
+        """
+        self._V[user] = self._V.get(user, 0.0) + delta
+        self._refresh_top(user)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def min_page(self) -> Tuple[int, int, float]:
+        """``(page, user, budget)`` of the global minimum budget."""
+        if not self._top:
+            raise IndexError("min_page on empty index")
+        user, _ = self._top.peek()
+        page, key = self._user_heaps[user].peek()
+        return page, user, self._clamp(key - self._O + self._V.get(user, 0.0))
+
+    def budget_of(self, page: int) -> float:
+        """Current budget ``B(p)`` of one indexed page."""
+        user = self._user_of_page[page]
+        key = self._user_heaps[user].key_of(page)
+        return self._clamp(key - self._O + self._V.get(user, 0.0))
+
+    def budgets(self) -> Dict[int, float]:
+        """Snapshot ``{page: budget}`` over all resident pages."""
+        out: Dict[int, float] = {}
+        for user, heap in self._user_heaps.items():
+            corr = -self._O + self._V.get(user, 0.0)
+            for page, key in heap.items():
+                out[page] = key + corr
+        return out
+
+    def check_invariants(self) -> None:
+        """Validate cross-structure consistency (test helper)."""
+        for user, heap in self._user_heaps.items():
+            heap.check_invariants()
+            if heap:
+                _page, min_key = heap.peek()
+                expect = min_key + self._V.get(user, 0.0)
+                assert user in self._top, f"user {user} missing from top heap"
+                got = self._top.key_of(user)
+                assert abs(got - expect) < 1e-9, f"top key stale for user {user}"
+            else:
+                assert user not in self._top, f"empty user {user} still in top heap"
+        self._top.check_invariants()
+        count = sum(len(h) for h in self._user_heaps.values())
+        assert count == len(self._user_of_page), "page map out of sync"
+
+
+__all__ = ["BudgetIndex"]

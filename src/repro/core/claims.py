@@ -1,0 +1,109 @@
+"""Numeric verification of the paper's Claim 2.3.
+
+Claim 2.3 is the technical heart of the analysis: for convex increasing
+:math:`f` with :math:`f(0)=0` and non-negative :math:`x_1,\\dots,x_n`,
+
+.. math::
+
+   f'\\Bigl(\\sum_{j=1}^n x_j\\Bigr)\\sum_{j=1}^n x_j
+   \\;\\le\\;
+   \\alpha \\sum_{j=1}^n x_j\\, f'\\Bigl(\\sum_{i=1}^{j} x_i\\Bigr),
+   \\qquad \\alpha = \\sup_x \\frac{x f'(x)}{f(x)},
+
+with the intermediate inequality (6)
+:math:`\\sum_j x_j f'(\\sum_{i \\le j} x_i) \\ge f(\\sum_j x_j)`.
+
+These helpers compute both sides vectorised and are used by the unit /
+property tests and experiment E7 to confirm the inequality holds (and
+is asymptotically tight, :math:`\\alpha = \\beta`, for monomials).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """Both sides of Claim 2.3 on one sequence."""
+
+    lhs: float
+    rhs: float
+    alpha: float
+    inequality6_lhs: float
+    inequality6_rhs: float
+
+    @property
+    def holds(self) -> bool:
+        scale = max(1.0, abs(self.lhs), abs(self.rhs))
+        return self.lhs <= self.rhs + 1e-9 * scale
+
+    @property
+    def inequality6_holds(self) -> bool:
+        scale = max(1.0, abs(self.inequality6_lhs), abs(self.inequality6_rhs))
+        return self.inequality6_lhs >= self.inequality6_rhs - 1e-9 * scale
+
+    @property
+    def tightness(self) -> float:
+        """lhs / rhs — 1.0 means the claim is tight on this sequence."""
+        return self.lhs / self.rhs if self.rhs > 0 else np.nan
+
+
+def check_claim_2_3(
+    f: CostFunction,
+    xs: Sequence[float],
+    alpha: Optional[float] = None,
+) -> ClaimCheck:
+    """Evaluate Claim 2.3 and inequality (6) for *f* on sequence *xs*.
+
+    Parameters
+    ----------
+    f:
+        A convex increasing cost with :math:`f(0)=0` (not validated
+        here; see
+        :func:`repro.core.cost_functions.validate_paper_assumptions`).
+    xs:
+        Non-negative terms :math:`x_1, \\dots, x_n` in order.
+    alpha:
+        Override the curvature (defaults to ``f.alpha()``) — the tests
+        use this to confirm the claim *fails* for too-small alpha.
+    """
+    arr = np.asarray(list(xs), dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("xs must be a 1-D sequence")
+    if np.any(arr < 0):
+        raise ValueError("xs must be non-negative")
+    if alpha is None:
+        alpha = f.alpha()
+    total = float(arr.sum())
+    prefix = np.cumsum(arr)
+    deriv_prefix = np.asarray(f.derivative(prefix), dtype=float)
+    weighted = float(np.dot(arr, deriv_prefix))
+    lhs = float(f.derivative(total)) * total
+    rhs = alpha * weighted
+    return ClaimCheck(
+        lhs=lhs,
+        rhs=rhs,
+        alpha=float(alpha),
+        inequality6_lhs=weighted,
+        inequality6_rhs=float(f.value(total)),
+    )
+
+
+def claim_2_3_tightness_profile(
+    f: CostFunction, n: int, spread: float = 1.0
+) -> float:
+    """Tightness of Claim 2.3 on the equal-terms sequence
+    :math:`x_j = \\text{spread}` of length *n* — for monomials this
+    tends to 1 as :math:`n \\to \\infty` (the bound is asymptotically
+    exact), which experiment E7 plots."""
+    check = check_claim_2_3(f, [spread] * n)
+    return check.tightness
+
+
+__all__ = ["ClaimCheck", "check_claim_2_3", "claim_2_3_tightness_profile"]

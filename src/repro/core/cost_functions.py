@@ -1,0 +1,690 @@
+"""Cost functions :math:`f_i` for the convex-cost caching problem.
+
+The paper assumes each user :math:`i` pays :math:`f_i(m_i)` where
+:math:`m_i` is the user's total miss count and :math:`f_i` is convex,
+increasing, differentiable, non-negative with :math:`f_i(0)=0`.  The
+central quantity in every guarantee is the *curvature*
+
+.. math::  \\alpha \\;=\\; \\sup_{x>0,\\,i} \\frac{x\\,f_i'(x)}{f_i(x)},
+
+which equals the degree :math:`\\beta` for monomials
+:math:`f(x)=c\\,x^{\\beta}` and, more generally, is at most the degree
+for polynomials with non-negative coefficients (paper Claim 2.3).
+
+This module provides:
+
+* an abstract :class:`CostFunction` with ``value`` / ``derivative`` /
+  integer ``marginal`` accessors (all numpy-vectorised),
+* concrete families — :class:`LinearCost`, :class:`MonomialCost`,
+  :class:`PolynomialCost`, :class:`PiecewiseLinearCost` (SLA-style),
+  :class:`ExponentialCost`, :class:`TableCost` (arbitrary, possibly
+  non-convex, for the paper's §2.5 remark that the *algorithm* needs no
+  convexity) — plus :class:`ScaledCost` / :class:`SumCost` combinators,
+* analytic ``alpha()`` where closed forms exist and a certified numeric
+  fallback (:func:`numeric_alpha`),
+* convexity / monotonicity validators used by tests and by guarantee
+  evaluators that must refuse non-convex inputs.
+
+The paper's §2.5 notes that for non-differentiable costs the algorithm
+can use discrete derivatives; :meth:`CostFunction.marginal` is exactly
+that discrete derivative :math:`f(m)-f(m-1)`, and
+:func:`discrete_alpha` is its curvature analogue on the integer grid.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+class CostFunction(ABC):
+    """A per-user miss-cost function :math:`f`.
+
+    Subclasses implement :meth:`value` and :meth:`derivative`; both must
+    accept scalars or numpy arrays and be defined for all
+    :math:`x \\ge 0`.  The base class supplies the discrete marginal,
+    curvature estimation, and convexity checking.
+    """
+
+    #: Human-readable family name used in experiment tables.
+    name: str = "cost"
+
+    # ------------------------------------------------------------------
+    # Core interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def value(self, x: ArrayLike) -> ArrayLike:
+        """:math:`f(x)` for :math:`x \\ge 0`."""
+
+    @abstractmethod
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        """:math:`f'(x)`; at kinks, the **right** derivative.
+
+        The paper's budget rule reads :math:`f'(m+1)` at integer points;
+        using the right derivative keeps budgets well-defined for
+        piecewise-linear SLAs.
+        """
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        return self.value(x)
+
+    def marginal(self, m: int) -> float:
+        """Discrete derivative :math:`f(m) - f(m-1)` for integer ``m >= 1``.
+
+        This is the §2.5 replacement for :math:`f'` when :math:`f` is
+        not differentiable (or not even continuous).
+        """
+        if m < 1:
+            raise ValueError(f"marginal defined for m >= 1, got {m}")
+        return float(self.value(m)) - float(self.value(m - 1))
+
+    # ------------------------------------------------------------------
+    # Curvature
+    # ------------------------------------------------------------------
+    def alpha(self, x_max: float = 1e6) -> float:
+        """Curvature :math:`\\sup_{0<x\\le x_{max}} x f'(x)/f(x)`.
+
+        The base implementation is the certified numeric search
+        :func:`numeric_alpha`; families with closed forms override it.
+        """
+        return numeric_alpha(self, x_max=x_max)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def is_valid_at_zero(self, atol: float = 1e-12) -> bool:
+        """Check :math:`f(0)=0` (paper's normalisation)."""
+        return abs(float(self.value(0.0))) <= atol
+
+    def is_increasing(self, x_max: float = 1e4, samples: int = 2048) -> bool:
+        """Numerically check :math:`f` is non-decreasing on ``[0, x_max]``."""
+        xs = np.linspace(0.0, x_max, samples)
+        ys = np.asarray(self.value(xs), dtype=float)
+        return bool(np.all(np.diff(ys) >= -1e-9 * np.maximum(1.0, np.abs(ys[:-1]))))
+
+    def is_convex(self, x_max: float = 1e4, samples: int = 2048) -> bool:
+        """Numerically check midpoint convexity on ``[0, x_max]``."""
+        xs = np.linspace(0.0, x_max, samples)
+        ys = np.asarray(self.value(xs), dtype=float)
+        mid = np.asarray(self.value((xs[:-2] + xs[2:]) / 2.0), dtype=float)
+        chord = (ys[:-2] + ys[2:]) / 2.0
+        scale = np.maximum(1.0, np.abs(chord))
+        return bool(np.all(mid <= chord + 1e-8 * scale))
+
+    def is_convex_on_integers(self, m_max: int = 1000) -> bool:
+        """Check the marginals :math:`f(m)-f(m-1)` are non-decreasing."""
+        ms = np.arange(0, m_max + 1, dtype=float)
+        ys = np.asarray(self.value(ms), dtype=float)
+        marg = np.diff(ys)
+        return bool(np.all(np.diff(marg) >= -1e-9 * np.maximum(1.0, marg[:-1])))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# Concrete families
+# ----------------------------------------------------------------------
+class LinearCost(CostFunction):
+    """:math:`f(x) = w\\,x` — classical *weighted caching* (Young [20]).
+
+    With every :math:`f_i` linear the paper's :math:`\\alpha` equals 1
+    and Theorem 1.1 recovers the optimal deterministic
+    :math:`k`-competitiveness of Sleator–Tarjan.
+    """
+
+    name = "linear"
+
+    def __init__(self, weight: float = 1.0) -> None:
+        self.weight = check_positive(weight, "weight")
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        if not isinstance(x, np.ndarray):  # scalar fast path (hot loop)
+            return self.weight * float(x)
+        return self.weight * np.asarray(x, dtype=float)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        if isinstance(x, np.ndarray):
+            return np.full_like(np.asarray(x, dtype=float), self.weight)
+        return self.weight
+
+    def marginal(self, m: int) -> float:
+        if m < 1:
+            raise ValueError(f"marginal defined for m >= 1, got {m}")
+        return self.weight
+
+    def alpha(self, x_max: float = 1e6) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return f"LinearCost(weight={self.weight!r})"
+
+
+class MonomialCost(CostFunction):
+    """:math:`f(x) = c\\,x^{\\beta}` with :math:`\\beta \\ge 1`.
+
+    The family of Corollary 1.2: the paper's algorithm is
+    :math:`\\beta^{\\beta} k^{\\beta}`-competitive, and
+    :math:`\\alpha = \\beta` exactly (the ratio :math:`x f'/f` is
+    constant).
+    """
+
+    name = "monomial"
+
+    def __init__(self, beta: float, scale: float = 1.0) -> None:
+        self.beta = check_positive(beta, "beta")
+        if self.beta < 1.0:
+            raise ValueError(f"beta must be >= 1 for convexity, got {beta}")
+        self.scale = check_positive(scale, "scale")
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        if not isinstance(x, np.ndarray):  # scalar fast path (hot loop)
+            return self.scale * float(x) ** self.beta
+        return self.scale * np.power(np.asarray(x, dtype=float), self.beta)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        if not isinstance(x, np.ndarray):  # scalar fast path (hot loop)
+            xf = float(x)
+            if xf == 0.0:
+                # x^0 at 0 is 1 for beta=1; for beta>1 the derivative is 0.
+                return self.scale * self.beta if self.beta == 1.0 else 0.0
+            return self.scale * self.beta * xf ** (self.beta - 1.0)
+        arr = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = self.scale * self.beta * np.power(arr, self.beta - 1.0)
+        out = np.where(arr == 0.0, self.scale * self.beta if self.beta == 1.0 else 0.0, out)
+        return out
+
+    def alpha(self, x_max: float = 1e6) -> float:
+        return self.beta
+
+    def __repr__(self) -> str:
+        return f"MonomialCost(beta={self.beta!r}, scale={self.scale!r})"
+
+
+class PolynomialCost(CostFunction):
+    """:math:`f(x) = \\sum_d c_d x^d` with non-negative coefficients.
+
+    ``coefficients[d]`` is :math:`c_d`; :math:`c_0` must be zero to
+    honour :math:`f(0)=0`.  For this family Claim 2.3 gives
+    :math:`\\alpha \\le \\deg f`, with equality in the
+    :math:`x \\to \\infty` limit, so :meth:`alpha` returns the degree.
+    """
+
+    name = "polynomial"
+
+    def __init__(self, coefficients: Sequence[float]) -> None:
+        coeffs = np.asarray(coefficients, dtype=float)
+        if coeffs.ndim != 1 or coeffs.size < 2:
+            raise ValueError("need at least coefficients [c0, c1]")
+        if coeffs[0] != 0.0:
+            raise ValueError(f"c0 must be 0 so that f(0)=0, got {coeffs[0]}")
+        if np.any(coeffs < 0.0):
+            raise ValueError("all coefficients must be non-negative")
+        if not np.any(coeffs[1:] > 0.0):
+            raise ValueError("f must be increasing: need a positive coefficient")
+        self.coefficients = coeffs
+        self.degree = int(np.max(np.nonzero(coeffs)[0]))
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        arr = np.asarray(x, dtype=float)
+        out = np.polynomial.polynomial.polyval(arr, self.coefficients)
+        return out if isinstance(x, np.ndarray) else float(out)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        arr = np.asarray(x, dtype=float)
+        dcoeffs = np.polynomial.polynomial.polyder(self.coefficients)
+        out = np.polynomial.polynomial.polyval(arr, dcoeffs)
+        return out if isinstance(x, np.ndarray) else float(out)
+
+    def alpha(self, x_max: float = 1e6) -> float:
+        # x f'(x)/f(x) = (sum d c_d x^d) / (sum c_d x^d) <= degree, with the
+        # sup attained in the x -> inf limit; it is the exact sup.
+        return float(self.degree)
+
+    def __repr__(self) -> str:
+        return f"PolynomialCost(coefficients={self.coefficients.tolist()!r})"
+
+
+class PiecewiseLinearCost(CostFunction):
+    """Convex piecewise-linear cost — the paper's SLA motivation.
+
+    The introduction's example: "a user can tolerate up to around
+    :math:`M` misses … any number greater than that results in
+    substantial degradation".  Encoded as breakpoints
+    :math:`0 = b_0 < b_1 < \\dots < b_{s-1}` and slopes
+    :math:`0 \\le s_0 \\le s_1 \\le \\dots` where slope ``slopes[j]``
+    applies on :math:`[b_j, b_{j+1})`.
+
+    The right derivative is used at kinks, matching
+    :meth:`CostFunction.derivative`'s contract.
+    """
+
+    name = "piecewise-linear"
+
+    def __init__(self, breakpoints: Sequence[float], slopes: Sequence[float]) -> None:
+        bp = np.asarray(breakpoints, dtype=float)
+        sl = np.asarray(slopes, dtype=float)
+        if bp.ndim != 1 or sl.ndim != 1 or bp.size != sl.size or bp.size == 0:
+            raise ValueError("breakpoints and slopes must be equal-length 1-D")
+        if bp[0] != 0.0:
+            raise ValueError(f"first breakpoint must be 0, got {bp[0]}")
+        if np.any(np.diff(bp) <= 0.0):
+            raise ValueError("breakpoints must be strictly increasing")
+        if np.any(sl < 0.0):
+            raise ValueError("slopes must be non-negative")
+        if np.any(np.diff(sl) < 0.0):
+            raise ValueError("slopes must be non-decreasing (convexity)")
+        if not np.any(sl > 0.0):
+            raise ValueError("at least one slope must be positive (f increasing)")
+        self.breakpoints = bp
+        self.slopes = sl
+        # Cumulative value at each breakpoint: f(b_j).
+        seg = np.diff(bp) * sl[:-1]
+        self._values_at_bp = np.concatenate([[0.0], np.cumsum(seg)])
+        # Plain-list copies for the scalar fast paths.
+        self._bp_list = bp.tolist()
+        self._sl_list = sl.tolist()
+        self._vals_list = self._values_at_bp.tolist()
+
+    @classmethod
+    def sla(cls, free_misses: float, penalty_slope: float, base_slope: float = 0.0) -> "PiecewiseLinearCost":
+        """Convenience: ``base_slope`` per miss up to *free_misses*, then
+        ``penalty_slope`` per miss beyond (``penalty_slope >= base_slope``)."""
+        free_misses = check_positive(free_misses, "free_misses")
+        return cls([0.0, free_misses], [base_slope, penalty_slope])
+
+    def _segment_index(self, arr: np.ndarray) -> np.ndarray:
+        # Index j such that b_j <= x (right-continuous segments).
+        return np.clip(np.searchsorted(self.breakpoints, arr, side="right") - 1, 0, None)
+
+    def _scalar_segment(self, x: float) -> int:
+        import bisect
+
+        return max(bisect.bisect_right(self._bp_list, x) - 1, 0)
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        if not isinstance(x, np.ndarray):  # scalar fast path (hot loop)
+            xf = float(x)
+            j = self._scalar_segment(xf)
+            return self._vals_list[j] + self._sl_list[j] * (xf - self._bp_list[j])
+        arr = np.asarray(x, dtype=float)
+        idx = self._segment_index(arr)
+        return self._values_at_bp[idx] + self.slopes[idx] * (arr - self.breakpoints[idx])
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        if not isinstance(x, np.ndarray):  # scalar fast path (hot loop)
+            return self._sl_list[self._scalar_segment(float(x))]
+        arr = np.asarray(x, dtype=float)
+        return self.slopes[self._segment_index(arr)].copy()
+
+    def alpha(self, x_max: float = 1e6) -> float:
+        """Exact curvature.
+
+        Within each segment :math:`x f'(x)/f(x)` is monotone
+        non-decreasing (since :math:`f(x) \\le x f'(x)` for convex
+        :math:`f` with :math:`f(0)=0`), so the sup is attained in the
+        right-limit at segment ends: evaluate at each breakpoint with
+        the *right* slope, plus the :math:`x\\to\\infty` limit, 1.
+        """
+        best = 1.0
+        for j in range(1, self.breakpoints.size):
+            b = self.breakpoints[j]
+            f_b = self._values_at_bp[j]
+            s_right = self.slopes[j]
+            # Guard against denormal f(b): the ratio effectively
+            # diverges there just as for exact zero.
+            if f_b > 1e-300 * max(1.0, b * s_right):
+                best = max(best, b * s_right / f_b)
+            elif s_right > 0.0:
+                # f is ~0 up to b but grows after: ratio diverges at b+.
+                return math.inf
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"PiecewiseLinearCost(breakpoints={self.breakpoints.tolist()!r}, "
+            f"slopes={self.slopes.tolist()!r})"
+        )
+
+
+class ExponentialCost(CostFunction):
+    """:math:`f(x) = c\\,(e^{\\lambda x} - 1)`.
+
+    Convex and increasing, but its curvature grows without bound
+    (:math:`x f'/f \\to \\lambda x` as :math:`x\\to\\infty`), so
+    :meth:`alpha` is only finite over a bounded range — it reports the
+    sup over :math:`(0, x_{max}]`, attained at :math:`x_{max}`.  Useful
+    for stress-testing guarantees with extreme curvature.
+    """
+
+    name = "exponential"
+
+    def __init__(self, rate: float = 1.0, scale: float = 1.0) -> None:
+        self.rate = check_positive(rate, "rate")
+        self.scale = check_positive(scale, "scale")
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        arr = np.asarray(x, dtype=float)
+        out = self.scale * np.expm1(self.rate * arr)
+        return out if isinstance(x, np.ndarray) else float(out)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        arr = np.asarray(x, dtype=float)
+        out = self.scale * self.rate * np.exp(self.rate * arr)
+        return out if isinstance(x, np.ndarray) else float(out)
+
+    def alpha(self, x_max: float = 1e6) -> float:
+        # g(x) = rate*x*e^{rx}/(e^{rx}-1) is increasing, so the sup on
+        # (0, x_max] is at x_max.
+        rx = self.rate * x_max
+        if rx > 700.0:  # avoid overflow; e^{rx}/(e^{rx}-1) ~ 1
+            return rx
+        return rx * math.exp(rx) / math.expm1(rx)
+
+    def __repr__(self) -> str:
+        return f"ExponentialCost(rate={self.rate!r}, scale={self.scale!r})"
+
+
+class TableCost(CostFunction):
+    """Arbitrary tabulated cost on integers, linearly interpolated.
+
+    The paper (§2.5) notes ALG-DISCRETE runs for *any* cost function,
+    even discontinuous ones, using discrete derivatives.  ``table[m]``
+    is :math:`f(m)`; beyond the table the last marginal is extrapolated.
+    No convexity is enforced — validators exist so guarantee evaluators
+    can refuse it.
+    """
+
+    name = "table"
+
+    def __init__(self, table: Sequence[float]) -> None:
+        arr = np.asarray(table, dtype=float)
+        if arr.ndim != 1 or arr.size < 2:
+            raise ValueError("table needs at least [f(0), f(1)]")
+        if arr[0] != 0.0:
+            raise ValueError(f"table[0] must be 0 so that f(0)=0, got {arr[0]}")
+        if np.any(np.diff(arr) < 0.0):
+            raise ValueError("table must be non-decreasing (f increasing)")
+        self.table = arr
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        arr = np.asarray(x, dtype=float)
+        n = self.table.size - 1
+        last_marginal = self.table[-1] - self.table[-2]
+        inside = np.interp(np.clip(arr, 0.0, n), np.arange(n + 1), self.table)
+        out = np.where(arr <= n, inside, self.table[-1] + (arr - n) * last_marginal)
+        return out if isinstance(x, np.ndarray) else float(out)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        """Right-sided slope of the interpolant (the discrete marginal)."""
+        arr = np.asarray(x, dtype=float)
+        n = self.table.size - 1
+        idx = np.clip(np.floor(arr).astype(int), 0, n - 1)
+        slopes = np.diff(self.table)
+        last = self.table[-1] - self.table[-2]
+        out = np.where(arr >= n, last, slopes[idx])
+        return out if isinstance(x, np.ndarray) else float(out)
+
+    def marginal(self, m: int) -> float:
+        if m < 1:
+            raise ValueError(f"marginal defined for m >= 1, got {m}")
+        n = self.table.size - 1
+        if m <= n:
+            return float(self.table[m] - self.table[m - 1])
+        return float(self.table[-1] - self.table[-2])
+
+    def __repr__(self) -> str:
+        return f"TableCost(table={self.table.tolist()!r})"
+
+
+# ----------------------------------------------------------------------
+# Combinators
+# ----------------------------------------------------------------------
+class ScaledCost(CostFunction):
+    """:math:`c\\,f(x)` — scaling preserves convexity and :math:`\\alpha`."""
+
+    name = "scaled"
+
+    def __init__(self, base: CostFunction, factor: float) -> None:
+        if not isinstance(base, CostFunction):
+            raise TypeError("base must be a CostFunction")
+        self.base = base
+        self.factor = check_positive(factor, "factor")
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        return self.factor * self.base.value(x)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        return self.factor * self.base.derivative(x)
+
+    def marginal(self, m: int) -> float:
+        return self.factor * self.base.marginal(m)
+
+    def alpha(self, x_max: float = 1e6) -> float:
+        return self.base.alpha(x_max=x_max)
+
+    def __repr__(self) -> str:
+        return f"ScaledCost({self.base!r}, factor={self.factor!r})"
+
+
+class SumCost(CostFunction):
+    """:math:`\\sum_j f_j(x)` — sums of convex costs are convex.
+
+    The curvature of a sum is at most the max of the parts'
+    curvatures (the ratio :math:`x f'/f` is a weighted mediant), so the
+    analytic bound ``max(alpha_j)`` is safe; :meth:`alpha` tightens it
+    numerically.
+    """
+
+    name = "sum"
+
+    def __init__(self, parts: Sequence[CostFunction]) -> None:
+        parts = list(parts)
+        if not parts:
+            raise ValueError("need at least one part")
+        for p in parts:
+            if not isinstance(p, CostFunction):
+                raise TypeError("every part must be a CostFunction")
+        self.parts = parts
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        out = self.parts[0].value(x)
+        for p in self.parts[1:]:
+            out = out + p.value(x)
+        return out
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        out = self.parts[0].derivative(x)
+        for p in self.parts[1:]:
+            out = out + p.derivative(x)
+        return out
+
+    def marginal(self, m: int) -> float:
+        return float(sum(p.marginal(m) for p in self.parts))
+
+    def alpha(self, x_max: float = 1e6) -> float:
+        numeric = numeric_alpha(self, x_max=x_max)
+        upper = max(p.alpha(x_max=x_max) for p in self.parts)
+        return min(numeric, upper) if math.isfinite(upper) else numeric
+
+    def __repr__(self) -> str:
+        return f"SumCost({self.parts!r})"
+
+
+class CallableCost(CostFunction):
+    """Wrap arbitrary ``f`` (and optionally ``f'``) callables.
+
+    When no derivative is supplied, a central finite difference is used
+    (right-sided at 0).  Convexity is *not* assumed; run the validators
+    before relying on any guarantee.
+    """
+
+    name = "callable"
+
+    def __init__(
+        self,
+        func: Callable[[ArrayLike], ArrayLike],
+        deriv: Optional[Callable[[ArrayLike], ArrayLike]] = None,
+        name: str = "callable",
+        fd_step: float = 1e-6,
+    ) -> None:
+        self._func = func
+        self._deriv = deriv
+        self.name = name
+        self._fd_step = check_positive(fd_step, "fd_step")
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        return self._func(x)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        if self._deriv is not None:
+            return self._deriv(x)
+        h = self._fd_step
+        arr = np.asarray(x, dtype=float)
+        lo = np.maximum(arr - h, 0.0)
+        out = (np.asarray(self._func(arr + h), dtype=float) - np.asarray(self._func(lo), dtype=float)) / (
+            arr + h - lo
+        )
+        return out if isinstance(x, np.ndarray) else float(out)
+
+    def __repr__(self) -> str:
+        return f"CallableCost(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Curvature estimation
+# ----------------------------------------------------------------------
+def curvature_ratio(f: CostFunction, x: ArrayLike) -> ArrayLike:
+    """The pointwise ratio :math:`x f'(x)/f(x)` (nan where :math:`f=0`)."""
+    arr = np.asarray(x, dtype=float)
+    vals = np.asarray(f.value(arr), dtype=float)
+    ders = np.asarray(f.derivative(arr), dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(vals > 0.0, arr * ders / vals, np.nan)
+    return out if isinstance(x, np.ndarray) else float(out)
+
+
+def numeric_alpha(
+    f: CostFunction,
+    x_max: float = 1e6,
+    x_min: float = 1e-9,
+    coarse: int = 4096,
+    refine_rounds: int = 40,
+) -> float:
+    """Numerically estimate :math:`\\sup_{x_{min} \\le x \\le x_{max}} x f'(x)/f(x)`.
+
+    Log-spaced coarse grid followed by golden-section refinement around
+    the best grid cell.  For the closed-form families the result matches
+    the analytic value to ~1e-6 relative error (exercised in tests).
+    """
+    x_max = check_positive(x_max, "x_max")
+    x_min = check_positive(x_min, "x_min")
+    if x_min >= x_max:
+        raise ValueError("x_min must be < x_max")
+    xs = np.logspace(math.log10(x_min), math.log10(x_max), coarse)
+    ratios = np.asarray(curvature_ratio(f, xs), dtype=float)
+    finite = np.isfinite(ratios)
+    if not np.any(finite):
+        return math.nan
+    best_idx = int(np.nanargmax(np.where(finite, ratios, -np.inf)))
+    lo = xs[max(best_idx - 1, 0)]
+    hi = xs[min(best_idx + 1, xs.size - 1)]
+    best = float(ratios[best_idx])
+
+    # Golden-section search for a local max of the (typically unimodal
+    # within a cell) ratio.
+    invphi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - invphi * (b - a)
+    d = a + invphi * (b - a)
+    fc = float(curvature_ratio(f, c))
+    fd = float(curvature_ratio(f, d))
+    for _ in range(refine_rounds):
+        if math.isnan(fc) or (not math.isnan(fd) and fc < fd):
+            a = c
+            c, fc = d, fd
+            d = a + invphi * (b - a)
+            fd = float(curvature_ratio(f, d))
+        else:
+            b = d
+            d, fd = c, fc
+            c = b - invphi * (b - a)
+            fc = float(curvature_ratio(f, c))
+    for v in (fc, fd):
+        if not math.isnan(v):
+            best = max(best, v)
+    return best
+
+
+def discrete_alpha(f: CostFunction, m_max: int = 10_000) -> float:
+    """Integer-grid curvature :math:`\\max_{1\\le m\\le m_{max}} m\\,\\Delta f(m)/f(m)`.
+
+    where :math:`\\Delta f(m) = f(m) - f(m-1)`.  This is the natural
+    curvature when costs are only meaningful at integer miss counts
+    (e.g. :class:`TableCost`).
+    """
+    m_max = check_positive_int(m_max, "m_max")
+    ms = np.arange(0, m_max + 1, dtype=float)
+    vals = np.asarray(f.value(ms), dtype=float)
+    marginals = np.diff(vals)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(vals[1:] > 0.0, ms[1:] * marginals / vals[1:], np.nan)
+    if not np.any(np.isfinite(ratios)):
+        return math.nan
+    return float(np.nanmax(ratios))
+
+
+def combined_alpha(costs: Sequence[CostFunction], x_max: float = 1e6) -> float:
+    """The paper's :math:`\\alpha = \\sup_{x,i} x f_i'(x)/f_i(x)` over users."""
+    costs = list(costs)
+    if not costs:
+        raise ValueError("need at least one cost function")
+    return max(f.alpha(x_max=x_max) for f in costs)
+
+
+def validate_paper_assumptions(f: CostFunction, x_max: float = 1e4) -> None:
+    """Raise ``ValueError`` unless *f* meets the Theorem 1.1 hypotheses.
+
+    Checks (numerically): :math:`f(0)=0`, non-negative, increasing and
+    convex on ``[0, x_max]``.
+    """
+    if not f.is_valid_at_zero():
+        raise ValueError(f"{f!r}: f(0) != 0")
+    xs = np.linspace(0.0, x_max, 1024)
+    if np.any(np.asarray(f.value(xs), dtype=float) < -1e-12):
+        raise ValueError(f"{f!r}: f takes negative values")
+    if not f.is_increasing(x_max=x_max):
+        raise ValueError(f"{f!r}: f is not non-decreasing on [0, {x_max}]")
+    if not f.is_convex(x_max=x_max):
+        raise ValueError(f"{f!r}: f is not convex on [0, {x_max}]")
+
+
+__all__ = [
+    "CostFunction",
+    "LinearCost",
+    "MonomialCost",
+    "PolynomialCost",
+    "PiecewiseLinearCost",
+    "ExponentialCost",
+    "TableCost",
+    "ScaledCost",
+    "SumCost",
+    "CallableCost",
+    "curvature_ratio",
+    "numeric_alpha",
+    "discrete_alpha",
+    "combined_alpha",
+    "validate_paper_assumptions",
+]

@@ -1,0 +1,264 @@
+"""Machine-checking the paper's algorithm invariants (Lemma 2.1).
+
+ALG-CONT claims to maintain, at all times:
+
+* **(1a)** primal feasibility —
+  :math:`\\sum_{p \\in B(t)\\setminus\\{p_t\\}} x^\\circ(p, j(p,t)) \\ge |B(t)| - k`;
+* **(1b)** :math:`0 \\le x^\\circ \\le 1`; **(1c)** :math:`y^\\circ, z^\\circ \\ge 0`;
+* **(2a)** :math:`z^\\circ(p,j) > 0 \\Rightarrow x^\\circ(p,j) = 1`;
+* **(2b)** if :math:`x^\\circ(p,j)` was set at time :math:`\\hat t`:
+  :math:`f'_{i(p)}(m(i(p),\\hat t)) - \\sum_{t \\in (t(p,j), t(p,j+1))} y^\\circ_t + z^\\circ(p,j) = 0`;
+* **(3a)** for **all** :math:`(p, j)`:
+  :math:`f'_{i(p)}(m(i(p),T)) - \\sum_{t \\in (t(p,j), t(p,j+1))} y^\\circ_t + z^\\circ(p,j) \\ge 0`.
+
+:func:`check_invariants` recomputes every condition from the raw
+:class:`~repro.core.ledger.PrimalDualLedger` — request times, eviction
+events, dual jumps — independently of the algorithm's internal
+bookkeeping, and returns a structured report.
+
+Condition (3a) for never-evicted intervals relies on the paper's
+**end-of-sequence flush** convention ("the algorithm needs to return an
+empty cache … a dummy user who owns k pages … appended at the end of
+σ"): the proof uses the fact that every page is eventually evicted.
+:func:`flushed_instance` constructs exactly that augmented instance;
+run ALG-CONT on it before asserting (3a) unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction, LinearCost
+from repro.core.ledger import PrimalDualLedger
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated condition with enough context to debug it."""
+
+    condition: str
+    detail: str
+    magnitude: float = 0.0
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of checking one ledger against the paper's invariants."""
+
+    violations: List[Violation] = field(default_factory=list)
+    checked_conditions: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_condition(self, condition: str) -> List[Violation]:
+        return [v for v in self.violations if v.condition == condition]
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"all invariants hold ({', '.join(self.checked_conditions)})"
+        counts: dict[str, int] = {}
+        for v in self.violations:
+            counts[v.condition] = counts.get(v.condition, 0) + 1
+        parts = ", ".join(f"{c}: {n}" for c, n in sorted(counts.items()))
+        return f"{len(self.violations)} violations ({parts})"
+
+
+def _gradient(f: CostFunction, m: int, mode: str) -> float:
+    if mode == "continuous":
+        return float(f.derivative(float(m)))
+    return f.marginal(m) if m >= 1 else float(f.derivative(0.0))
+
+
+def check_invariants(
+    trace: Trace,
+    ledger: PrimalDualLedger,
+    costs: Sequence[CostFunction],
+    k: int,
+    derivative_mode: str = "continuous",
+    tol: float = 1e-7,
+    check_3a: bool = True,
+) -> InvariantReport:
+    """Verify the Lemma 2.1 invariants of a finished ALG-CONT run.
+
+    Parameters
+    ----------
+    trace, costs, k:
+        The instance the ledger was produced on.
+    ledger:
+        The recorded primal/dual solution.
+    derivative_mode:
+        Must match the algorithm's mode so the gradient terms agree.
+    tol:
+        Absolute tolerance on the equality (2b) and the one-sided (3a).
+    check_3a:
+        (3a) for never-evicted intervals is only guaranteed under the
+        flush convention — pass ``False`` for unflushed traces or use
+        :func:`flushed_instance`.
+    """
+    report = InvariantReport()
+    conditions = ["1a", "1b", "1c", "2a", "2b"] + (["3a"] if check_3a else [])
+    report.checked_conditions = tuple(conditions)
+
+    T = trace.length
+    owners = trace.owners
+
+    # ------------------------------------------------------------------
+    # (1b) / (1c): variable ranges.
+    # ------------------------------------------------------------------
+    for key, val in ledger.x.items():
+        if val not in (0, 1):
+            report.violations.append(
+                Violation("1b", f"x{key} = {val} not in {{0,1}}", abs(val))
+            )
+    if np.any(ledger.y < -tol):
+        worst = float(ledger.y.min())
+        report.violations.append(Violation("1c", f"negative y (min={worst})", -worst))
+    for key, val in ledger.z.items():
+        if val < -tol:
+            report.violations.append(Violation("1c", f"z{key} = {val} < 0", -val))
+
+    # ------------------------------------------------------------------
+    # (1a): primal feasibility at every time step, replayed from x.
+    # ------------------------------------------------------------------
+    requested: set[int] = set()
+    req_count = {p: 0 for p in ledger.request_times}
+    # For each page, precompute the set-times of its intervals for quick
+    # "is the current interval evicted as of time t" queries.
+    for t in range(T):
+        p_t = int(trace.requests[t])
+        requested.add(p_t)
+        req_count[p_t] = req_count.get(p_t, 0) + 1
+        lhs = 0
+        for p in requested:
+            if p == p_t:
+                continue
+            j = req_count.get(p, 0)
+            if j == 0:
+                continue
+            key = (p, j)
+            if ledger.x.get(key) and ledger.set_time[key] <= t:
+                lhs += 1
+        rhs = len(requested) - k
+        if lhs < rhs:
+            report.violations.append(
+                Violation(
+                    "1a",
+                    f"t={t}: sum x = {lhs} < |B(t)| - k = {rhs}",
+                    float(rhs - lhs),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # (2a): z supported only on evicted intervals.
+    # ------------------------------------------------------------------
+    for key, val in ledger.z.items():
+        if val > tol and not ledger.x.get(key):
+            report.violations.append(
+                Violation("2a", f"z{key} = {val} > 0 but x{key} = 0", val)
+            )
+
+    # ------------------------------------------------------------------
+    # (2b): the set-time equality for every evicted interval.
+    # ------------------------------------------------------------------
+    for key in ledger.x_pairs():
+        page, j = key
+        user = int(owners[page])
+        s = ledger.set_time[key]
+        m_at_set = ledger.evictions_of_user(user, up_to=s)
+        grad = _gradient(costs[user], m_at_set, derivative_mode)
+        y_sum = ledger.y_sum_over_interval(page, j)
+        z_val = ledger.z.get(key, 0.0)
+        residual = grad - y_sum + z_val
+        scale = max(1.0, abs(grad), abs(y_sum), abs(z_val))
+        if abs(residual) > tol * scale:
+            report.violations.append(
+                Violation(
+                    "2b",
+                    f"x({page},{j}) set at t={s}: f'({m_at_set}) - Σy + z = "
+                    f"{grad} - {y_sum} + {z_val} = {residual} != 0",
+                    abs(residual),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # (3a): the gradient condition at final miss counts, all intervals.
+    # ------------------------------------------------------------------
+    if check_3a:
+        m_final = ledger.total_evictions_by_user()
+        for page, times in ledger.request_times.items():
+            user = int(owners[page])
+            grad = _gradient(costs[user], int(m_final[user]), derivative_mode)
+            for j in range(1, len(times) + 1):
+                y_sum = ledger.y_sum_over_interval(page, j)
+                z_val = ledger.z.get((page, j), 0.0)
+                residual = grad - y_sum + z_val
+                scale = max(1.0, abs(grad), abs(y_sum), abs(z_val))
+                if residual < -tol * scale:
+                    report.violations.append(
+                        Violation(
+                            "3a",
+                            f"({page},{j}): f'({int(m_final[user])}) - Σy + z = "
+                            f"{residual} < 0",
+                            -residual,
+                        )
+                    )
+
+    return report
+
+
+def flush_weight(costs: Sequence[CostFunction], horizon: int, k: int) -> float:
+    """A per-miss weight for the dummy user large enough that its pages
+    are never evicted.
+
+    Real budgets never exceed :math:`g = \\max_i f_i'(T+1)`, and during
+    the ``k`` flush evictions the uniform budget subtraction removes at
+    most :math:`k \\cdot g` from a dummy page's budget, so any weight
+    above :math:`(k+1) g` keeps dummies strictly out of reach.
+    """
+    top = max(float(f.derivative(float(horizon + 2))) for f in costs)
+    return 2.0 * (k + 2) * max(top, 1.0)
+
+
+def flushed_instance(
+    trace: Trace, costs: Sequence[CostFunction], k: int
+) -> Tuple[Trace, List[CostFunction]]:
+    """Append the paper's dummy user forcing an empty (real) cache.
+
+    Adds a new user owning ``k`` fresh pages, requested once each after
+    the real sequence.  Its cost is linear with a weight so large that
+    ALG never evicts a dummy page, so each dummy request evicts one
+    real page — after the flush every real page is outside the cache
+    and #evictions = #fetch-misses per real user.
+
+    Returns the augmented trace and cost list (original objects are not
+    modified).
+    """
+    n = trace.num_users
+    dummy_user = n
+    first_dummy_page = trace.num_pages
+    owners = np.concatenate(
+        [trace.owners, np.full(k, dummy_user, dtype=np.int64)]
+    )
+    flush_pages = np.arange(first_dummy_page, first_dummy_page + k, dtype=np.int64)
+    requests = np.concatenate([trace.requests, flush_pages])
+    new_trace = Trace(requests, owners, name=f"{trace.name}+flush")
+    real_costs = list(costs[:n]) if n else [LinearCost()]
+    new_costs = list(costs[:n]) + [
+        LinearCost(flush_weight(real_costs, trace.length, k))
+    ]
+    return new_trace, new_costs
+
+
+__all__ = [
+    "Violation",
+    "InvariantReport",
+    "check_invariants",
+    "flushed_instance",
+    "flush_weight",
+]

@@ -1,0 +1,395 @@
+"""Offline optima for the multi-tenant convex-cost caching problem.
+
+The competitive ratios in the paper compare against the *offline*
+optimum :math:`b_i(\\sigma)`.  Computing it exactly is expensive in
+general (the objective couples users through the shared cache and the
+convex :math:`f_i`), so this module provides a ladder of tools:
+
+* :func:`exact_offline_opt` — branch-and-bound over
+  ``(time, cache contents, per-user miss counts)`` states with an
+  admissible cold-miss lower bound; exact on small instances (the E1 /
+  E3 experiment grids).
+* :func:`belady_misses` — Belady's MIN, *exactly* optimal for the
+  single-tenant unit-linear objective, used as the OPT denominator in
+  the linear-cost experiments.
+* :class:`WeightedBeladyPolicy` — a cost-aware offline heuristic
+  (marginal cost divided by forward distance) giving good feasible
+  schedules, hence *upper* bounds on OPT, on instances too large for
+  branch-and-bound.
+
+A certified *lower* bound on OPT via the fractional convex relaxation
+lives in :mod:`repro.core.convex_program`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.sim.policy import EvictionPolicy, SimContext
+from repro.sim.trace import Trace
+from repro.util.heap import AddressableHeap
+from repro.util.validation import check_positive_int
+
+
+@dataclass
+class OfflineOptResult:
+    """Result of an offline optimisation.
+
+    Attributes
+    ----------
+    cost:
+        Objective value :math:`\\sum_i f_i(b_i)`.
+    user_misses:
+        The optimal per-user miss vector :math:`b_i` (fetch misses).
+    optimal:
+        True when the search completed; False when a node/limit was hit
+        and `cost` is only the best feasible value found (an upper
+        bound on OPT).
+    nodes_explored:
+        Search effort, for reporting.
+    """
+
+    cost: float
+    user_misses: np.ndarray
+    optimal: bool
+    nodes_explored: int
+
+    def __repr__(self) -> str:
+        tag = "optimal" if self.optimal else "upper-bound"
+        return (
+            f"OfflineOptResult({tag}, cost={self.cost:.6g}, "
+            f"misses={self.user_misses.tolist()}, nodes={self.nodes_explored})"
+        )
+
+
+def belady_misses(trace: Trace, k: int) -> int:
+    """Total misses of Belady's MIN — the exact OPT for the classical
+    (single-tenant, unit-cost) objective."""
+    from repro.policies.belady import BeladyPolicy
+    from repro.sim.engine import simulate
+
+    result = simulate(trace, BeladyPolicy(), k)
+    return result.misses
+
+
+class WeightedBeladyPolicy(EvictionPolicy):
+    """Offline cost-aware heuristic: evict the page with the smallest
+    *urgency* ``marginal_cost(owner) / forward_distance``.
+
+    Pages never requested again have urgency 0 and go first.  For unit
+    linear costs this reduces exactly to Belady's rule.  Feasible by
+    construction, so its cost upper-bounds OPT on any instance.
+    """
+
+    name = "weighted-belady"
+    requires_future = True
+    requires_costs = True
+
+    def __init__(self) -> None:
+        self._table: Optional[np.ndarray] = None
+        self._costs: Optional[Sequence[CostFunction]] = None
+        self._owners: Optional[np.ndarray] = None
+        self._T = 0
+        self._next_use: Dict[int, int] = {}
+        self._misses: Optional[np.ndarray] = None
+
+    def reset(self, ctx: SimContext) -> None:
+        if ctx.trace is None:
+            raise ValueError("WeightedBeladyPolicy requires the trace")
+        if ctx.costs is None:
+            raise ValueError("WeightedBeladyPolicy requires cost functions")
+        self._table = ctx.trace.next_use_table()
+        self._T = ctx.trace.length
+        self._costs = ctx.costs
+        self._owners = ctx.owners
+        self._next_use = {}
+        self._misses = np.zeros(max(ctx.num_users, 1), dtype=np.int64)
+
+    def on_hit(self, page: int, t: int) -> None:
+        self._next_use[page] = int(self._table[t])
+
+    def on_insert(self, page: int, t: int) -> None:
+        self._misses[self._owners[page]] += 1
+        self._next_use[page] = int(self._table[t])
+
+    def choose_victim(self, page: int, t: int) -> int:
+        best_page = -1
+        best_urgency = np.inf
+        for candidate, nxt in self._next_use.items():
+            if nxt >= self._T:
+                return candidate  # dead page: free eviction
+            user = int(self._owners[candidate])
+            marg = self._costs[user].marginal(int(self._misses[user]) + 1)
+            urgency = marg / float(nxt - t)
+            if urgency < best_urgency or (
+                urgency == best_urgency and candidate < best_page
+            ):
+                best_urgency = urgency
+                best_page = candidate
+        return best_page
+
+    def on_evict(self, page: int, t: int) -> None:
+        del self._next_use[page]
+
+
+def heuristic_offline_cost(
+    trace: Trace, costs: Sequence[CostFunction], k: int
+) -> Tuple[float, np.ndarray]:
+    """Cost and miss vector of the :class:`WeightedBeladyPolicy` schedule
+    (a feasible solution — an upper bound on OPT)."""
+    from repro.sim.engine import simulate
+    from repro.sim.metrics import total_cost
+
+    result = simulate(trace, WeightedBeladyPolicy(), k, costs=costs)
+    return total_cost(result, costs), result.user_misses
+
+
+def exact_offline_opt(
+    trace: Trace,
+    costs: Sequence[CostFunction],
+    k: int,
+    node_limit: int = 2_000_000,
+) -> OfflineOptResult:
+    """Exact offline optimum by branch-and-bound.
+
+    Explores eviction decisions depth-first over states
+    ``(t, cache, miss-vector)``.  The accumulated cost at a state is a
+    function of the miss vector alone (:math:`\\sum_i f_i(c_i)`), so a
+    visited-state set is sound.  Pruning uses the admissible *cold-miss*
+    bound: every page of user *i* requested in the remaining suffix but
+    not resident must miss at least once, so
+    :math:`\\sum_i f_i(c_i + \\text{cold}_i)` lower-bounds any
+    completion.
+
+    Exponential in the worst case — intended for the small grids of
+    experiments E1/E3 (pages :math:`\\lesssim 10`, :math:`T \\lesssim
+    40`, :math:`k \\lesssim 5`).  Raises no error on hitting
+    ``node_limit``; the result is flagged ``optimal=False`` and its
+    cost is the best found (an upper bound).
+    """
+    k = check_positive_int(k, "k")
+    T = trace.length
+    n = max(trace.num_users, 1)
+    requests = [int(p) for p in trace.requests]
+    owners = trace.owners
+    if len(costs) < trace.num_users:
+        raise ValueError(f"need {trace.num_users} cost functions, got {len(costs)}")
+
+    # Per-page sorted request times, for the cold-miss suffix bound.
+    page_times: Dict[int, List[int]] = {}
+    for t, p in enumerate(requests):
+        page_times.setdefault(p, []).append(t)
+    pages = sorted(page_times)
+    page_owner = {p: int(owners[p]) for p in pages}
+
+    # f_i on integer grid, precomputed far enough (max possible misses
+    # for user i = its total requests).
+    per_user_req = np.zeros(n, dtype=np.int64)
+    for p in pages:
+        per_user_req[page_owner[p]] += len(page_times[p])
+    f_table: List[np.ndarray] = []
+    for i in range(n):
+        grid = np.arange(0, int(per_user_req[i]) + 2, dtype=float)
+        f_table.append(np.asarray(costs[i].value(grid), dtype=float))
+
+    def requested_in_suffix(p: int, t: int) -> bool:
+        times = page_times[p]
+        idx = bisect.bisect_left(times, t)
+        return idx < len(times)
+
+    def lower_bound(t: int, cache: frozenset, counts: Tuple[int, ...]) -> float:
+        cold = [0] * n
+        for p in pages:
+            if p not in cache and requested_in_suffix(p, t):
+                cold[page_owner[p]] += 1
+        return float(
+            sum(f_table[i][counts[i] + cold[i]] for i in range(n))
+        )
+
+    def value_of(counts: Tuple[int, ...]) -> float:
+        return float(sum(f_table[i][counts[i]] for i in range(n)))
+
+    # Initial incumbent from the cost-aware heuristic.
+    best_cost, best_misses = heuristic_offline_cost(trace, costs, k)
+    best_misses = best_misses.copy()
+    optimal = True
+    nodes = 0
+
+    visited: set = set()
+    # Explicit stack of (t, cache, counts) to avoid recursion limits.
+    # We advance through hits/free-inserts inline and only push branch
+    # points (full-cache misses).
+    stack: List[Tuple[int, frozenset, Tuple[int, ...]]] = [
+        (0, frozenset(), tuple([0] * n))
+    ]
+
+    while stack:
+        t, cache, counts = stack.pop()
+        nodes += 1
+        if nodes > node_limit:
+            optimal = False
+            break
+
+        # Fast-forward through hits and free inserts.
+        cache_set = set(cache)
+        counts_list = list(counts)
+        while t < T:
+            p = requests[t]
+            if p in cache_set:
+                t += 1
+                continue
+            i = page_owner[p]
+            counts_list[i] += 1
+            if len(cache_set) < k:
+                cache_set.add(p)
+                t += 1
+                continue
+            break  # full-cache miss: branch point
+        counts = tuple(counts_list)
+
+        if t >= T:
+            total = value_of(counts)
+            if total < best_cost:
+                best_cost = total
+                best_misses = np.asarray(counts, dtype=np.int64)
+            continue
+
+        cache = frozenset(cache_set)
+        state = (t, cache, counts)
+        if state in visited:
+            continue
+        visited.add(state)
+
+        p = requests[t]
+        # Admissible bound: p's current miss is already in `counts` and p
+        # is inserted in every child, so treat it as resident; children
+        # have one page fewer resident, which only raises their bound.
+        if lower_bound(t + 1, cache | {p}, counts) >= best_cost:
+            continue
+        # Branch over victims.  Order: pages never requested again first
+        # (free evictions), then by furthest next use — finds good
+        # incumbents early.  Note `counts` above already includes the
+        # miss for p; the child state starts after inserting p.
+        def next_use(q: int) -> int:
+            times = page_times[q]
+            idx = bisect.bisect_right(times, t)
+            return times[idx] if idx < len(times) else T + q  # unique keys for dead pages
+
+        victims = sorted(cache, key=next_use, reverse=True)
+        # DFS explores the last-pushed first; push in reverse preference
+        # order so the most promising child pops first.
+        for victim in reversed(victims):
+            child_cache = frozenset(cache_set - {victim} | {p})
+            stack.append((t + 1, child_cache, counts))
+
+    return OfflineOptResult(
+        cost=float(best_cost),
+        user_misses=np.asarray(best_misses, dtype=np.int64),
+        optimal=optimal,
+        nodes_explored=nodes,
+    )
+
+
+def brute_force_offline_opt(
+    trace: Trace, costs: Sequence[CostFunction], k: int
+) -> OfflineOptResult:
+    """Plain exhaustive search (no pruning, no bound) — exponential.
+
+    Exists solely to validate :func:`exact_offline_opt` on tiny
+    instances in tests.
+    """
+    T = trace.length
+    n = max(trace.num_users, 1)
+    requests = [int(p) for p in trace.requests]
+    owners = trace.owners
+    best = {"cost": np.inf, "misses": np.zeros(n, dtype=np.int64)}
+
+    def fvalue(counts: List[int]) -> float:
+        return float(sum(costs[i].value(counts[i]) for i in range(n)))
+
+    def recurse(t: int, cache: frozenset, counts: List[int]) -> None:
+        while t < T:
+            p = requests[t]
+            if p in cache:
+                t += 1
+                continue
+            counts = list(counts)
+            counts[int(owners[p])] += 1
+            if len(cache) < k:
+                cache = cache | {p}
+                t += 1
+                continue
+            for victim in sorted(cache):
+                recurse(t + 1, (cache - {victim}) | {p}, counts)
+            return
+        total = fvalue(counts)
+        if total < best["cost"]:
+            best["cost"] = total
+            best["misses"] = np.asarray(counts, dtype=np.int64)
+
+    recurse(0, frozenset(), [0] * n)
+    return OfflineOptResult(
+        cost=float(best["cost"]),
+        user_misses=best["misses"],
+        optimal=True,
+        nodes_explored=-1,
+    )
+
+
+def exact_weighted_opt_lp(
+    trace: Trace, weights: Sequence[float], k: int
+) -> OfflineOptResult:
+    """Exact offline optimum for **linear** costs via the interval LP.
+
+    The weighted-caching LP (the paper's (CP) with linear objective) is
+    known to have integral optimal vertices (the structure behind
+    Young's and BBN's primal-dual analyses); HiGHS returns a vertex
+    solution, and this function *asserts* integrality, raising
+    ``RuntimeError`` if a fractional vertex ever appears, so the result
+    is never silently approximate.
+
+    Counting convention: the LP charges **evictions** under the
+    no-flush model (pages may stay resident for free at the end), so
+    the value lower-bounds the fetch-miss optimum by at most the final
+    residents' weight — see DESIGN.md §6.  Scales to instances far
+    beyond :func:`exact_offline_opt` (LP size = T variables).
+    """
+    from repro.core.convex_program import build_program, solve_fractional
+    from repro.core.cost_functions import LinearCost
+
+    weights = np.asarray(list(weights), dtype=float)
+    if weights.size < trace.num_users:
+        raise ValueError(f"need {trace.num_users} weights, got {weights.size}")
+    costs = [LinearCost(float(w)) for w in weights[: max(trace.num_users, 1)]]
+    program = build_program(trace, k)
+    sol = solve_fractional(program, costs)
+    fractional = np.sum((sol.x > 1e-6) & (sol.x < 1 - 1e-6))
+    if fractional:
+        raise RuntimeError(
+            f"LP vertex has {fractional} fractional variables; cannot certify "
+            "an exact integral optimum on this instance"
+        )
+    x = np.round(sol.x)
+    user_mass = program.user_totals(x)
+    return OfflineOptResult(
+        cost=float(sol.objective),
+        user_misses=np.round(user_mass).astype(np.int64),
+        optimal=True,
+        nodes_explored=0,
+    )
+
+
+__all__ = [
+    "OfflineOptResult",
+    "belady_misses",
+    "WeightedBeladyPolicy",
+    "heuristic_offline_cost",
+    "exact_offline_opt",
+    "brute_force_offline_opt",
+    "exact_weighted_opt_lp",
+]

@@ -1,0 +1,26 @@
+"""Experiment suite (see DESIGN.md section 3 for the claim index).
+
+The paper is a theory-only extended abstract; each experiment here
+empirically regenerates one of its stated results or probes a design
+choice: E1 Corollary 1.2, E2 Lemma 2.1, E3 Theorem 1.3, E4 Theorem
+1.4, E5 the introduction's cost-aware-vs-cost-blind motivation, E6 the
+alpha=1 linear reduction, E7 Claim 2.3, E8 the section-5 multi-pool
+future work, E9 throughput, E10 derivative-mode ablation, E11 workload
+sensitivity, E12 adversarial instance search, E13 randomization vs
+oblivious/adaptive adversaries, E14 the budget-index scaling ablation,
+E15 the BBN fractional LP lineage.
+"""
+
+from repro.experiments.base import ExperimentOutput
+
+__all__ = ["ExperimentOutput", "EXPERIMENTS", "run_experiment", "run_all"]
+
+
+def __getattr__(name):
+    # Lazy to avoid importing every experiment module (and its sweeps)
+    # on `import repro`.
+    if name in ("EXPERIMENTS", "run_experiment", "run_all"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(name)

@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` — run the experiment suite."""
+
+from repro.experiments.cli import main
+
+raise SystemExit(main())

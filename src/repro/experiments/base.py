@@ -1,0 +1,43 @@
+"""Common experiment infrastructure.
+
+Every experiment module exposes ``run(quick=True, seed=0) ->
+ExperimentOutput``: rows (machine-readable), rendered text (tables /
+ASCII charts), and named *shape checks* — the qualitative claims from
+the paper that the measurement must exhibit (who wins, which way a
+curve bends, whether a bound holds).  EXPERIMENTS.md records these
+checks as the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ExperimentOutput:
+    """One experiment's results."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    text: str = ""
+    shape_checks: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """All paper-shape checks passed."""
+        return all(self.shape_checks.values())
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.text:
+            lines.append(self.text)
+        if self.shape_checks:
+            lines.append("shape checks:")
+            for name, passed in self.shape_checks.items():
+                lines.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+__all__ = ["ExperimentOutput"]

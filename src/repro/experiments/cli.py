@@ -1,0 +1,73 @@
+"""Command-line entry point: ``python -m repro.experiments [id ...]``.
+
+Options::
+
+    python -m repro.experiments            # run all, quick mode
+    python -m repro.experiments e1 e4      # selected experiments
+    python -m repro.experiments --full     # full-size sweeps
+    python -m repro.experiments --csv out/ # also dump rows as CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import write_csv
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run the SPAA'15 convex-cost caching experiment suite.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="full-size sweeps instead of quick mode"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None, help="also write per-experiment CSVs here"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for eid in sorted(EXPERIMENTS):
+            _fn, title = EXPERIMENTS[eid]
+            print(f"{eid}: {title}")
+        return 0
+
+    ids = args.experiments or sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+
+    all_ok = True
+    for eid in ids:
+        output = run_experiment(eid, quick=not args.full, seed=args.seed)
+        print(output.render())
+        print()
+        if args.csv and output.rows:
+            write_csv(os.path.join(args.csv, f"{eid}.csv"), output.rows)
+        all_ok &= output.ok
+    print("suite:", "ALL SHAPE CHECKS PASS" if all_ok else "SOME SHAPE CHECKS FAILED")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

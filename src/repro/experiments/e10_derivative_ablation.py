@@ -1,0 +1,127 @@
+"""E10 — ablation: the algorithm's gradient notion (paper §2.5).
+
+DESIGN.md calls out the derivative-mode design choice for ablation:
+``'continuous'`` (the analysed Fig. 3 rule), ``'marginal'`` (the §2.5
+discrete-derivative extension) and ``'smoothed'`` (window-averaged
+marginal, the practical variant) across smoothing windows, on both E5
+scenario families and on smooth monomial costs.
+
+Expected shapes:
+
+* on smooth monomial costs the three modes behave near-identically
+  (`f'(m+1)` vs `f(m+1)-f(m)` differ by O(1) curvature terms);
+* on SLA costs with free-miss allowances, smoothing helps: cost is
+  non-increasing in window size up to the allowance scale, with
+  window 1 ≈ marginal mode;
+* the guarantee-carrying continuous mode is never catastrophically
+  behind the best variant on the contention family (same allocation
+  logic, different myopia).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import MonomialCost
+from repro.experiments.base import ExperimentOutput
+from repro.sim.engine import simulate
+from repro.sim.metrics import total_cost
+from repro.util.rng import ensure_rng
+from repro.workloads.builders import random_multi_tenant_trace
+from repro.workloads.sqlvm import contention_scenario, sqlvm_scenario
+
+EXPERIMENT_ID = "e10"
+TITLE = "Ablation: derivative mode (continuous / marginal / smoothed-W)"
+
+WINDOWS = (1, 10, 100, 1000)
+
+
+def _variants():
+    out = {
+        "continuous": lambda: AlgDiscrete(derivative_mode="continuous"),
+        "marginal": lambda: AlgDiscrete(derivative_mode="marginal"),
+    }
+    for w in WINDOWS:
+        out[f"smoothed-{w}"] = (
+            lambda w=w: AlgDiscrete(derivative_mode="smoothed", smoothing_window=w)
+        )
+    return out
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+    num_scenarios = 3 if quick else 8
+    length = 10_000 if quick else 40_000
+    rng = ensure_rng(seed)
+
+    families: Dict[str, Dict[str, List[float]]] = {}
+
+    for s in range(num_scenarios):
+        sub = int(rng.integers(0, 2**31))
+        instances = {}
+        sc, k = contention_scenario(num_tenants=4, length=length, seed=sub)
+        instances["contention-sla"] = (sc.trace, sc.costs, k)
+        sc2, k2 = sqlvm_scenario(num_tenants=6, length=length, seed=sub)
+        instances["sqlvm-sla"] = (sc2.trace, sc2.costs, k2)
+        mono_trace = random_multi_tenant_trace(4, 30, length, seed=sub)
+        instances["monomial-x^2"] = (mono_trace, [MonomialCost(2)] * 4, 40)
+
+        for fam, (trace, costs, k_) in instances.items():
+            agg = families.setdefault(fam, {})
+            for name, factory in _variants().items():
+                r = simulate(trace, factory(), k_, costs=costs)
+                agg.setdefault(name, []).append(total_cost(r, costs))
+
+    rows: List[Dict[str, object]] = []
+    means: Dict[str, Dict[str, float]] = {}
+    for fam, agg in families.items():
+        means[fam] = {name: float(np.mean(v)) for name, v in agg.items()}
+        for name, m in means[fam].items():
+            rows.append({"family": fam, "variant": name, "mean_cost": m})
+
+    mono = means["monomial-x^2"]
+    cont_sla = means["contention-sla"]
+    spread_mono = max(mono.values()) / min(mono.values())
+    checks = {
+        "monomial costs: all modes within 5% of each other": spread_mono <= 1.05,
+        "smoothed-1 matches marginal mode": abs(
+            mono["smoothed-1"] - mono["marginal"]
+        )
+        <= 1e-9 * max(mono["marginal"], 1.0)
+        and abs(cont_sla["smoothed-1"] - cont_sla["marginal"])
+        <= 1e-9 * max(cont_sla["marginal"], 1.0),
+        "SLA (sqlvm): best smoothed window beats the pointwise derivative": min(
+            means["sqlvm-sla"][f"smoothed-{w}"] for w in WINDOWS
+        )
+        <= means["sqlvm-sla"]["continuous"],
+        "contention: continuous mode within 2x of the best variant": cont_sla[
+            "continuous"
+        ]
+        <= 2.0 * min(cont_sla.values()),
+    }
+
+    text = ""
+    for fam in families:
+        fam_rows = sorted(
+            (r for r in rows if r["family"] == fam), key=lambda r: r["mean_cost"]
+        )
+        text += ascii_table(
+            fam_rows,
+            columns=["variant", "mean_cost"],
+            title=f"{fam}: mean cost over {num_scenarios} scenarios (T={length})",
+        )
+        text += "\n\n"
+
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        text=text.rstrip(),
+        shape_checks=checks,
+    )
+
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE", "WINDOWS"]

@@ -1,0 +1,130 @@
+"""E4 — Theorem 1.4: the :math:`\\Omega(k)^\\beta` lower bound.
+
+Runs the §4 adversarial instance (n single-page users, cache
+:math:`k = n-1`, :math:`f(x) = x^\\beta`) against several deterministic
+online policies — the paper's ALG-DISCRETE, LRU, FIFO, Marking — and
+compares each to the §4 batched offline strategy.
+
+Expected shape: **every** online policy's cost is at least
+:math:`\\approx (n/4)^\\beta` times the offline cost (the theorem holds
+for *any* deterministic online algorithm), and the measured ratio grows
+with *n* at fixed *β* and with *β* at fixed *n*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.analysis.bounds import theorem_1_4_floor
+from repro.analysis.report import ascii_series, ascii_table
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.lower_bound import measure_lower_bound
+from repro.experiments.base import ExperimentOutput
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.marking import MarkingPolicy
+from repro.sim.policy import EvictionPolicy
+
+EXPERIMENT_ID = "e4"
+TITLE = "Theorem 1.4: adversarial lower bound Omega(k)^beta for any online policy"
+
+POLICIES: Dict[str, Callable[[], EvictionPolicy]] = {
+    "alg-discrete": AlgDiscrete,
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "marking": MarkingPolicy,
+}
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+    ns = [5, 9, 13] if quick else [5, 9, 13, 17, 21]
+    betas = [1, 2] if quick else [1, 2, 3]
+    T_factor = 400 if quick else 1500
+
+    rows: List[Dict[str, object]] = []
+    for n in ns:
+        T = T_factor * n
+        for beta in betas:
+            floor = theorem_1_4_floor(n, beta)
+            for name, factory in POLICIES.items():
+                m = measure_lower_bound(factory, n=n, beta=beta, T=T)
+                rows.append(
+                    {
+                        "policy": name,
+                        "n": n,
+                        "k": n - 1,
+                        "beta": beta,
+                        "T": T,
+                        "online_cost": m.online_cost,
+                        "offline_cost": m.offline_cost,
+                        "ratio": m.ratio,
+                        "floor_(n/4)^beta": floor,
+                        "exceeds_floor": m.ratio >= floor,
+                    }
+                )
+
+    checks: Dict[str, bool] = {
+        "every policy's ratio exceeds the (n/4)^beta floor": all(
+            r["exceeds_floor"] for r in rows
+        ),
+    }
+    # Growth in n at fixed beta, per policy.
+    for name in POLICIES:
+        for beta in betas:
+            series = [
+                r["ratio"] for r in rows if r["policy"] == name and r["beta"] == beta
+            ]
+            checks[f"{name}: ratio grows with n (beta={beta})"] = all(
+                series[i] < series[i + 1] for i in range(len(series) - 1)
+            )
+
+    chart = ascii_series(
+        xs=[r["n"] for r in rows if r["policy"] == "lru" and r["beta"] == betas[-1]],
+        series={
+            **{
+                name: [
+                    r["ratio"]
+                    for r in rows
+                    if r["policy"] == name and r["beta"] == betas[-1]
+                ]
+                for name in POLICIES
+            },
+            "floor": [
+                r["floor_(n/4)^beta"]
+                for r in rows
+                if r["policy"] == "lru" and r["beta"] == betas[-1]
+            ],
+        },
+        title=f"ratio vs n at beta={betas[-1]}",
+        logy=True,
+    )
+    text = (
+        ascii_table(
+            rows,
+            columns=[
+                "policy",
+                "n",
+                "beta",
+                "online_cost",
+                "offline_cost",
+                "ratio",
+                "floor_(n/4)^beta",
+                "exceeds_floor",
+            ],
+            title="Adversarial instance: online vs batched offline",
+        )
+        + "\n\n"
+        + chart
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        text=text,
+        shape_checks=checks,
+    )
+
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE", "POLICIES"]

@@ -1,0 +1,190 @@
+"""E5 — the introduction's motivation: cost-aware beats cost-blind.
+
+Two scenario families, both substitutes for the companion paper's
+production DaaS workloads (DESIGN.md §5):
+
+**Contention** — every tenant references a uniform working set, the
+working sets jointly exceed the cache, and SLA penalty slopes are
+spread ~50:1.  Within-tenant replacement choice is irrelevant by
+construction; the only lever is *how much capacity each tenant gets* —
+exactly the paper's problem.  Expected shape: the cost-aware policies
+(ALG-DISCRETE, its smoothed practical variant, GreedyDual) each beat
+every cost-blind baseline, typically by a large factor.
+
+**Locality-rich (SQLVM-style)** — bursty heterogeneous tenant classes
+with skewed/phased/scanning access patterns.  Here within-tenant
+replacement quality matters too, and frequency-aware cost-blind
+policies (LFU, LRU-K) can win on raw misses *and* cost; the paper
+itself notes production deployments use *variants* of the algorithm
+[14].  Expected (honest) shape: the smoothed variant improves on the
+pure paper algorithm; the cost-aware family beats the structurally
+cost-blind baselines the paper calls out (static partitioning, FIFO,
+Random); frequency-based policies may remain ahead on this family.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.analysis.competitive import compare_policies
+from repro.analysis.report import ascii_bars, ascii_table
+from repro.core.alg_discrete import AlgDiscrete
+from repro.experiments.base import ExperimentOutput
+from repro.policies import (
+    ClockPolicy,
+    FIFOPolicy,
+    GreedyDualPolicy,
+    LFUPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    StaticPartitionLRU,
+)
+from repro.util.rng import ensure_rng
+from repro.workloads.sqlvm import contention_scenario, sqlvm_scenario
+
+EXPERIMENT_ID = "e5"
+TITLE = "Cost-aware (ALG-DISCRETE) vs cost-blind baselines on SLA workloads"
+
+COST_AWARE = ("alg-discrete", "alg-smoothed", "greedydual")
+COST_BLIND = ("lru", "lru-k", "clock", "lfu", "fifo", "static-lru", "random")
+#: Offline-oracle comparator: MRC-driven static partitioning (UCP).  It
+#: sees the whole trace, so it is reported separately, not as an online
+#: competitor.
+ORACLE = ("ucp",)
+
+
+def _factories(seed: int, length: int = 12_000) -> Dict[str, Callable]:
+    from repro.policies.ucp import UCPPolicy
+
+    # The smoothing window must scale with the workload: the SLA
+    # allowances grow linearly with trace length, and a window far
+    # below the allowance re-introduces the myopia smoothing exists to
+    # fix (measured: window 100 at T=60k is no better than pointwise,
+    # window ~length/60 ~ the allowance scale cuts cost by ~25%).
+    window = max(100, length // 60)
+    return {
+        "alg-discrete": AlgDiscrete,
+        "alg-smoothed": lambda: AlgDiscrete(
+            derivative_mode="smoothed", smoothing_window=window
+        ),
+        "greedydual": GreedyDualPolicy,
+        "lru": LRUPolicy,
+        "lru-k": LRUKPolicy,
+        "clock": ClockPolicy,
+        "lfu": LFUPolicy,
+        "fifo": FIFOPolicy,
+        "static-lru": StaticPartitionLRU,
+        "random": lambda: RandomPolicy(rng=seed),
+        "ucp": UCPPolicy,
+    }
+
+
+def _run_family(
+    family: str, num_scenarios: int, length: int, rng: np.random.Generator
+) -> Dict[str, List[float]]:
+    agg: Dict[str, List[float]] = {}
+    for _s in range(num_scenarios):
+        sub = int(rng.integers(0, 2**31))
+        if family == "contention":
+            scenario, k = contention_scenario(
+                num_tenants=4, pages_per_tenant=60, length=length, seed=sub
+            )
+        else:
+            scenario, k = sqlvm_scenario(
+                num_tenants=6, length=length, cache_fraction=0.2, seed=sub
+            )
+        # Names in _factories are stable; "alg-smoothed" instances name
+        # themselves with their window, so re-key by factory name.
+        for name, factory in _factories(sub, length).items():
+            from repro.sim.engine import simulate
+            from repro.sim.metrics import total_cost
+
+            result = simulate(scenario.trace, factory(), k, costs=scenario.costs)
+            agg.setdefault(name, []).append(total_cost(result, scenario.costs))
+    return agg
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+    num_scenarios = 3 if quick else 8
+    length = 12_000 if quick else 60_000
+    rng = ensure_rng(seed)
+
+    results = {
+        "contention": _run_family("contention", num_scenarios, length, rng),
+        "sqlvm": _run_family("sqlvm", num_scenarios, length, rng),
+    }
+
+    rows: List[Dict[str, object]] = []
+    means: Dict[str, Dict[str, float]] = {}
+    for family, agg in results.items():
+        means[family] = {name: float(np.mean(vals)) for name, vals in agg.items()}
+        for name, m in sorted(means[family].items(), key=lambda kv: kv[1]):
+            rows.append(
+                {
+                    "family": family,
+                    "policy": name,
+                    "cost_aware": name in COST_AWARE or name in ORACLE,
+                    "oracle": name in ORACLE,
+                    "mean_cost": m,
+                    "max_cost": float(np.max(agg[name])),
+                }
+            )
+
+    cm = means["contention"]
+    sm = means["sqlvm"]
+    best_blind_contention = min(cm[p] for p in COST_BLIND)
+    checks = {
+        "contention: every cost-aware policy beats every cost-blind baseline": all(
+            cm[a] < best_blind_contention for a in COST_AWARE
+        ),
+        "contention: cost-aware advantage is >= 2x": min(cm[a] for a in COST_AWARE)
+        * 2.0
+        <= best_blind_contention,
+        # The offline UCP oracle (whole-trace MRCs) bounds what ANY
+        # static partitioning could do; the online algorithm must stay
+        # within a small factor of it on the stationary family.
+        "contention: online cost-aware within 3x of the offline UCP oracle": min(
+            cm[a] for a in COST_AWARE
+        )
+        <= 3.0 * max(cm["ucp"], 1e-9),
+        "sqlvm: smoothed variant improves on the pure paper algorithm": sm[
+            "alg-smoothed"
+        ]
+        <= sm["alg-discrete"],
+        "sqlvm: pure ALG beats static partitioning (the paper's strawman)": sm[
+            "alg-discrete"
+        ]
+        <= sm["static-lru"],
+        "sqlvm: smoothed ALG beats FIFO and Random": sm["alg-smoothed"]
+        <= min(sm["fifo"], sm["random"]),
+    }
+
+    text = ""
+    for family in ("contention", "sqlvm"):
+        fam_rows = [r for r in rows if r["family"] == family]
+        text += ascii_table(
+            fam_rows,
+            columns=["policy", "cost_aware", "oracle", "mean_cost", "max_cost"],
+            title=f"{family}: mean total SLA cost over {num_scenarios} scenarios (T={length})",
+        )
+        text += "\n\n"
+        text += ascii_bars(
+            [r["policy"] for r in fam_rows],
+            [r["mean_cost"] for r in fam_rows],
+            title=f"{family}: mean SLA cost (lower is better)",
+        )
+        text += "\n\n"
+
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        text=text.rstrip(),
+        shape_checks=checks,
+    )
+
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE", "COST_AWARE", "COST_BLIND"]

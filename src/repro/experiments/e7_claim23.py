@@ -1,0 +1,110 @@
+"""E7 — Claim 2.3: the curvature inequality and its tightness.
+
+Claim 2.3 bounds :math:`f'(\\sum x)\\sum x` by
+:math:`\\alpha \\sum_j x_j f'(\\sum_{i\\le j} x_i)`.  We verify it on
+random non-negative sequences for every cost family, and trace its
+*tightness* (LHS/RHS) on equal-term sequences: for monomials
+:math:`x^\\beta` the ratio is
+:math:`n^{\\beta-1} / (\\beta \\sum_{j\\le n} j^{\\beta-1}/n)
+\\to 1` as :math:`n \\to \\infty` — the claim (and hence
+:math:`\\alpha = \\beta`) is asymptotically exact.
+
+Expected shape: zero violations; tightness increases toward 1 with
+sequence length for every β.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import ascii_series, ascii_table
+from repro.core.claims import check_claim_2_3, claim_2_3_tightness_profile
+from repro.core.cost_functions import (
+    ExponentialCost,
+    LinearCost,
+    MonomialCost,
+    PiecewiseLinearCost,
+    PolynomialCost,
+)
+from repro.experiments.base import ExperimentOutput
+from repro.util.rng import ensure_rng
+
+EXPERIMENT_ID = "e7"
+TITLE = "Claim 2.3: f'(sum x) sum x <= alpha * sum x_j f'(prefix_j)"
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+    num_random = 200 if quick else 2000
+    rng = ensure_rng(seed)
+
+    families = {
+        "linear(w=2)": LinearCost(2.0),
+        "x^2": MonomialCost(2),
+        "x^3": MonomialCost(3),
+        "x + 0.5x^2": PolynomialCost([0.0, 1.0, 0.5]),
+        "sla(5, 4, 0.5)": PiecewiseLinearCost.sla(5.0, 4.0, 0.5),
+        "exp(0.1x)-1": ExponentialCost(rate=0.1),
+    }
+
+    violations = 0
+    ineq6_violations = 0
+    for _ in range(num_random):
+        name = list(families)[int(rng.integers(0, len(families)))]
+        f = families[name]
+        length = int(rng.integers(1, 12))
+        xs = rng.uniform(0.0, 5.0, size=length)
+        alpha = f.alpha(x_max=float(xs.sum()) + 1.0)
+        check = check_claim_2_3(f, xs, alpha=alpha)
+        if not check.holds:
+            violations += 1
+        if not check.inequality6_holds:
+            ineq6_violations += 1
+
+    # Tightness profile for monomials on equal-term sequences.
+    ns = [1, 2, 5, 10, 20, 50, 100]
+    tight_rows: List[Dict[str, object]] = []
+    series: Dict[str, List[float]] = {}
+    for beta in (1, 2, 3):
+        f = MonomialCost(beta)
+        vals = [claim_2_3_tightness_profile(f, n) for n in ns]
+        series[f"beta={beta}"] = vals
+        tight_rows.append(
+            {
+                "beta": beta,
+                **{f"n={n}": v for n, v in zip(ns, vals)},
+                "monotone_to_1": all(
+                    vals[i] <= vals[i + 1] + 1e-12 for i in range(len(vals) - 1)
+                )
+                and vals[-1] <= 1.0 + 1e-12,
+            }
+        )
+
+    checks = {
+        f"claim 2.3 holds on all {num_random} random sequences": violations == 0,
+        "inequality (6) holds on all random sequences": ineq6_violations == 0,
+        "tightness increases toward 1 with n for every beta": all(
+            r["monotone_to_1"] for r in tight_rows
+        ),
+        "tightness at n=100 above 0.95 for every beta": all(
+            r["n=100"] >= 0.95 for r in tight_rows
+        ),
+    }
+    text = (
+        ascii_table(tight_rows, title="Claim 2.3 tightness (LHS/RHS), equal-term sequences")
+        + "\n\n"
+        + ascii_series(
+            [float(n) for n in ns], series, title="tightness vs sequence length"
+        )
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=tight_rows,
+        text=text,
+        shape_checks=checks,
+    )
+
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE"]

@@ -1,0 +1,179 @@
+"""E8 — §5 future work: multiple memory pools with migration costs.
+
+The paper closes by proposing multi-pool allocation (one pool per
+physical server, users pinned to a pool, migration costs for moving
+them).  This experiment runs the SQLVM-style workload over a two-pool
+system under each assignment strategy — round-robin, balanced
+bin-packing, random, and cost-aware epoch rebalancing — with every pool
+internally running ALG-DISCRETE, across a sweep of migration costs.
+
+Expected shape: balanced assignment beats round-robin/random; the
+rebalancing strategy matches or beats static balanced when migrations
+are cheap and converges to it (migrates less) as migration cost grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.experiments.base import ExperimentOutput
+from repro.multipool import (
+    AllInOneAssignment,
+    BalancedPagesAssignment,
+    CostAwareRebalancing,
+    PoolSystem,
+    RandomAssignment,
+    RoundRobinAssignment,
+    simulate_multipool,
+)
+from repro.util.rng import ensure_rng
+from repro.workloads.sqlvm import sqlvm_scenario
+
+EXPERIMENT_ID = "e8"
+TITLE = "Future work (paper section 5): multi-pool assignment with migration costs"
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentOutput:
+    num_scenarios = 3 if quick else 8
+    length = 10_000 if quick else 40_000
+    migration_costs = [0.0, 20.0, 1e6]
+    rng = ensure_rng(seed)
+
+    rows: List[Dict[str, object]] = []
+    for s in range(num_scenarios):
+        sub = int(rng.integers(0, 2**31))
+        scenario, k = sqlvm_scenario(
+            num_tenants=6, length=length, cache_fraction=0.2, seed=sub
+        )
+        caps = np.array([k // 2, k - k // 2])
+        for mig in migration_costs:
+            system = PoolSystem(capacities=caps, migration_cost=mig)
+            strategies = {
+                "round-robin": RoundRobinAssignment(),
+                "balanced-pages": BalancedPagesAssignment(),
+                "random-assignment": RandomAssignment(rng=sub),
+                "all-in-one": AllInOneAssignment(),
+                "cost-aware-rebalance": CostAwareRebalancing(
+                    start=AllInOneAssignment()
+                ),
+            }
+            for name, strat in strategies.items():
+                res = simulate_multipool(
+                    scenario.trace,
+                    scenario.costs,
+                    system,
+                    strat,
+                    # 20 rebalance opportunities regardless of scale: the
+                    # repair speed is bounded by one migration per epoch.
+                    epoch_length=max(1, length // 20),
+                )
+                rows.append(
+                    {
+                        "scenario": s,
+                        "migration_cost": mig,
+                        "strategy": name,
+                        "total_cost": res.total_cost(scenario.costs),
+                        "misses": int(res.user_misses.sum()),
+                        "migrations": res.migrations,
+                    }
+                )
+
+    def mean_cost(strategy: str, mig: float) -> float:
+        vals = [
+            r["total_cost"]
+            for r in rows
+            if r["strategy"] == strategy and r["migration_cost"] == mig
+        ]
+        return float(np.mean(vals))
+
+    summary: List[Dict[str, object]] = []
+    for mig in migration_costs:
+        for strat in (
+            "round-robin",
+            "balanced-pages",
+            "random-assignment",
+            "all-in-one",
+            "cost-aware-rebalance",
+        ):
+            summary.append(
+                {
+                    "migration_cost": mig,
+                    "strategy": strat,
+                    "mean_total_cost": mean_cost(strat, mig),
+                    "mean_migrations": float(
+                        np.mean(
+                            [
+                                r["migrations"]
+                                for r in rows
+                                if r["strategy"] == strat
+                                and r["migration_cost"] == mig
+                            ]
+                        )
+                    ),
+                }
+            )
+
+    cheap = migration_costs[0]
+    expensive = migration_costs[-1]
+
+    def migrations_at(mig: float) -> float:
+        return float(
+            np.mean(
+                [
+                    r["migrations"]
+                    for r in rows
+                    if r["strategy"] == "cost-aware-rebalance"
+                    and r["migration_cost"] == mig
+                ]
+            )
+        )
+
+    static_costs = {
+        s: mean_cost(s, cheap)
+        for s in ("round-robin", "balanced-pages", "random-assignment", "all-in-one")
+    }
+    checks = {
+        # Assignment matters: piling every tenant on one server (half
+        # the cluster idle) is the worst static choice.
+        "all-in-one is the worst static assignment": static_costs["all-in-one"]
+        >= max(v for s, v in static_costs.items() if s != "all-in-one"),
+        # The rebalancer starts all-in-one; with cheap migrations it
+        # must recover a large share of the wasted capacity.
+        "rebalancing (cheap) improves >= 15% on its all-in-one start": mean_cost(
+            "cost-aware-rebalance", cheap
+        )
+        <= 0.85 * mean_cost("all-in-one", cheap),
+        "rebalancer migrates when cheap": migrations_at(cheap) > 0,
+        "rebalancer stops migrating when prohibitively expensive": all(
+            r["migrations"] == 0
+            for r in rows
+            if r["strategy"] == "cost-aware-rebalance"
+            and r["migration_cost"] == expensive
+        ),
+        "migrations are non-increasing in migration cost": all(
+            migrations_at(migration_costs[i]) >= migrations_at(migration_costs[i + 1])
+            for i in range(len(migration_costs) - 1)
+        ),
+        "rebalancer equals its start when migration is impossible": abs(
+            mean_cost("cost-aware-rebalance", expensive)
+            - mean_cost("all-in-one", expensive)
+        )
+        <= 1e-6 * max(mean_cost("all-in-one", expensive), 1.0),
+    }
+    text = ascii_table(
+        summary,
+        title=f"Multi-pool strategies over {num_scenarios} scenarios (T={length}, 2 pools)",
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=summary,
+        text=text,
+        shape_checks=checks,
+    )
+
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE"]

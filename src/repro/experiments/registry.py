@@ -1,0 +1,71 @@
+"""Experiment registry: id → (run function, title).
+
+``run_experiment('e1')`` executes one experiment; ``run_all`` executes
+the suite.  Each experiment supports ``quick`` (CI-sized) and full
+modes; see DESIGN.md §3 for the experiment-to-paper-claim index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import (
+    e1_competitive_ratio,
+    e10_derivative_ablation,
+    e11_workload_sensitivity,
+    e12_worst_case_search,
+    e13_randomization,
+    e14_scaling,
+    e15_fractional_bbn,
+    e2_invariants,
+    e3_bicriteria,
+    e4_lower_bound,
+    e5_sla_comparison,
+    e6_linear_reduction,
+    e7_claim23,
+    e8_multipool,
+    e9_throughput,
+)
+from repro.experiments.base import ExperimentOutput
+
+_MODULES = (
+    e1_competitive_ratio,
+    e2_invariants,
+    e3_bicriteria,
+    e4_lower_bound,
+    e5_sla_comparison,
+    e6_linear_reduction,
+    e7_claim23,
+    e8_multipool,
+    e9_throughput,
+    e10_derivative_ablation,
+    e11_workload_sensitivity,
+    e12_worst_case_search,
+    e13_randomization,
+    e14_scaling,
+    e15_fractional_bbn,
+)
+
+EXPERIMENTS: Dict[str, Tuple[Callable[..., ExperimentOutput], str]] = {
+    mod.EXPERIMENT_ID: (mod.run, mod.TITLE) for mod in _MODULES
+}
+
+
+def run_experiment(
+    experiment_id: str, quick: bool = True, seed: int = 0
+) -> ExperimentOutput:
+    """Run one experiment by id (e.g. ``'e1'``)."""
+    try:
+        fn, _title = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return fn(quick=quick, seed=seed)
+
+
+def run_all(quick: bool = True, seed: int = 0) -> List[ExperimentOutput]:
+    """Run the whole suite in id order."""
+    return [run_experiment(eid, quick=quick, seed=seed) for eid in sorted(EXPERIMENTS)]
+
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]

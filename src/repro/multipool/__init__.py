@@ -1,0 +1,26 @@
+"""Multi-pool extension (the paper's §5 future-work direction):
+several memory pools, user-to-pool assignment, migration costs.
+"""
+
+from repro.multipool.assignment import (
+    AllInOneAssignment,
+    AssignmentStrategy,
+    BalancedPagesAssignment,
+    CostAwareRebalancing,
+    RandomAssignment,
+    RoundRobinAssignment,
+)
+from repro.multipool.model import MultiPoolResult, PoolSystem
+from repro.multipool.simulator import simulate_multipool
+
+__all__ = [
+    "PoolSystem",
+    "MultiPoolResult",
+    "AssignmentStrategy",
+    "AllInOneAssignment",
+    "RoundRobinAssignment",
+    "BalancedPagesAssignment",
+    "CostAwareRebalancing",
+    "RandomAssignment",
+    "simulate_multipool",
+]

@@ -1,0 +1,194 @@
+"""User-to-pool assignment strategies for the multi-pool extension.
+
+An :class:`AssignmentStrategy` chooses the initial assignment and may
+request migrations at epoch boundaries, trading migration cost against
+the convex miss costs the paper studies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.multipool.model import PoolSystem
+from repro.util.rng import RandomSource, ensure_rng
+from repro.util.validation import check_positive_int
+
+
+class AssignmentStrategy(ABC):
+    """Chooses and (optionally) revises the user → pool map."""
+
+    name = "assignment"
+
+    @abstractmethod
+    def initial(
+        self,
+        system: PoolSystem,
+        num_users: int,
+        page_counts: np.ndarray,
+        costs: Sequence[CostFunction],
+    ) -> np.ndarray:
+        """Return the initial assignment array (user → pool index)."""
+
+    def rebalance(
+        self,
+        system: PoolSystem,
+        assignment: np.ndarray,
+        epoch_misses: np.ndarray,
+        total_misses: np.ndarray,
+        costs: Sequence[CostFunction],
+        resident_by_user: Optional[np.ndarray] = None,
+    ) -> Optional[tuple[int, int]]:
+        """Optionally return ``(user, new_pool)`` to migrate at an epoch
+        boundary; ``None`` keeps the current assignment.
+        ``resident_by_user[i]`` is user *i*'s currently cached page
+        count (used to price the post-migration cold-cache penalty).
+        Default: never migrate."""
+        return None
+
+
+class RoundRobinAssignment(AssignmentStrategy):
+    """Users dealt to pools in order — the static baseline."""
+
+    name = "round-robin"
+
+    def initial(self, system, num_users, page_counts, costs):
+        return np.arange(num_users, dtype=np.int64) % system.num_pools
+
+
+class BalancedPagesAssignment(AssignmentStrategy):
+    """Greedy bin packing on page-universe size relative to capacity:
+    each user (largest footprint first) joins the pool with the lowest
+    projected load ratio.  Static — no migrations."""
+
+    name = "balanced-pages"
+
+    def initial(self, system, num_users, page_counts, costs):
+        assignment = np.zeros(num_users, dtype=np.int64)
+        load = np.zeros(system.num_pools, dtype=float)
+        order = np.argsort(-np.asarray(page_counts, dtype=float), kind="stable")
+        for user in order:
+            ratios = (load + page_counts[user]) / system.capacities
+            pool = int(np.argmin(ratios))
+            assignment[user] = pool
+            load[pool] += page_counts[user]
+        return assignment
+
+
+class AllInOneAssignment(AssignmentStrategy):
+    """Degenerate static assignment: every user on pool 0, the rest of
+    the cluster idle — the pathological starting point that motivates
+    migration (e.g. tenants landing on one server as they arrive)."""
+
+    name = "all-in-one"
+
+    def initial(self, system, num_users, page_counts, costs):
+        return np.zeros(num_users, dtype=np.int64)
+
+
+class CostAwareRebalancing(AssignmentStrategy):
+    """Starts from a configurable (by default degenerate all-in-one)
+    assignment and repairs it: at each epoch boundary, consider
+    migrating the user accruing the highest *marginal cost pressure*
+    from the most-pressured pool to the least-pressured one.
+
+    Pressure of user *i*: :math:`f_i'(m_i + 1) \\times` its epoch miss
+    count — the linearised cost it keeps accruing per epoch.  Pool
+    pressure: sum of its users' pressures divided by capacity.  The
+    migration fires only when the projected per-epoch relief —
+    ``pressure × (1 - dst/src pool pressure)`` — exceeds the one-off
+    price: the migration cost plus the cold-cache penalty
+    ``resident pages × marginal`` (the flushed pages must be
+    re-fetched), and the source pool is at least ``imbalance_factor``
+    more pressured than the destination.
+    """
+
+    name = "cost-aware-rebalance"
+
+    def __init__(
+        self,
+        imbalance_factor: float = 1.3,
+        start: Optional[AssignmentStrategy] = None,
+    ) -> None:
+        if imbalance_factor < 1.0:
+            raise ValueError(f"imbalance_factor must be >= 1, got {imbalance_factor}")
+        self.imbalance_factor = float(imbalance_factor)
+        self.start = start if start is not None else AllInOneAssignment()
+        # Each user migrates at most once per run: repeated moves of the
+        # same user are almost always thrash (e.g. a scan tenant whose
+        # misses are compulsory looks "hot" in every pool); one
+        # corrective move is what repairs a bad static assignment.
+        self._migrated: set = set()
+
+    def initial(self, system, num_users, page_counts, costs):
+        self._migrated = set()
+        return self.start.initial(system, num_users, page_counts, costs)
+
+    def rebalance(
+        self,
+        system,
+        assignment,
+        epoch_misses,
+        total_misses,
+        costs,
+        resident_by_user=None,
+    ):
+        n = assignment.size
+        marginals = np.array(
+            [float(costs[i].derivative(float(total_misses[i]) + 1.0)) for i in range(n)]
+        )
+        pressures = marginals * np.asarray(epoch_misses, dtype=float)
+        pool_pressure = np.zeros(system.num_pools, dtype=float)
+        for i in range(n):
+            pool_pressure[assignment[i]] += pressures[i]
+        pool_pressure /= system.capacities
+
+        dst = int(np.argmin(pool_pressure))
+        src = int(np.argmax(pool_pressure))
+        if src == dst or pool_pressure[src] < self.imbalance_factor * max(
+            pool_pressure[dst], 1e-12
+        ):
+            return None
+        candidates = [
+            i
+            for i in range(n)
+            if assignment[i] == src and pressures[i] > 0 and i not in self._migrated
+        ]
+        if not candidates:
+            return None
+        hot_user = max(candidates, key=lambda i: pressures[i])
+        relief = pressures[hot_user] * (
+            1.0 - pool_pressure[dst] / pool_pressure[src]
+        )
+        resident = (
+            float(resident_by_user[hot_user]) if resident_by_user is not None else 0.0
+        )
+        cold_penalty = resident * marginals[hot_user]
+        if relief > system.migration_cost + cold_penalty:
+            self._migrated.add(hot_user)
+            return hot_user, dst
+        return None
+
+
+class RandomAssignment(AssignmentStrategy):
+    """Uniform random static assignment (sanity baseline)."""
+
+    name = "random-assignment"
+
+    def __init__(self, rng: RandomSource = None) -> None:
+        self._rng = ensure_rng(rng)
+
+    def initial(self, system, num_users, page_counts, costs):
+        return self._rng.integers(0, system.num_pools, size=num_users).astype(np.int64)
+
+
+__all__ = [
+    "AssignmentStrategy",
+    "RoundRobinAssignment",
+    "BalancedPagesAssignment",
+    "CostAwareRebalancing",
+    "RandomAssignment",
+]

@@ -1,0 +1,78 @@
+"""Multi-pool memory model — the paper's §5 future-work direction.
+
+"An interesting direction for future work is to consider the case of
+multiple memory pools (e.g., each pool corresponds to a single physical
+server), where each user has to be assigned to a single pool, with
+potentially switching cost incurred for migrating users between
+servers."
+
+The model here: ``P`` pools with capacities :math:`k_1, \\dots, k_P`;
+an assignment :math:`a: U \\to \\{1..P\\}` mapping each user to one
+pool; a user's pages may only reside in its assigned pool.  Migrating a
+user costs ``migration_cost`` (per move; its cache contents in the old
+pool are flushed, so subsequent requests cold-miss).  The objective is
+:math:`\\sum_i f_i(m_i) + c_{mig} \\cdot \\#\\text{migrations}`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.util.validation import check_non_negative, check_positive_int
+
+
+@dataclass
+class PoolSystem:
+    """Static description of a multi-pool deployment."""
+
+    capacities: np.ndarray
+    migration_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        caps = np.asarray(self.capacities, dtype=np.int64)
+        if caps.ndim != 1 or caps.size == 0:
+            raise ValueError("capacities must be a non-empty 1-D array")
+        if np.any(caps < 1):
+            raise ValueError("every pool needs capacity >= 1")
+        self.capacities = caps
+        self.migration_cost = check_non_negative(self.migration_cost, "migration_cost")
+
+    @property
+    def num_pools(self) -> int:
+        return int(self.capacities.size)
+
+    @property
+    def total_capacity(self) -> int:
+        return int(self.capacities.sum())
+
+
+@dataclass
+class MultiPoolResult:
+    """Outcome of a multi-pool simulation."""
+
+    assignment_name: str
+    user_misses: np.ndarray
+    migrations: int
+    migration_cost_paid: float
+    final_assignment: np.ndarray
+    per_pool_misses: np.ndarray
+
+    def total_cost(self, costs: Sequence[CostFunction]) -> float:
+        """:math:`\\sum_i f_i(m_i)` plus migration charges."""
+        base = float(
+            sum(f.value(int(m)) for f, m in zip(costs, self.user_misses))
+        )
+        return base + self.migration_cost_paid
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiPoolResult({self.assignment_name!r}, "
+            f"misses={int(self.user_misses.sum())}, migrations={self.migrations})"
+        )
+
+
+__all__ = ["PoolSystem", "MultiPoolResult"]

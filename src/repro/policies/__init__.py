@@ -1,0 +1,80 @@
+"""Baseline eviction policies.
+
+Everything the paper's related-work section compares against: the
+LRU family (LRU, MRU, CLOCK, LRU-K), frequency (LFU), insertion order
+(FIFO), phase-based (Marking), randomized (Random), offline (Belady),
+weighted caching (GreedyDual, Young [20]) and static per-tenant
+partitioning.  The paper's own algorithms live in :mod:`repro.core`.
+
+:data:`POLICY_REGISTRY` maps short names to zero-argument factories for
+experiment sweeps.
+"""
+
+from typing import Callable, Dict
+
+from repro.core.alg_continuous import AlgContinuous
+from repro.core.alg_discrete import AlgDiscrete
+from repro.policies.arc import ARCPolicy, TwoQueuePolicy
+from repro.policies.belady import BeladyPolicy
+from repro.policies.fifo import ClockPolicy, FIFOPolicy
+from repro.policies.greedydual import GreedyDualPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lru import LRUPolicy, MRUPolicy
+from repro.policies.lruk import LRUKPolicy
+from repro.policies.marking import MarkingPolicy, RandomizedMarkingPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.static_partition import StaticPartitionLRU
+from repro.policies.ucp import UCPPolicy
+from repro.sim.policy import EvictionPolicy
+
+#: Zero-argument factories for every registered policy.
+POLICY_REGISTRY: Dict[str, Callable[[], EvictionPolicy]] = {
+    "lru": LRUPolicy,
+    "arc": ARCPolicy,
+    "2q": TwoQueuePolicy,
+    "mru": MRUPolicy,
+    "fifo": FIFOPolicy,
+    "clock": ClockPolicy,
+    "lfu": LFUPolicy,
+    "lru-k": LRUKPolicy,
+    "random": RandomPolicy,
+    "marking": MarkingPolicy,
+    "rand-marking": RandomizedMarkingPolicy,
+    "belady": BeladyPolicy,
+    "greedydual": GreedyDualPolicy,
+    "static-lru": StaticPartitionLRU,
+    "ucp": UCPPolicy,
+    "alg-discrete": AlgDiscrete,
+    "alg-cont": AlgContinuous,
+}
+
+
+def make_policy(name: str, **kwargs) -> EvictionPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = POLICY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_REGISTRY))
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "LRUPolicy",
+    "ARCPolicy",
+    "TwoQueuePolicy",
+    "MRUPolicy",
+    "FIFOPolicy",
+    "ClockPolicy",
+    "LFUPolicy",
+    "LRUKPolicy",
+    "RandomPolicy",
+    "MarkingPolicy",
+    "RandomizedMarkingPolicy",
+    "BeladyPolicy",
+    "GreedyDualPolicy",
+    "StaticPartitionLRU",
+    "UCPPolicy",
+    "POLICY_REGISTRY",
+    "make_policy",
+]

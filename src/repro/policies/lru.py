@@ -1,0 +1,80 @@
+"""Recency-based policies: LRU and MRU.
+
+LRU is the classical :math:`k`-competitive algorithm of Sleator–Tarjan
+[19] for the single-tenant linear objective; the paper's related-work
+section positions it (and its variants) as the cost-blind baseline that
+"treats all users equally".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.policy import EvictionPolicy, SimContext
+from repro.util.linkedlist import DoublyLinkedList, ListNode
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least-recently-used resident page."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: DoublyLinkedList[int] = DoublyLinkedList()
+        self._nodes: Dict[int, ListNode[int]] = {}
+
+    def reset(self, ctx: SimContext) -> None:
+        self._order = DoublyLinkedList()
+        self._nodes = {}
+
+    def on_hit(self, page: int, t: int) -> None:
+        self._order.move_to_tail(self._nodes[page])
+
+    def on_insert(self, page: int, t: int) -> None:
+        self._nodes[page] = self._order.append(page)
+
+    def choose_victim(self, page: int, t: int) -> int:
+        if self._order.head is None:
+            raise RuntimeError("choose_victim called with empty cache")
+        return self._order.head.value
+
+    def on_evict(self, page: int, t: int) -> None:
+        node = self._nodes.pop(page)
+        self._order.remove(node)
+
+
+class MRUPolicy(EvictionPolicy):
+    """Evict the *most*-recently-used resident page.
+
+    Pathological for temporal locality but optimal for cyclic scans
+    slightly larger than the cache — used by tests and the workload
+    characterisation examples as a contrast to LRU.
+    """
+
+    name = "mru"
+
+    def __init__(self) -> None:
+        self._order: DoublyLinkedList[int] = DoublyLinkedList()
+        self._nodes: Dict[int, ListNode[int]] = {}
+
+    def reset(self, ctx: SimContext) -> None:
+        self._order = DoublyLinkedList()
+        self._nodes = {}
+
+    def on_hit(self, page: int, t: int) -> None:
+        self._order.move_to_tail(self._nodes[page])
+
+    def on_insert(self, page: int, t: int) -> None:
+        self._nodes[page] = self._order.append(page)
+
+    def choose_victim(self, page: int, t: int) -> int:
+        if self._order.tail is None:
+            raise RuntimeError("choose_victim called with empty cache")
+        return self._order.tail.value
+
+    def on_evict(self, page: int, t: int) -> None:
+        node = self._nodes.pop(page)
+        self._order.remove(node)
+
+
+__all__ = ["LRUPolicy", "MRUPolicy"]

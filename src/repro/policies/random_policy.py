@@ -1,0 +1,56 @@
+"""Uniform-random eviction.
+
+A sanity baseline: on a full-cache miss, evict a uniformly random
+resident page.  Maintains the resident set as a swap-remove array for
+O(1) sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.policy import EvictionPolicy, SimContext
+from repro.util.rng import RandomSource, ensure_rng
+
+
+class RandomPolicy(EvictionPolicy):
+    """Evict a uniformly random resident page.
+
+    Parameters
+    ----------
+    rng:
+        Seed / generator for reproducibility.  ``reset`` does *not*
+        reseed — pass a fresh instance (or integer-seeded policy) per
+        experiment repetition for independent runs.
+    """
+
+    name = "random"
+
+    def __init__(self, rng: RandomSource = None) -> None:
+        self._rng = ensure_rng(rng)
+        self._pages: List[int] = []
+        self._pos: Dict[int, int] = {}
+
+    def reset(self, ctx: SimContext) -> None:
+        self._pages = []
+        self._pos = {}
+
+    def on_insert(self, page: int, t: int) -> None:
+        self._pos[page] = len(self._pages)
+        self._pages.append(page)
+
+    def choose_victim(self, page: int, t: int) -> int:
+        if not self._pages:
+            raise RuntimeError("choose_victim called with empty cache")
+        idx = int(self._rng.integers(0, len(self._pages)))
+        return self._pages[idx]
+
+    def on_evict(self, page: int, t: int) -> None:
+        idx = self._pos.pop(page)
+        last = self._pages.pop()
+        if idx < len(self._pages):
+            self._pages[idx] = last
+            self._pos[last] = idx
+
+
+__all__ = ["RandomPolicy"]

@@ -1,0 +1,46 @@
+"""Multi-tenant cache simulator.
+
+:mod:`repro.sim.trace` — request sequences and ownership maps;
+:mod:`repro.sim.policy` — the eviction-policy protocol;
+:mod:`repro.sim.engine` — the simulation loop;
+:mod:`repro.sim.metrics` — cost / windowed / fairness metrics.
+"""
+
+from repro.sim.engine import EvictionEvent, SimResult, replay_evictions, simulate
+from repro.sim.metrics import (
+    cost_curve,
+    cost_of_misses,
+    fairness_index,
+    miss_ratio_curve,
+    per_user_costs,
+    total_cost,
+    windowed_cost,
+    windowed_miss_counts,
+)
+from repro.sim.policy import EvictionPolicy, SimContext
+from repro.sim.trace import Trace, make_trace, single_user_trace
+from repro.sim.trace_io import LoadedTrace, load_csv, round_trip, save_csv
+
+__all__ = [
+    "EvictionEvent",
+    "SimResult",
+    "simulate",
+    "replay_evictions",
+    "EvictionPolicy",
+    "SimContext",
+    "Trace",
+    "make_trace",
+    "single_user_trace",
+    "LoadedTrace",
+    "load_csv",
+    "save_csv",
+    "round_trip",
+    "total_cost",
+    "per_user_costs",
+    "cost_of_misses",
+    "windowed_miss_counts",
+    "windowed_cost",
+    "miss_ratio_curve",
+    "cost_curve",
+    "fairness_index",
+]

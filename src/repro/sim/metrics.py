@@ -1,0 +1,136 @@
+"""Metrics over simulation outcomes.
+
+Cost accounting (:func:`total_cost`, :func:`per_user_costs`), windowed
+miss accounting for SLA-style objectives (:func:`windowed_miss_counts`,
+:func:`windowed_cost`), and miss-ratio curves used by the workload
+characterisation utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.sim.engine import SimResult
+from repro.util.validation import check_positive_int
+
+
+def per_user_costs(result: SimResult, costs: Sequence[CostFunction]) -> np.ndarray:
+    """``out[i] = f_i(a_i)`` for one run."""
+    n = result.user_misses.size
+    if len(costs) < n:
+        raise ValueError(f"need {n} cost functions, got {len(costs)}")
+    return np.array(
+        [float(f.value(int(m))) for f, m in zip(costs, result.user_misses)],
+        dtype=float,
+    )
+
+
+def total_cost(result: SimResult, costs: Sequence[CostFunction]) -> float:
+    """The paper's objective :math:`\\sum_i f_i(a_i)` for one run."""
+    return float(per_user_costs(result, costs).sum())
+
+
+def cost_of_misses(user_misses: np.ndarray, costs: Sequence[CostFunction]) -> float:
+    """Objective value of an arbitrary per-user miss vector."""
+    misses = np.asarray(user_misses)
+    if len(costs) < misses.size:
+        raise ValueError(f"need {misses.size} cost functions, got {len(costs)}")
+    return float(sum(f.value(int(m)) for f, m in zip(costs, misses)))
+
+
+def windowed_miss_counts(result: SimResult, window: int) -> np.ndarray:
+    """Per-user miss counts per time window.
+
+    Requires the run to have been recorded with ``record_curve=True``.
+    Returns shape ``(ceil(T / window), n)`` where row ``w`` holds each
+    user's misses during requests ``[w*window, (w+1)*window)``.
+
+    This supports the paper's motivating SLA shape — "up to ~M misses
+    in a time window of T" — where the provider refunds per window.
+    """
+    window = check_positive_int(window, "window")
+    if result.miss_curve is None:
+        raise ValueError("run must be simulated with record_curve=True")
+    curve = result.miss_curve
+    T = curve.shape[0] - 1
+    edges = list(range(0, T + 1, window))
+    if edges[-1] != T:
+        edges.append(T)
+    edges_arr = np.asarray(edges, dtype=np.int64)
+    return (curve[edges_arr[1:]] - curve[edges_arr[:-1]]).astype(np.int64)
+
+
+def windowed_cost(
+    result: SimResult, costs: Sequence[CostFunction], window: int
+) -> float:
+    """:math:`\\sum_w \\sum_i f_i(\\text{misses}_i\\text{ in window } w)`.
+
+    Applying a convex :math:`f_i` per window and summing is itself a
+    legitimate objective for the paper's algorithm (it is convex in
+    each window's count); this helper evaluates policies under it.
+    """
+    per_window = windowed_miss_counts(result, window)
+    n = per_window.shape[1]
+    if len(costs) < n:
+        raise ValueError(f"need {n} cost functions, got {len(costs)}")
+    total = 0.0
+    for row in per_window:
+        total += sum(float(f.value(int(m))) for f, m in zip(costs, row))
+    return total
+
+
+def miss_ratio_curve(result: SimResult) -> np.ndarray:
+    """Cumulative miss ratio after each request; shape ``(T,)``.
+
+    Requires ``record_curve=True``.
+    """
+    if result.miss_curve is None:
+        raise ValueError("run must be simulated with record_curve=True")
+    cum = result.miss_curve.sum(axis=1)[1:]
+    t = np.arange(1, cum.size + 1, dtype=float)
+    return cum / t
+
+
+def cost_curve(result: SimResult, costs: Sequence[CostFunction]) -> np.ndarray:
+    """Anytime objective: ``out[t] = Σ_i f_i(m_i(t))`` after each request.
+
+    Requires ``record_curve=True``.  Useful for plotting how the convex
+    objective accumulates over time (bursts show up as super-linear
+    segments).
+    """
+    if result.miss_curve is None:
+        raise ValueError("run must be simulated with record_curve=True")
+    curve = result.miss_curve[1:]
+    n = curve.shape[1]
+    if len(costs) < n:
+        raise ValueError(f"need {n} cost functions, got {len(costs)}")
+    total = np.zeros(curve.shape[0], dtype=float)
+    for i in range(n):
+        total += np.asarray(costs[i].value(curve[:, i].astype(float)), dtype=float)
+    return total
+
+
+def fairness_index(result: SimResult) -> float:
+    """Jain's fairness index of per-user miss counts (1 = equal).
+
+    Not in the paper, but a standard lens for shared-resource
+    allocation; reported by the SLA comparison experiment.
+    """
+    m = result.user_misses.astype(float)
+    if m.size == 0 or m.sum() == 0:
+        return 1.0
+    return float(m.sum() ** 2 / (m.size * (m**2).sum()))
+
+
+__all__ = [
+    "per_user_costs",
+    "total_cost",
+    "cost_of_misses",
+    "windowed_miss_counts",
+    "windowed_cost",
+    "miss_ratio_curve",
+    "fairness_index",
+]

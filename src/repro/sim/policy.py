@@ -1,0 +1,126 @@
+"""The eviction-policy protocol all algorithms implement.
+
+The engine (:mod:`repro.sim.engine`) owns the cache contents and
+capacity enforcement; a policy only maintains its private metadata and
+answers one question — *which resident page to evict* — when the cache
+is full and a miss occurs.  This keeps every policy (the paper's
+ALG-DISCRETE/ALG-CONT, and all baselines) running under identical
+mechanics, so measured miss counts are attributable to the decision
+rule alone.
+
+Lifecycle per simulation::
+
+    policy.reset(ctx)                  # fresh state, sees k / owners / costs
+    for t, page in enumerate(trace):
+        if hit:      policy.on_hit(page, t)
+        elif space:  policy.on_insert(page, t)
+        else:        victim = policy.choose_victim(page, t)
+                     policy.on_evict(victim, t)      # engine notifies
+                     policy.on_insert(page, t)
+
+Offline policies (Belady, the §4 batch strategy) set
+``requires_future = True`` and read ``ctx.trace``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.sim.trace import Trace
+
+
+@dataclass
+class SimContext:
+    """Everything a policy may consult when reset.
+
+    Attributes
+    ----------
+    k:
+        Cache capacity (the paper's :math:`k`).
+    owners:
+        ``owners[p]`` = user owning page ``p`` (the paper's
+        :math:`i(p)`).
+    num_users:
+        Number of users :math:`n`.
+    costs:
+        Per-user cost functions, or ``None`` for cost-blind baselines.
+    trace:
+        The full trace — present only for offline policies; online
+        policies must not read it (enforced by the engine handing
+        ``None`` unless ``requires_future``).
+    """
+
+    k: int
+    owners: np.ndarray
+    num_users: int
+    costs: Optional[Sequence[CostFunction]] = None
+    trace: Optional[Trace] = None
+    #: Total pages in the universe (always available; not future info).
+    num_pages: int = 0
+    #: Trace length T (known to the *simulation*, not the adversary; the
+    #: paper's algorithms never read it — it sizes the dual ledger).
+    horizon: int = 0
+
+    def cost_of(self, user: int) -> CostFunction:
+        if self.costs is None:
+            raise ValueError("this context has no cost functions")
+        return self.costs[user]
+
+
+class EvictionPolicy(ABC):
+    """Base class for all eviction policies.
+
+    Subclasses must implement :meth:`reset` and :meth:`choose_victim`;
+    the hit/insert/evict notifications default to no-ops.
+    """
+
+    #: Set by offline policies that must see the whole trace up front.
+    requires_future: bool = False
+
+    #: Set by cost-aware policies that need ``ctx.costs``.
+    requires_costs: bool = False
+
+    #: Short name used in experiment tables; subclasses override.
+    name: str = "policy"
+
+    @abstractmethod
+    def reset(self, ctx: SimContext) -> None:
+        """Clear state for a fresh simulation over *ctx*."""
+
+    @abstractmethod
+    def choose_victim(self, page: int, t: int) -> int:
+        """Return the resident page to evict so *page* can be inserted.
+
+        Called only when the cache is full and *page* missed.  The
+        returned page must currently be resident; the engine validates
+        this and raises otherwise.
+        """
+
+    def on_hit(self, page: int, t: int) -> None:
+        """*page* was requested at time *t* and was resident."""
+
+    def on_insert(self, page: int, t: int) -> None:
+        """*page* was inserted at time *t* (after a miss)."""
+
+    def on_evict(self, page: int, t: int) -> None:
+        """*page* chosen by :meth:`choose_victim` was removed at *t*."""
+
+    def on_flush(self, page: int, t: int) -> None:
+        """*page* was removed by an external mechanism (e.g. a tenant
+        migration in the multi-pool simulator), **not** by this policy's
+        own victim choice.  Defaults to :meth:`on_evict`; policies whose
+        eviction bookkeeping assumes the victim is their own choice
+        (ALG-DISCRETE's dual updates) override this to simply forget
+        the page."""
+        self.on_evict(page, t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["SimContext", "EvictionPolicy"]

@@ -1,0 +1,34 @@
+"""Low-level utilities shared across the library.
+
+The submodules here are intentionally dependency-light: seeded RNG
+plumbing (:mod:`repro.util.rng`), an addressable binary min-heap used by
+budget-driven eviction policies (:mod:`repro.util.heap`), an intrusive
+doubly-linked list backing the recency-ordered policies
+(:mod:`repro.util.linkedlist`), and argument-validation helpers
+(:mod:`repro.util.validation`).
+"""
+
+from repro.util.heap import AddressableHeap
+from repro.util.linkedlist import DoublyLinkedList, ListNode
+from repro.util.rng import RandomSource, ensure_rng, spawn_rngs
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "AddressableHeap",
+    "DoublyLinkedList",
+    "ListNode",
+    "RandomSource",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,197 @@
+"""Addressable binary min-heap.
+
+The budget-driven eviction rules in the paper's ALG-DISCRETE, and the
+classic GreedyDual weighted-caching baseline, repeatedly need "the cached
+page with the smallest key" while keys of arbitrary resident pages are
+updated on hits.  Python's :mod:`heapq` has no decrease-key, so this
+module provides a small addressable heap with ``O(log n)`` push / pop /
+update / remove and ``O(1)`` peek and membership.
+
+Ties are broken by insertion order (FIFO among equal keys) so that the
+algorithms built on top are fully deterministic — the paper's analysis
+allows any tie-break, but determinism makes the ALG-CONT/ALG-DISCRETE
+equivalence testable.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class AddressableHeap(Generic[K]):
+    """Binary min-heap over ``(key, item)`` with item-addressed updates.
+
+    Items must be hashable and unique.  Keys are compared as
+    ``(key, seqno)`` pairs where ``seqno`` is a monotone insertion
+    counter, making tie-breaking deterministic and FIFO.
+    """
+
+    __slots__ = ("_entries", "_index", "_counter")
+
+    def __init__(self) -> None:
+        # Parallel array of [key, seqno, item] entries forming the heap.
+        self._entries: list[list] = []
+        # item -> position in self._entries
+        self._index: dict[K, int] = {}
+        self._counter: int = 0
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item: K) -> bool:
+        return item in self._index
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate items in arbitrary (heap) order."""
+        for entry in self._entries:
+            yield entry[2]
+
+    def items(self) -> Iterator[Tuple[K, float]]:
+        """Iterate ``(item, key)`` pairs in arbitrary (heap) order."""
+        for entry in self._entries:
+            yield entry[2], entry[0]
+
+    # ------------------------------------------------------------------
+    # Heap operations
+    # ------------------------------------------------------------------
+    def push(self, item: K, key: float) -> None:
+        """Insert *item* with *key*; raises if the item is present."""
+        if item in self._index:
+            raise KeyError(f"item {item!r} already in heap; use update()")
+        entry = [key, self._counter, item]
+        self._counter += 1
+        self._entries.append(entry)
+        self._index[item] = len(self._entries) - 1
+        self._sift_up(len(self._entries) - 1)
+
+    def pop(self) -> Tuple[K, float]:
+        """Remove and return ``(item, key)`` with the smallest key."""
+        if not self._entries:
+            raise IndexError("pop from empty heap")
+        top = self._entries[0]
+        last = self._entries.pop()
+        del self._index[top[2]]
+        if self._entries:
+            self._entries[0] = last
+            self._index[last[2]] = 0
+            self._sift_down(0)
+        return top[2], top[0]
+
+    def peek(self) -> Tuple[K, float]:
+        """Return ``(item, key)`` with the smallest key without removal."""
+        if not self._entries:
+            raise IndexError("peek on empty heap")
+        top = self._entries[0]
+        return top[2], top[0]
+
+    def key_of(self, item: K) -> float:
+        """Current key of *item* (raises ``KeyError`` if absent)."""
+        return self._entries[self._index[item]][0]
+
+    def update(self, item: K, key: float) -> None:
+        """Change the key of an existing *item*, restoring heap order."""
+        pos = self._index[item]
+        old = self._entries[pos][0]
+        self._entries[pos][0] = key
+        if key < old:
+            self._sift_up(pos)
+        elif key > old:
+            self._sift_down(pos)
+
+    def push_or_update(self, item: K, key: float) -> None:
+        """Insert *item* or update its key if already present."""
+        if item in self._index:
+            self.update(item, key)
+        else:
+            self.push(item, key)
+
+    def remove(self, item: K) -> float:
+        """Remove *item*, returning its key."""
+        pos = self._index[item]
+        entry = self._entries[pos]
+        last = self._entries.pop()
+        del self._index[item]
+        if pos < len(self._entries):
+            self._entries[pos] = last
+            self._index[last[2]] = pos
+            # Restore order in whichever direction is needed.
+            self._sift_up(pos)
+            self._sift_down(self._index[last[2]])
+        return entry[0]
+
+    def add_to_all(self, delta: float) -> None:
+        """Add *delta* to every key in place.
+
+        A uniform shift preserves heap order, so this is ``O(n)`` with no
+        restructuring.  ALG-DISCRETE's "subtract the evicted budget from
+        everyone" step uses this (see
+        :class:`repro.core.alg_discrete.AlgDiscrete`, which instead keeps
+        a global offset for ``O(1)`` — this method exists for the direct,
+        easily-audited implementation and for tests).
+        """
+        for entry in self._entries:
+            entry[0] += delta
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._index.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _less(self, a: int, b: int) -> bool:
+        ea, eb = self._entries[a], self._entries[b]
+        return (ea[0], ea[1]) < (eb[0], eb[1])
+
+    def _swap(self, a: int, b: int) -> None:
+        ents = self._entries
+        ents[a], ents[b] = ents[b], ents[a]
+        self._index[ents[a][2]] = a
+        self._index[ents[b][2]] = b
+
+    def _sift_up(self, pos: int) -> None:
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if self._less(pos, parent):
+                self._swap(pos, parent)
+                pos = parent
+            else:
+                break
+
+    def _sift_down(self, pos: int) -> None:
+        n = len(self._entries)
+        while True:
+            left = 2 * pos + 1
+            right = left + 1
+            smallest = pos
+            if left < n and self._less(left, smallest):
+                smallest = left
+            if right < n and self._less(right, smallest):
+                smallest = right
+            if smallest == pos:
+                break
+            self._swap(pos, smallest)
+            pos = smallest
+
+    def check_invariants(self) -> None:
+        """Validate heap order and index consistency (test helper)."""
+        n = len(self._entries)
+        assert len(self._index) == n, "index size mismatch"
+        for i, entry in enumerate(self._entries):
+            assert self._index[entry[2]] == i, f"index broken at {i}"
+            left, right = 2 * i + 1, 2 * i + 2
+            if left < n:
+                assert not self._less(left, i), f"heap order broken at {i}/{left}"
+            if right < n:
+                assert not self._less(right, i), f"heap order broken at {i}/{right}"
+
+
+__all__ = ["AddressableHeap"]

@@ -1,0 +1,161 @@
+"""Intrusive doubly-linked list with O(1) node removal.
+
+Backs the recency-ordered eviction policies (LRU, MRU, CLOCK-adjacent
+structures, the LRU stacks inside LRU-K and the stack-distance workload
+model).  Nodes are addressable by payload through the owning policy's
+dict, so "move this page to the MRU end" is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ListNode(Generic[T]):
+    """A node holding *value*; links are managed by the owning list."""
+
+    __slots__ = ("value", "prev", "next", "_owner")
+
+    def __init__(self, value: T) -> None:
+        self.value = value
+        self.prev: Optional["ListNode[T]"] = None
+        self.next: Optional["ListNode[T]"] = None
+        self._owner: Optional["DoublyLinkedList[T]"] = None
+
+
+class DoublyLinkedList(Generic[T]):
+    """Doubly-linked list with sentinel-free head/tail bookkeeping.
+
+    Conventions used by the policies: *head* is the eviction end (least
+    recent) and *tail* is the insertion end (most recent).
+    """
+
+    __slots__ = ("head", "tail", "_size")
+
+    def __init__(self) -> None:
+        self.head: Optional[ListNode[T]] = None
+        self.tail: Optional[ListNode[T]] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[T]:
+        node = self.head
+        while node is not None:
+            yield node.value
+            node = node.next
+
+    def __reversed__(self) -> Iterator[T]:
+        node = self.tail
+        while node is not None:
+            yield node.value
+            node = node.prev
+
+    # ------------------------------------------------------------------
+    def append(self, value: T) -> ListNode[T]:
+        """Append *value* at the tail (most-recent end); return its node."""
+        node = ListNode(value)
+        self.append_node(node)
+        return node
+
+    def append_node(self, node: ListNode[T]) -> None:
+        """Link an unattached *node* at the tail."""
+        if node._owner is not None:
+            raise ValueError("node is already attached to a list")
+        node._owner = self
+        node.prev = self.tail
+        node.next = None
+        if self.tail is not None:
+            self.tail.next = node
+        self.tail = node
+        if self.head is None:
+            self.head = node
+        self._size += 1
+
+    def appendleft(self, value: T) -> ListNode[T]:
+        """Insert *value* at the head (eviction end); return its node."""
+        node = ListNode(value)
+        node._owner = self
+        node.next = self.head
+        node.prev = None
+        if self.head is not None:
+            self.head.prev = node
+        self.head = node
+        if self.tail is None:
+            self.tail = node
+        self._size += 1
+        return node
+
+    def remove(self, node: ListNode[T]) -> None:
+        """Unlink *node* from this list in O(1)."""
+        if node._owner is not self:
+            raise ValueError("node does not belong to this list")
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self.head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self.tail = node.prev
+        node.prev = node.next = None
+        node._owner = None
+        self._size -= 1
+
+    def move_to_tail(self, node: ListNode[T]) -> None:
+        """Move *node* to the most-recent end in O(1)."""
+        if node._owner is not self:
+            raise ValueError("node does not belong to this list")
+        if node is self.tail:
+            return
+        self.remove(node)
+        self.append_node(node)
+
+    def popleft(self) -> T:
+        """Remove and return the head (least-recent) value."""
+        if self.head is None:
+            raise IndexError("popleft from empty list")
+        node = self.head
+        self.remove(node)
+        return node.value
+
+    def pop(self) -> T:
+        """Remove and return the tail (most-recent) value."""
+        if self.tail is None:
+            raise IndexError("pop from empty list")
+        node = self.tail
+        self.remove(node)
+        return node.value
+
+    def clear(self) -> None:
+        node = self.head
+        while node is not None:
+            nxt = node.next
+            node.prev = node.next = None
+            node._owner = None
+            node = nxt
+        self.head = self.tail = None
+        self._size = 0
+
+    def check_invariants(self) -> None:
+        """Validate link structure and size (test helper)."""
+        count = 0
+        prev = None
+        node = self.head
+        while node is not None:
+            assert node.prev is prev, "prev link broken"
+            assert node._owner is self, "owner broken"
+            prev = node
+            node = node.next
+            count += 1
+        assert self.tail is prev, "tail mismatch"
+        assert count == self._size, f"size mismatch: {count} != {self._size}"
+
+
+__all__ = ["DoublyLinkedList", "ListNode"]

@@ -1,0 +1,88 @@
+"""Argument-validation helpers with consistent error messages.
+
+Fail-fast validation keeps the numeric core free of defensive clutter:
+constructors validate once, hot loops assume clean inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+
+def _is_real(value: Any) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+        value, bool
+    )
+
+
+def check_positive(value: Any, name: str) -> float:
+    """Require a real number strictly greater than zero; return as float."""
+    if not _is_real(value):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_non_negative(value: Any, name: str) -> float:
+    """Require a real number >= 0; return as float."""
+    if not _is_real(value):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be finite and non-negative, got {value}")
+    return value
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Require an integer >= 1; return as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Require an integer >= 0; return as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Require a real number in [0, 1]; return as float."""
+    if not _is_real(value):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(value: Any, name: str, low: float, high: float) -> float:
+    """Require ``low <= value <= high``; return as float."""
+    if not _is_real(value):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value
+
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_probability",
+    "check_in_range",
+]

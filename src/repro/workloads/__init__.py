@@ -1,0 +1,82 @@
+"""Synthetic workloads: page streams, trace builders, and the
+SQLVM-style DaaS scenario (the substitution for the companion paper's
+production buffer-pool traces — see DESIGN.md §5).
+"""
+
+from repro.workloads.builders import (
+    TenantSpec,
+    adversarial_cycle_trace,
+    hot_cold_trace,
+    multi_tenant_trace,
+    phased_trace,
+    random_multi_tenant_trace,
+    scan_trace,
+    small_random_trace,
+    stack_distance_trace,
+    stream_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.workloads.characterize import (
+    WorkingSetProfile,
+    lru_stack_distances,
+    mattson_miss_ratio_curve,
+    per_tenant_summary,
+    shards_miss_ratio_curve,
+    working_set_profile,
+)
+from repro.workloads.sqlvm import (
+    TENANT_CLASSES,
+    contention_scenario,
+    SqlvmScenario,
+    SqlvmTenant,
+    sqlvm_scenario,
+)
+from repro.workloads.streams import (
+    HotColdStream,
+    MarkovStream,
+    PageStream,
+    PhasedStream,
+    ScanStream,
+    StackDistanceStream,
+    UniformStream,
+    ZipfStream,
+)
+
+__all__ = [
+    # streams
+    "PageStream",
+    "UniformStream",
+    "ZipfStream",
+    "HotColdStream",
+    "ScanStream",
+    "PhasedStream",
+    "StackDistanceStream",
+    "MarkovStream",
+    # builders
+    "stream_trace",
+    "zipf_trace",
+    "uniform_trace",
+    "scan_trace",
+    "hot_cold_trace",
+    "phased_trace",
+    "stack_distance_trace",
+    "adversarial_cycle_trace",
+    "TenantSpec",
+    "multi_tenant_trace",
+    "random_multi_tenant_trace",
+    "small_random_trace",
+    # sqlvm
+    "SqlvmTenant",
+    "SqlvmScenario",
+    "sqlvm_scenario",
+    "contention_scenario",
+    "TENANT_CLASSES",
+    # characterisation
+    "lru_stack_distances",
+    "mattson_miss_ratio_curve",
+    "shards_miss_ratio_curve",
+    "WorkingSetProfile",
+    "working_set_profile",
+    "per_tenant_summary",
+]

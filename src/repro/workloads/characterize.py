@@ -1,0 +1,272 @@
+"""Workload characterisation: stack distances, Mattson MRCs, working sets.
+
+Standard cache-analysis instruments used by the examples and the
+workload-sensitivity experiment to explain *why* a policy wins on a
+given trace:
+
+* :func:`lru_stack_distances` — the reuse (LRU stack) distance of every
+  request, computed with an order-statistic structure in
+  ``O(T log P)``;
+* :func:`mattson_miss_ratio_curve` — Mattson's classical inclusion
+  result: one pass yields LRU's exact miss count for **every** cache
+  size simultaneously;
+* :func:`working_set_profile` — Denning working-set sizes over a
+  sliding window;
+* :func:`per_tenant_summary` — request shares, footprints and reuse
+  statistics per tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.trace import Trace
+from repro.util.validation import check_positive_int
+
+
+class _BIT:
+    """Fenwick tree over positions for counting pages above a slot."""
+
+    __slots__ = ("n", "tree")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of slots [0, i)."""
+        total = 0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return int(total)
+
+
+def lru_stack_distances(trace: Trace) -> np.ndarray:
+    """Reuse distance of each request (∞ for first references).
+
+    ``out[t]`` is the number of *distinct* pages referenced since the
+    previous reference of ``requests[t]``, or ``-1`` for a cold
+    reference.  A request hits in an LRU cache of size ``k`` iff its
+    distance is ``< k``.
+
+    Implementation: each reference occupies a time slot; a Fenwick tree
+    counts occupied slots between a page's previous reference and now
+    (the classical O(T log T) algorithm).
+    """
+    T = trace.length
+    out = np.empty(T, dtype=np.int64)
+    bit = _BIT(T)
+    last_slot: Dict[int, int] = {}
+    for t in range(T):
+        p = int(trace.requests[t])
+        prev = last_slot.get(p)
+        if prev is None:
+            out[t] = -1
+        else:
+            # Distinct pages touched after prev = occupied slots in
+            # (prev, t); each distinct page keeps only its latest slot.
+            out[t] = bit.prefix(t) - bit.prefix(prev + 1)
+            bit.add(prev, -1)
+        bit.add(t, +1)
+        last_slot[p] = t
+    return out
+
+
+def mattson_miss_ratio_curve(trace: Trace, max_k: Optional[int] = None) -> np.ndarray:
+    """LRU's exact miss ratio for every cache size in one pass.
+
+    Returns ``mrc`` of length ``max_k + 1`` (default: number of distinct
+    pages) where ``mrc[k]`` is LRU's miss ratio with a cache of ``k``
+    pages (``mrc[0] = 1``).  Uses the stack-distance histogram and
+    Mattson's inclusion property; verified against direct simulation in
+    the tests.
+    """
+    if trace.length == 0:
+        raise ValueError("empty trace has no miss ratio")
+    distances = lru_stack_distances(trace)
+    distinct = int(trace.distinct_pages_requested().size)
+    if max_k is None:
+        max_k = distinct
+    max_k = check_positive_int(max_k, "max_k")
+
+    finite = distances[distances >= 0]
+    hist = np.bincount(np.minimum(finite, max_k), minlength=max_k + 1)
+    cold = int((distances < 0).sum())
+    # hits at size k = # references with distance < k.
+    hits_at_k = np.concatenate([[0], np.cumsum(hist[:max_k])])
+    misses = trace.length - hits_at_k
+    # cold misses are misses at every size; already included since cold
+    # references are excluded from `finite`.
+    assert misses[0] == trace.length
+    del cold
+    return misses / trace.length
+
+
+@dataclass(frozen=True)
+class WorkingSetProfile:
+    """Denning working-set sizes ``w(t, window)`` sampled over a trace."""
+
+    window: int
+    sample_times: np.ndarray
+    sizes: np.ndarray
+
+    @property
+    def mean_size(self) -> float:
+        return float(self.sizes.mean()) if self.sizes.size else 0.0
+
+    @property
+    def peak_size(self) -> int:
+        return int(self.sizes.max()) if self.sizes.size else 0
+
+
+def working_set_profile(
+    trace: Trace, window: int, stride: Optional[int] = None
+) -> WorkingSetProfile:
+    """Distinct pages referenced in each length-*window* slice
+    (sampled every *stride*, default = window)."""
+    window = check_positive_int(window, "window")
+    stride = window if stride is None else check_positive_int(stride, "stride")
+    times: List[int] = []
+    sizes: List[int] = []
+    T = trace.length
+    for start in range(0, max(T - window + 1, 1), stride):
+        chunk = trace.requests[start : start + window]
+        times.append(start)
+        sizes.append(int(np.unique(chunk).size))
+    return WorkingSetProfile(
+        window=window,
+        sample_times=np.asarray(times, dtype=np.int64),
+        sizes=np.asarray(sizes, dtype=np.int64),
+    )
+
+
+def per_tenant_summary(trace: Trace) -> List[Dict[str, object]]:
+    """Per-tenant workload statistics: request share, footprint, reuse.
+
+    Returns one row per tenant with: request count and share, distinct
+    pages touched, owned pages, mean finite reuse distance and cold
+    fraction — the numbers that explain policy behaviour on the mix.
+    """
+    distances = lru_stack_distances(trace)
+    users = trace.owners[trace.requests]
+    rows: List[Dict[str, object]] = []
+    total = max(trace.length, 1)
+    for i in range(trace.num_users):
+        mask = users == i
+        reqs = int(mask.sum())
+        d = distances[mask]
+        finite = d[d >= 0]
+        rows.append(
+            {
+                "tenant": i,
+                "requests": reqs,
+                "share": reqs / total,
+                "distinct_pages": int(np.unique(trace.requests[mask]).size)
+                if reqs
+                else 0,
+                "owned_pages": int((trace.owners == i).sum()),
+                "mean_reuse_distance": float(finite.mean()) if finite.size else np.nan,
+                "cold_fraction": float((d < 0).mean()) if reqs else np.nan,
+            }
+        )
+    return rows
+
+
+def shards_miss_ratio_curve(
+    trace: Trace,
+    sample_rate: float = 0.1,
+    max_k: Optional[int] = None,
+    hash_seed: int = 0x5BD1,
+) -> np.ndarray:
+    """Approximate LRU MRC via spatial sampling (SHARDS, Waldspurger
+    et al., FAST 2015).
+
+    Keeps only pages whose hash falls below ``sample_rate`` (fixed-rate
+    SHARDS), computes exact stack distances on the sampled sub-trace,
+    and scales distances by ``1/sample_rate`` — reuse distances measured
+    in sampled pages estimate ``rate × true distance`` because sampling
+    is spatially uniform.  Orders of magnitude cheaper than exact
+    Mattson on large traces.
+
+    Includes the SHARDS-adj first-bucket correction (FAST'15 §3.3),
+    which removes the estimator's systematic small-``k`` bias.
+    Measured accuracy on zipf(0.9) instances (see tests): error ≲ 0.03
+    at moderate ``k`` for ``sample_rate=0.5`` and ≲ 0.07 in the steep
+    region at 0.1, vanishing at large ``k``.  One reference's distance
+    estimate has spread :math:`\\sqrt{d/\\text{rate}}` pages, so pick
+    a rate with :math:`k \\gg \\sqrt{k/\\text{rate}}` for the cache
+    sizes of interest.
+
+    Returns the same shape as :func:`mattson_miss_ratio_curve`:
+    ``mrc[k]`` ≈ LRU miss ratio at cache size ``k`` (``max_k`` defaults
+    to the number of distinct pages in the *full* trace).
+    """
+    if not (0.0 < sample_rate <= 1.0):
+        raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
+    if trace.length == 0:
+        raise ValueError("empty trace has no miss ratio")
+    distinct = int(trace.distinct_pages_requested().size)
+    if max_k is None:
+        max_k = distinct
+    max_k = check_positive_int(max_k, "max_k")
+    if sample_rate == 1.0:
+        return mattson_miss_ratio_curve(trace, max_k=max_k)
+
+    # Deterministic spatial filter: hash each page id once.
+    # Deliberately a *low-discrepancy* multiplicative hash rather than a
+    # fully-mixing one: on consecutive page ids it behaves like
+    # systematic 1-in-1/rate sampling, which keeps the sampled share of
+    # the hot pages close to its expectation and measurably reduces
+    # instance-level bias on skewed popularity (a fully-mixed hash makes
+    # the kept-hot-page count binomial, which dominated the error in
+    # our measurements).
+    page_ids = np.arange(trace.num_pages, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        hashed = (page_ids * np.uint64(2654435761) + np.uint64(hash_seed)) % np.uint64(
+            2**32
+        )
+    keep = hashed < np.uint64(int(sample_rate * 2**32))
+    mask = keep[trace.requests]
+    sampled = trace.requests[mask]
+    if sampled.size == 0:
+        raise ValueError(
+            "sampling kept no requests; raise sample_rate or use the exact curve"
+        )
+    sub = Trace(sampled, trace.owners, name=f"{trace.name}~shards")
+
+    distances = lru_stack_distances(sub)
+    finite = distances[distances >= 0]
+    # Scale sampled distances back to full-trace cache sizes.
+    scaled = np.minimum(
+        np.floor(finite / sample_rate).astype(np.int64), max_k
+    )
+    hist = np.bincount(scaled, minlength=max_k + 1).astype(float)
+    # SHARDS-adj (FAST'15 section 3.3): the actual sampled reference
+    # count deviates from its expectation rate*T; correcting the first
+    # bucket by the difference removes the estimator's systematic bias
+    # at small cache sizes (roughly halves the error in our tests).
+    expected = sample_rate * trace.length
+    hist[0] += expected - sampled.size
+    hits_at_k = np.concatenate([[0.0], np.cumsum(hist[:max_k])])
+    misses = expected - hits_at_k
+    return np.clip(misses / expected, 0.0, 1.0)
+
+
+__all__ = [
+    "lru_stack_distances",
+    "mattson_miss_ratio_curve",
+    "shards_miss_ratio_curve",
+    "WorkingSetProfile",
+    "working_set_profile",
+    "per_tenant_summary",
+]

@@ -1,0 +1,297 @@
+"""Per-tenant page-reference streams.
+
+A :class:`PageStream` produces an endless sequence of page indices in a
+tenant's *local* page space ``0..num_pages-1``; the builders in
+:mod:`repro.workloads.builders` interleave streams into global
+multi-tenant :class:`~repro.sim.trace.Trace` objects.
+
+Streams cover the canonical locality archetypes used in caching
+studies: independent-reference Zipf and uniform draws, sequential and
+cyclic scans, hot/cold sets, phased working sets, and an LRU
+stack-distance model for tunable temporal locality.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.util.rng import RandomSource, ensure_rng
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class PageStream(ABC):
+    """An endless page-reference stream over local pages ``0..num_pages-1``."""
+
+    def __init__(self, num_pages: int) -> None:
+        self.num_pages = check_positive_int(num_pages, "num_pages")
+
+    @abstractmethod
+    def next_page(self, rng: np.random.Generator) -> int:
+        """Draw the next page reference."""
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw *count* references; default loops, IID streams override
+        with a vectorised draw."""
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            out[i] = self.next_page(rng)
+        return out
+
+    def reset(self) -> None:
+        """Return internal state (if any) to the start."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(num_pages={self.num_pages})"
+
+
+class UniformStream(PageStream):
+    """Independent uniform references (no locality)."""
+
+    def next_page(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.num_pages))
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.integers(0, self.num_pages, size=count, dtype=np.int64)
+
+
+class ZipfStream(PageStream):
+    """Independent Zipf(``skew``) references — the standard skewed model
+    for database/web page popularity.
+
+    ``P(page r) ∝ 1/(r+1)^skew`` over a fixed popularity ranking; pass
+    ``shuffle=True`` (default) to randomise which page ids are hot (one
+    permutation drawn from ``perm_seed``, so the *shape* of a sweep
+    does not depend on the hot page happening to be page 0).
+    """
+
+    def __init__(
+        self,
+        num_pages: int,
+        skew: float = 0.8,
+        shuffle: bool = True,
+        perm_seed: RandomSource = 12345,
+    ) -> None:
+        super().__init__(num_pages)
+        self.skew = check_non_negative(skew, "skew")
+        ranks = np.arange(1, self.num_pages + 1, dtype=float)
+        weights = ranks ** (-self.skew)
+        self._probs = weights / weights.sum()
+        if shuffle:
+            perm = ensure_rng(perm_seed).permutation(self.num_pages)
+        else:
+            perm = np.arange(self.num_pages)
+        self._perm = perm.astype(np.int64)
+
+    def next_page(self, rng: np.random.Generator) -> int:
+        rank = int(rng.choice(self.num_pages, p=self._probs))
+        return int(self._perm[rank])
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        ranks = rng.choice(self.num_pages, size=count, p=self._probs)
+        return self._perm[ranks]
+
+
+class HotColdStream(PageStream):
+    """Classic hot/cold: fraction ``hot_fraction`` of pages receives
+    fraction ``hot_probability`` of references, uniform within tiers."""
+
+    def __init__(
+        self,
+        num_pages: int,
+        hot_fraction: float = 0.2,
+        hot_probability: float = 0.8,
+    ) -> None:
+        super().__init__(num_pages)
+        self.hot_fraction = check_probability(hot_fraction, "hot_fraction")
+        self.hot_probability = check_probability(hot_probability, "hot_probability")
+        self._num_hot = max(1, int(round(self.hot_fraction * self.num_pages)))
+        if self._num_hot >= self.num_pages:
+            self._num_hot = self.num_pages
+
+    def next_page(self, rng: np.random.Generator) -> int:
+        if self._num_hot < self.num_pages and rng.random() < self.hot_probability:
+            return int(rng.integers(0, self._num_hot))
+        if self._num_hot < self.num_pages:
+            return int(rng.integers(self._num_hot, self.num_pages))
+        return int(rng.integers(0, self.num_pages))
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if self._num_hot >= self.num_pages:
+            return rng.integers(0, self.num_pages, size=count, dtype=np.int64)
+        hot = rng.random(count) < self.hot_probability
+        out = np.empty(count, dtype=np.int64)
+        out[hot] = rng.integers(0, self._num_hot, size=int(hot.sum()))
+        out[~hot] = rng.integers(self._num_hot, self.num_pages, size=int((~hot).sum()))
+        return out
+
+
+class ScanStream(PageStream):
+    """Cyclic sequential scan ``0, 1, …, P-1, 0, 1, …`` — the pattern on
+    which LRU degenerates (and MRU shines) when :math:`P > k`."""
+
+    def __init__(self, num_pages: int, start: int = 0) -> None:
+        super().__init__(num_pages)
+        if not (0 <= start < self.num_pages):
+            raise ValueError(f"start must be in [0, {self.num_pages - 1}]")
+        self._start = start
+        self._pos = start
+
+    def next_page(self, rng: np.random.Generator) -> int:
+        page = self._pos
+        self._pos = (self._pos + 1) % self.num_pages
+        return page
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        out = (self._pos + np.arange(count, dtype=np.int64)) % self.num_pages
+        self._pos = int((self._pos + count) % self.num_pages)
+        return out
+
+    def reset(self) -> None:
+        self._pos = self._start
+
+
+class PhasedStream(PageStream):
+    """Phased working sets: reference a random subset ("working set") of
+    ``working_set_size`` pages for ``phase_length`` references, then
+    jump to a fresh subset — modelling application phase changes."""
+
+    def __init__(
+        self,
+        num_pages: int,
+        working_set_size: int,
+        phase_length: int,
+        skew_within_phase: float = 0.0,
+    ) -> None:
+        super().__init__(num_pages)
+        self.working_set_size = check_positive_int(working_set_size, "working_set_size")
+        if self.working_set_size > self.num_pages:
+            raise ValueError("working_set_size cannot exceed num_pages")
+        self.phase_length = check_positive_int(phase_length, "phase_length")
+        self.skew_within_phase = check_non_negative(
+            skew_within_phase, "skew_within_phase"
+        )
+        ranks = np.arange(1, self.working_set_size + 1, dtype=float)
+        weights = ranks ** (-self.skew_within_phase)
+        self._probs = weights / weights.sum()
+        self._current_set: Optional[np.ndarray] = None
+        self._left = 0
+
+    def _new_phase(self, rng: np.random.Generator) -> None:
+        self._current_set = rng.choice(
+            self.num_pages, size=self.working_set_size, replace=False
+        ).astype(np.int64)
+        self._left = self.phase_length
+
+    def next_page(self, rng: np.random.Generator) -> int:
+        if self._left <= 0 or self._current_set is None:
+            self._new_phase(rng)
+        self._left -= 1
+        idx = int(rng.choice(self.working_set_size, p=self._probs))
+        return int(self._current_set[idx])
+
+    def reset(self) -> None:
+        self._current_set = None
+        self._left = 0
+
+
+class StackDistanceStream(PageStream):
+    """Temporal locality via the LRU stack-distance model.
+
+    Maintains an LRU stack of previously referenced pages; each
+    reference re-touches stack depth :math:`d` with probability
+    :math:`\\propto (d+1)^{-\\theta}`, or (with probability
+    ``miss_rate``, or when the stack is empty/short) a page not yet on
+    the stack.  Larger ``theta`` = stronger locality.
+    """
+
+    def __init__(
+        self, num_pages: int, theta: float = 1.0, miss_rate: float = 0.05
+    ) -> None:
+        super().__init__(num_pages)
+        self.theta = check_non_negative(theta, "theta")
+        self.miss_rate = check_probability(miss_rate, "miss_rate")
+        self._stack: List[int] = []
+
+    def next_page(self, rng: np.random.Generator) -> int:
+        depth_available = len(self._stack)
+        take_new = (
+            depth_available == 0
+            or (depth_available < self.num_pages and rng.random() < self.miss_rate)
+        )
+        if take_new:
+            on_stack = set(self._stack)
+            # Rejection-sample an unseen page (stack shorter than the
+            # page space whenever we get here).
+            while True:
+                page = int(rng.integers(0, self.num_pages))
+                if page not in on_stack:
+                    break
+        else:
+            depths = np.arange(1, depth_available + 1, dtype=float)
+            weights = depths ** (-self.theta)
+            probs = weights / weights.sum()
+            d = int(rng.choice(depth_available, p=probs))
+            page = self._stack.pop(d)
+        self._stack.insert(0, page)
+        return page
+
+    def reset(self) -> None:
+        self._stack = []
+
+
+class MarkovStream(PageStream):
+    """First-order Markov references over a random sparse transition
+    graph — spatial locality with deterministic-ish runs.
+
+    Each page has ``out_degree`` successor pages (chosen once from
+    ``graph_seed``); with probability ``follow_prob`` the next
+    reference follows a random successor, otherwise it jumps uniformly.
+    """
+
+    def __init__(
+        self,
+        num_pages: int,
+        out_degree: int = 3,
+        follow_prob: float = 0.85,
+        graph_seed: RandomSource = 999,
+    ) -> None:
+        super().__init__(num_pages)
+        self.out_degree = check_positive_int(out_degree, "out_degree")
+        self.follow_prob = check_probability(follow_prob, "follow_prob")
+        g = ensure_rng(graph_seed)
+        self._succ = g.integers(
+            0, self.num_pages, size=(self.num_pages, self.out_degree), dtype=np.int64
+        )
+        self._current = 0
+
+    def next_page(self, rng: np.random.Generator) -> int:
+        if rng.random() < self.follow_prob:
+            choice = int(rng.integers(0, self.out_degree))
+            self._current = int(self._succ[self._current, choice])
+        else:
+            self._current = int(rng.integers(0, self.num_pages))
+        return self._current
+
+    def reset(self) -> None:
+        self._current = 0
+
+
+__all__ = [
+    "PageStream",
+    "UniformStream",
+    "ZipfStream",
+    "HotColdStream",
+    "ScanStream",
+    "PhasedStream",
+    "StackDistanceStream",
+    "MarkovStream",
+]

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic traces and cost menus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost_functions import (
+    LinearCost,
+    MonomialCost,
+    PiecewiseLinearCost,
+    PolynomialCost,
+)
+from repro.sim.trace import Trace, single_user_trace
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """3 users x 2 pages, 16 requests, deterministic."""
+    owners = np.array([0, 0, 1, 1, 2, 2])
+    requests = np.array([0, 1, 2, 3, 4, 5, 0, 2, 4, 1, 3, 5, 0, 0, 2, 4])
+    return Trace(requests, owners, name="tiny")
+
+
+@pytest.fixture
+def single_user_small() -> Trace:
+    """One user, 5 pages, classic LRU-unfriendly tail."""
+    return single_user_trace([0, 1, 2, 3, 0, 1, 2, 3, 4, 0, 1, 2], name="small")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def monomial_costs():
+    return [MonomialCost(2), MonomialCost(2), MonomialCost(2)]
+
+
+@pytest.fixture
+def mixed_costs():
+    return [
+        MonomialCost(2),
+        LinearCost(3.0),
+        PiecewiseLinearCost.sla(4.0, 5.0, 0.5),
+    ]
+
+
+def random_trace(rng: np.random.Generator, num_users=3, pages_per_user=3, T=40) -> Trace:
+    num_pages = num_users * pages_per_user
+    requests = rng.integers(0, num_pages, size=T)
+    owners = np.repeat(np.arange(num_users), pages_per_user)
+    return Trace(requests, owners, name="random")

@@ -1,0 +1,169 @@
+"""Behavioural tests for ALG-DISCRETE (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alg_discrete import DERIVATIVE_MODES, AlgDiscrete
+from repro.core.cost_functions import (
+    LinearCost,
+    MonomialCost,
+    PiecewiseLinearCost,
+    TableCost,
+)
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace, single_user_trace
+
+
+class TestConstruction:
+    def test_mode_validation(self):
+        for mode in DERIVATIVE_MODES:
+            AlgDiscrete(derivative_mode=mode)
+        with pytest.raises(ValueError):
+            AlgDiscrete(derivative_mode="bogus")
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            AlgDiscrete(derivative_mode="smoothed", smoothing_window=0)
+
+    def test_smoothed_name_carries_window(self):
+        assert AlgDiscrete(derivative_mode="smoothed", smoothing_window=7).name == (
+            "alg-smoothed-7"
+        )
+
+    def test_requires_costs(self, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate(tiny_trace, AlgDiscrete(), k=2)
+
+
+class TestBudgetSemantics:
+    def test_insert_budget_is_gradient(self):
+        """First insert of a beta=2 user: B = f'(m+1) = f'(1) = 2."""
+        t = single_user_trace([0])
+        alg = AlgDiscrete()
+        simulate(t, alg, k=2, costs=[MonomialCost(2)])
+        assert alg.budget_of(0) == pytest.approx(2.0)
+
+    def test_budget_refreshes_on_hit(self):
+        t = single_user_trace([0, 1, 0])
+        alg = AlgDiscrete()
+        simulate(t, alg, k=2, costs=[MonomialCost(2)])
+        # No evictions: both budgets still f'(1) = 2.
+        assert alg.budget_of(0) == pytest.approx(2.0)
+
+    def test_subtract_and_uplift_after_eviction(self):
+        """k=2, beta=2, trace [0, 1, 2]: at t=2 the cache is full, all
+        budgets are 2 -> FIFO evicts page 0 with B=2.  Then:
+        page 1: 2 - 2 (subtract) + [f'(2) - f'(1) = 2] (uplift, same
+        user) = 2; page 2 inserted with f'(m+1) = f'(2) = 4."""
+        t = single_user_trace([0, 1, 2])
+        alg = AlgDiscrete()
+        r = simulate(t, alg, k=2, costs=[MonomialCost(2)], record_events=True)
+        assert [e.victim for e in r.events] == [0]
+        assert alg.budget_of(1) == pytest.approx(2.0)
+        assert alg.budget_of(2) == pytest.approx(4.0)
+        assert alg.evictions_by_user.tolist() == [1]
+
+    def test_cross_user_no_uplift(self):
+        """Two users: evicting user 0's page must not uplift user 1."""
+        owners = np.array([0, 1, 1])
+        t = Trace(np.array([0, 1, 2]), owners)
+        costs = [MonomialCost(2), MonomialCost(2)]
+        alg = AlgDiscrete()
+        r = simulate(t, alg, k=2, costs=costs, record_events=True)
+        assert [e.victim for e in r.events] == [0]
+        # Page 1 (user 1): 2 - 2 = 0, no uplift from user 0's eviction.
+        assert alg.budget_of(1) == pytest.approx(0.0)
+        # Page 2 (user 1): fresh f'(0 + 1) = 2 (user 1 has no evictions).
+        assert alg.budget_of(2) == pytest.approx(2.0)
+
+    def test_linear_unit_cost_reduces_to_fifo_like(self):
+        """With f(x) = x all budgets are equal constants, so eviction
+        order is pure FIFO among resident pages."""
+        t = single_user_trace([0, 1, 2, 3, 0, 4])
+        from repro.policies.fifo import FIFOPolicy
+
+        alg_r = simulate(t, AlgDiscrete(), 3, costs=[LinearCost()], record_events=True)
+        fifo_r = simulate(t, FIFOPolicy(), 3, record_events=True)
+        assert [e.victim for e in alg_r.events] == [e.victim for e in fifo_r.events]
+
+    def test_free_sla_misses_evicted_first(self):
+        """A user inside its free-miss allowance has budget 0; its pages
+        are the first victims."""
+        owners = np.array([0, 1, 1, 0])
+        t = Trace(np.array([0, 1, 3, 2]), owners)
+        costs = [
+            PiecewiseLinearCost.sla(100.0, 5.0),  # user 0: free zone
+            LinearCost(2.0),  # user 1: every miss costs
+        ]
+        alg = AlgDiscrete()
+        r = simulate(t, alg, k=3, costs=costs, record_events=True)
+        assert [e.victim for e in r.events] == [0]
+
+    def test_evictions_by_user_counts_victim_owner(self):
+        owners = np.array([0, 1])
+        # Page 1 (user 1, cheap) churns; user 0's page never evicted.
+        t = Trace(np.array([0, 1, 1, 1]), owners)
+        costs = [MonomialCost(3), LinearCost(0.001)]
+        alg = AlgDiscrete()
+        simulate(t, alg, k=1, costs=costs)
+        assert alg.evictions_by_user[0] + alg.evictions_by_user[1] >= 1
+
+    def test_resident_budgets_nonnegative_always(self, rng):
+        t = single_user_trace(rng.integers(0, 12, 400).tolist())
+        alg = AlgDiscrete()
+        simulate(t, alg, k=4, costs=[MonomialCost(2)])
+        assert all(b >= 0 for b in alg.resident_budgets().values())
+
+
+class TestDerivativeModes:
+    def test_marginal_mode_runs_table_cost(self):
+        """Section 2.5: the algorithm runs for arbitrary table costs
+        (even non-convex) in marginal mode."""
+        t = single_user_trace([0, 1, 2, 0, 3, 1])
+        costs = [TableCost([0.0, 5.0, 6.0, 12.0, 13.0, 20.0, 21.0])]
+        r = simulate(t, AlgDiscrete(derivative_mode="marginal"), 2, costs=costs)
+        assert r.misses >= 4
+
+    def test_smoothed_mode_anticipates_sla(self):
+        """Smoothed budgets are positive even inside the free zone,
+        unlike the pointwise derivative."""
+        costs = [PiecewiseLinearCost.sla(10.0, 5.0)]
+        t = single_user_trace([0])
+        sharp = AlgDiscrete(derivative_mode="continuous")
+        smooth = AlgDiscrete(derivative_mode="smoothed", smoothing_window=100)
+        simulate(t, sharp, 2, costs=costs)
+        simulate(t, smooth, 2, costs=costs)
+        assert sharp.budget_of(0) == 0.0
+        assert smooth.budget_of(0) > 0.0
+
+    def test_smoothed_window_one_equals_marginal(self, rng):
+        t = single_user_trace(rng.integers(0, 8, 150).tolist())
+        costs = [MonomialCost(2)]
+        a = simulate(
+            t,
+            AlgDiscrete(derivative_mode="smoothed", smoothing_window=1),
+            3,
+            costs=costs,
+            record_events=True,
+        )
+        b = simulate(
+            t,
+            AlgDiscrete(derivative_mode="marginal"),
+            3,
+            costs=costs,
+            record_events=True,
+        )
+        assert [e.victim for e in a.events] == [e.victim for e in b.events]
+
+
+class TestFlush:
+    def test_on_flush_no_dual_updates(self):
+        t = single_user_trace([0, 1])
+        alg = AlgDiscrete()
+        simulate(t, alg, k=2, costs=[MonomialCost(2)])
+        before = alg.resident_budgets()
+        alg.on_flush(0, t=2)
+        after = alg.resident_budgets()
+        assert 0 not in after
+        assert after[1] == before[1]  # no subtraction happened
+        assert alg.evictions_by_user[0] == 0  # not a miss-driven eviction

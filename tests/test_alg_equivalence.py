@@ -1,0 +1,114 @@
+"""ALG-CONT and ALG-DISCRETE must make identical eviction decisions.
+
+The paper presents Fig. 3 as the discrete implementation of Fig. 2
+("A simple check shows that ALG-CONT will be the same algorithm…");
+with shared arithmetic and tie-breaking this is exact, and these tests
+enforce it over randomized instances and every cost family.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alg_continuous import AlgContinuous
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import (
+    LinearCost,
+    MonomialCost,
+    PiecewiseLinearCost,
+    PolynomialCost,
+)
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace
+
+COST_MENUS = {
+    "linear": lambda n: [LinearCost(1.0 + i) for i in range(n)],
+    "monomial2": lambda n: [MonomialCost(2) for _ in range(n)],
+    "monomial3": lambda n: [MonomialCost(3, scale=0.5) for _ in range(n)],
+    "poly": lambda n: [PolynomialCost([0.0, 1.0, 0.25]) for _ in range(n)],
+    "sla": lambda n: [PiecewiseLinearCost.sla(3.0 + i, 2.0 + i, 0.1) for i in range(n)],
+    "mixed": lambda n: [
+        [MonomialCost(2), LinearCost(3.0), PiecewiseLinearCost.sla(4.0, 5.0, 0.5)][
+            i % 3
+        ]
+        for i in range(n)
+    ],
+}
+
+
+def _run_pair(trace, costs, k):
+    r1 = simulate(trace, AlgDiscrete(), k, costs=costs, record_events=True)
+    r2 = simulate(trace, AlgContinuous(), k, costs=costs, record_events=True)
+    return r1, r2
+
+
+@pytest.mark.parametrize("menu", sorted(COST_MENUS))
+def test_identical_evictions_per_family(menu, rng):
+    for trial in range(5):
+        n = int(rng.integers(2, 4))
+        pages_per = int(rng.integers(2, 4))
+        owners = np.repeat(np.arange(n), pages_per)
+        requests = rng.integers(0, n * pages_per, size=120)
+        trace = Trace(requests, owners)
+        costs = COST_MENUS[menu](n)
+        k = int(rng.integers(2, 6))
+        r1, r2 = _run_pair(trace, costs, k)
+        assert r1.misses == r2.misses
+        assert [(e.t, e.victim) for e in r1.events] == [
+            (e.t, e.victim) for e in r2.events
+        ]
+        assert np.array_equal(r1.user_misses, r2.user_misses)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 8), min_size=5, max_size=120),
+    k=st.integers(1, 5),
+    beta=st.sampled_from([1, 2, 3]),
+)
+def test_identical_evictions_property(requests, k, beta):
+    owners = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+    trace = Trace(np.asarray(requests), owners)
+    costs = [MonomialCost(beta) for _ in range(3)]
+    r1, r2 = _run_pair(trace, costs, k)
+    assert [(e.t, e.victim) for e in r1.events] == [
+        (e.t, e.victim) for e in r2.events
+    ]
+
+
+def test_marginal_mode_equivalence(rng):
+    owners = np.repeat(np.arange(3), 3)
+    trace = Trace(rng.integers(0, 9, 200), owners)
+    costs = [MonomialCost(2) for _ in range(3)]
+    r1 = simulate(
+        trace,
+        AlgDiscrete(derivative_mode="marginal"),
+        3,
+        costs=costs,
+        record_events=True,
+    )
+    r2 = simulate(
+        trace,
+        AlgContinuous(derivative_mode="marginal"),
+        3,
+        costs=costs,
+        record_events=True,
+    )
+    assert [e.victim for e in r1.events] == [e.victim for e in r2.events]
+
+
+def test_y_jumps_match_discrete_budgets(rng):
+    """Section 2.5: y_t increases by exactly the evicted budget B(p)."""
+    owners = np.repeat(np.arange(2), 3)
+    trace = Trace(rng.integers(0, 6, 100), owners)
+    costs = [MonomialCost(2), MonomialCost(2)]
+    cont = AlgContinuous()
+    r = simulate(trace, cont, 3, costs=costs, record_events=True)
+    ledger = cont.ledger
+    # Every eviction time has a y jump; non-eviction times have none.
+    event_times = {e.t for e in r.events}
+    nonzero = {int(t) for t in np.nonzero(ledger.y)[0]}
+    assert nonzero <= event_times
+    # y values are non-negative and bounded by the max possible gradient.
+    assert np.all(ledger.y >= 0)

@@ -1,0 +1,202 @@
+"""Tests for bound evaluators, competitive measurement, sweeps, reports."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    bound_holds,
+    corollary_1_2_factor,
+    theorem_1_1_bound,
+    theorem_1_3_bound,
+    theorem_1_4_floor,
+)
+from repro.analysis.competitive import compare_policies, measure_competitive
+from repro.analysis.report import ascii_bars, ascii_series, ascii_table, to_csv, write_csv
+from repro.analysis.sweep import run_sweep
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.policies.lru import LRUPolicy
+from repro.workloads.builders import small_random_trace
+
+
+class TestBounds:
+    def test_theorem_1_1_bound_monomial(self):
+        # sum f(alpha*k*b) with f = x^2, alpha = 2, k = 3, b = [1, 2].
+        costs = [MonomialCost(2), MonomialCost(2)]
+        b = np.array([1, 2])
+        assert theorem_1_1_bound(costs, 3, b) == (6.0) ** 2 + (12.0) ** 2
+
+    def test_theorem_1_1_alpha_override(self):
+        costs = [MonomialCost(2)]
+        assert theorem_1_1_bound(costs, 2, np.array([1]), alpha=1.0) == 4.0
+
+    def test_theorem_1_3_reduces_to_1_1_at_h_equals_k(self):
+        costs = [MonomialCost(2)]
+        b = np.array([2])
+        k = 4
+        # k/(k-h+1) at h=k is k; so the two bounds coincide.
+        assert theorem_1_3_bound(costs, k, k, b) == theorem_1_1_bound(costs, k, b)
+
+    def test_theorem_1_3_h_validation(self):
+        with pytest.raises(ValueError):
+            theorem_1_3_bound([MonomialCost(2)], 2, 3, np.array([1]))
+
+    def test_corollary_1_2_factor(self):
+        assert corollary_1_2_factor(2, 3) == 4 * 9
+        assert corollary_1_2_factor(1, 7) == 7
+        with pytest.raises(ValueError):
+            corollary_1_2_factor(0.5, 3)
+
+    def test_theorem_1_4_floor(self):
+        assert theorem_1_4_floor(8, 2) == 4.0
+
+    def test_bound_holds(self):
+        assert bound_holds(10.0, 10.0)
+        assert bound_holds(9.999, 10.0)
+        assert not bound_holds(10.1, 10.0)
+
+
+class TestMeasureCompetitive:
+    def test_exact_method(self):
+        trace = small_random_trace(2, 3, 20, seed=1)
+        costs = [MonomialCost(2)] * 2
+        m = measure_competitive(trace, costs, k=3, opt_method="exact")
+        assert m.opt_is_exact
+        assert m.ratio >= 1.0 - 1e-9
+        assert m.bound_respected
+
+    def test_fractional_method(self):
+        trace = small_random_trace(2, 3, 20, seed=2)
+        costs = [MonomialCost(2)] * 2
+        m = measure_competitive(trace, costs, k=3, opt_method="fractional")
+        assert not m.opt_is_exact
+        assert m.bound_value is None
+        exact = measure_competitive(trace, costs, k=3, opt_method="exact")
+        # Fractional denominator <= exact denominator -> ratio >=.
+        assert m.ratio >= exact.ratio - 1e-9
+
+    def test_heuristic_method(self):
+        trace = small_random_trace(2, 3, 20, seed=3)
+        costs = [MonomialCost(2)] * 2
+        m = measure_competitive(trace, costs, k=3, opt_method="heuristic")
+        exact = measure_competitive(trace, costs, k=3, opt_method="exact")
+        assert m.ratio <= exact.ratio + 1e-9
+
+    def test_unknown_method(self):
+        trace = small_random_trace(2, 2, 10, seed=4)
+        with pytest.raises(ValueError):
+            measure_competitive(trace, [MonomialCost(2)] * 2, 2, opt_method="magic")
+
+    def test_alpha_recorded(self):
+        trace = small_random_trace(2, 2, 10, seed=5)
+        m = measure_competitive(trace, [MonomialCost(3)] * 2, 2)
+        assert m.alpha == 3.0
+
+
+class TestComparePolicies:
+    def test_rows_sorted_by_cost(self):
+        trace = small_random_trace(2, 3, 60, seed=6)
+        costs = [MonomialCost(2)] * 2
+        from repro.core.alg_discrete import AlgDiscrete
+        from repro.policies.fifo import FIFOPolicy
+
+        comp = compare_policies(
+            trace, costs, 3, {"lru": LRUPolicy, "fifo": FIFOPolicy, "alg": AlgDiscrete}
+        )
+        costs_col = [r["cost"] for r in comp.rows]
+        assert costs_col == sorted(costs_col)
+        assert comp.best()["cost"] == costs_col[0]
+        assert comp.by_policy("lru")["policy"] == "lru"
+        with pytest.raises(KeyError):
+            comp.by_policy("nope")
+
+
+class TestSweep:
+    def test_grid_product_and_replicates(self):
+        calls = []
+
+        def cell(a, b, seed):
+            calls.append((a, b, seed))
+            return {"value": a * 10 + b}
+
+        result = run_sweep(cell, {"a": [1, 2], "b": [3, 4]}, replicates=3, base_seed=0)
+        assert len(result.rows) == 2 * 2 * 3
+        # Seeds unique per run.
+        assert len({c[2] for c in calls}) == len(calls)
+
+    def test_grouped_mean(self):
+        def cell(a, seed):
+            return {"value": a + (seed % 2) * 0.0}
+
+        result = run_sweep(cell, {"a": [1, 2]}, replicates=4)
+        grouped = result.grouped(["a"], "value")
+        assert grouped[0]["value_mean"] == 1.0
+        assert grouped[1]["value_mean"] == 2.0
+        assert grouped[0]["replicates"] == 4
+
+    def test_grouped_aggregations(self):
+        def cell(a, seed):
+            return {"value": float(seed % 7)}
+
+        result = run_sweep(cell, {"a": [1]}, replicates=10)
+        for agg in ("mean", "min", "max", "median"):
+            out = result.grouped(["a"], "value", agg=agg)
+            assert math.isfinite(out[0][f"value_{agg}"])
+
+    def test_grouped_drops_nonfinite(self):
+        def cell(a, seed):
+            return {"value": math.nan if seed % 2 else 1.0}
+
+        result = run_sweep(cell, {"a": [1]}, replicates=6)
+        out = result.grouped(["a"], "value")
+        assert out[0]["value_mean"] == 1.0 or math.isnan(out[0]["value_mean"])
+
+    def test_column(self):
+        result = run_sweep(lambda a, seed: {"v": a}, {"a": [5]}, replicates=2)
+        assert result.column("v") == [5, 5]
+
+
+class TestReport:
+    ROWS = [
+        {"name": "a", "value": 1.23456, "flag": True},
+        {"name": "b", "value": float("inf"), "flag": False},
+    ]
+
+    def test_ascii_table_renders(self):
+        text = ascii_table(self.ROWS, title="T")
+        assert "T" in text and "name" in text and "1.235" in text and "inf" in text
+        assert "yes" in text and "no" in text
+
+    def test_ascii_table_empty(self):
+        assert "(no rows)" in ascii_table([])
+
+    def test_ascii_table_column_subset(self):
+        text = ascii_table(self.ROWS, columns=["name"])
+        assert "value" not in text
+
+    def test_ascii_bars(self):
+        text = ascii_bars(["x", "yy"], [1.0, 2.0], title="B")
+        assert "#" in text and "yy" in text
+
+    def test_ascii_bars_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["x"], [1.0, 2.0])
+
+    def test_ascii_series(self):
+        text = ascii_series([1, 2, 3], {"s": [1.0, 4.0, 9.0]}, title="S")
+        assert "legend" in text and "a=s" in text
+
+    def test_ascii_series_logy_drops_nonpositive(self):
+        text = ascii_series([1, 2], {"s": [0.0, 10.0]}, logy=True)
+        assert "log10" in text
+
+    def test_csv_roundtrip(self, tmp_path):
+        text = to_csv(self.ROWS)
+        assert text.splitlines()[0] == "name,value,flag"
+        path = tmp_path / "out.csv"
+        write_csv(str(path), self.ROWS)
+        assert path.read_text().startswith("name,value,flag")
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""

@@ -1,0 +1,103 @@
+"""Gap-filling tests for public API surface not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.alg_continuous import AlgContinuous
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import CallableCost, LinearCost, MonomialCost
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import simulate
+from repro.sim.trace import single_user_trace
+from repro.workloads.sqlvm import SqlvmTenant
+from repro.workloads.streams import UniformStream
+
+
+class TestAlgorithmIntrospection:
+    def test_fresh_budget_and_slack_agree(self):
+        t = single_user_trace([0, 1])
+        disc, cont = AlgDiscrete(), AlgContinuous()
+        simulate(t, disc, 3, costs=[MonomialCost(2)])
+        simulate(t, cont, 3, costs=[MonomialCost(2)])
+        assert disc.fresh_budget(0) == pytest.approx(2.0)  # f'(1) = 2
+        assert cont.slack_of(0) == pytest.approx(disc.budget_of(0))
+
+    def test_fresh_budget_tracks_evictions(self):
+        t = single_user_trace([0, 1, 2])  # one eviction at k=2
+        disc = AlgDiscrete()
+        simulate(t, disc, 2, costs=[MonomialCost(2)])
+        # m = 1 after the eviction: fresh budget = f'(2) = 4.
+        assert disc.fresh_budget(0) == pytest.approx(4.0)
+
+
+class TestCostFunctionValidators:
+    def test_is_valid_at_zero(self):
+        assert LinearCost(2.0).is_valid_at_zero()
+        shifted = CallableCost(lambda x: np.asarray(x, dtype=float) + 1.0)
+        assert not shifted.is_valid_at_zero()
+
+    def test_is_increasing(self):
+        assert MonomialCost(2).is_increasing(x_max=100)
+        bumpy = CallableCost(lambda x: np.sin(np.asarray(x, dtype=float)))
+        assert not bumpy.is_increasing(x_max=10)
+
+    def test_is_convex(self):
+        assert MonomialCost(3).is_convex(x_max=50)
+        concave = CallableCost(lambda x: np.sqrt(np.asarray(x, dtype=float)))
+        assert not concave.is_convex(x_max=50)
+
+
+class TestResultAccessors:
+    def test_total_requests_property(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), 3)
+        assert r.total_requests == tiny_trace.length
+        assert repr(r).startswith("SimResult(")
+
+    def test_user_totals_on_program(self):
+        from repro.core.convex_program import build_program
+
+        t = single_user_trace([0, 1, 0])
+        prog = build_program(t, 1)
+        totals = prog.user_totals(np.array([1.0, 0.5, 0.0]))
+        assert totals.tolist() == [1.5]
+
+
+class TestScenarioPieces:
+    def test_sla_cost_shape(self):
+        tenant = SqlvmTenant(
+            tenant_class="oltp",
+            stream=UniformStream(10),
+            priority=4.0,
+            base_weight=1.0,
+            name="t",
+        )
+        f = tenant.sla_cost(expected_misses=100.0)
+        assert f.value(0) == 0.0
+        assert f.value(50.0) == 0.0  # inside the allowance
+        assert f.derivative(60.0) == pytest.approx(4.0)  # penalty slope
+        assert f.derivative(150.0) == pytest.approx(12.0)  # steep region
+
+    def test_stream_trace_builder(self):
+        from repro.workloads.builders import stream_trace
+
+        t = stream_trace(UniformStream(5), 40, seed=0, name="st")
+        assert t.length == 40
+        assert t.name == "st"
+
+
+class TestReprs:
+    """Every public dataclass/class prints something useful."""
+
+    def test_core_reprs(self, rng):
+        from repro.core.ledger import PrimalDualLedger
+        from repro.core.offline import exact_offline_opt
+        from repro.workloads.builders import small_random_trace
+
+        trace = small_random_trace(2, 2, 12, seed=1)
+        costs = [MonomialCost(2)] * 2
+        opt = exact_offline_opt(trace, costs, 2)
+        assert "OfflineOptResult" in repr(opt)
+        led = PrimalDualLedger(num_pages=2, num_users=1, T=4)
+        assert "PrimalDualLedger" in repr(led)
+        assert "AlgDiscrete" in repr(AlgDiscrete())
+        assert "AlgContinuous" in repr(AlgContinuous())

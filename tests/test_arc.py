@@ -1,0 +1,120 @@
+"""Tests for ARC and 2Q."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.arc import ARCPolicy, TwoQueuePolicy
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace, single_user_trace
+from repro.workloads.builders import hot_cold_trace, scan_trace
+
+
+def scan_polluted_trace(seed=1, hot_pages=50, scan_pages=300, length=12_000):
+    """A hot working set interleaved with a one-shot scan — the LRU
+    pollution pattern ARC/2Q exist to fix."""
+    hot = hot_cold_trace(hot_pages, length // 2, 0.2, 0.9, seed=seed)
+    scan = scan_trace(scan_pages, length // 2)
+    reqs = np.empty(length, dtype=np.int64)
+    reqs[0::2] = hot.requests
+    reqs[1::2] = scan.requests + hot_pages
+    owners = np.zeros(hot_pages + scan_pages, dtype=np.int64)
+    return Trace(reqs, owners, name="scan-polluted")
+
+
+class TestARC:
+    def test_basic_run(self, rng):
+        t = single_user_trace(rng.integers(0, 20, 500).tolist())
+        r = simulate(t, ARCPolicy(), 8)
+        assert r.hits + r.misses == 500
+        assert len(r.final_cache) <= 8
+
+    def test_beats_lru_on_scan_pollution(self):
+        t = scan_polluted_trace()
+        arc = simulate(t, ARCPolicy(), 60)
+        lru = simulate(t, LRUPolicy(), 60)
+        assert arc.misses < lru.misses
+
+    def test_ghost_hit_promotes_to_t2(self):
+        """0 hits (enters T2), 2 evicts 1 into the B1 ghost list, and
+        re-referencing 1 is a B1 ghost hit: p grows and 1 lands in T2.
+        (With |T1| = k a T1 eviction's ghost is immediately discarded,
+        per the canonical Case IV(a) — so the T2 detour is required.)"""
+        t = single_user_trace([0, 1, 0, 2, 1])
+        policy = ARCPolicy()
+        simulate(t, policy, 2)
+        assert policy._p > 0
+        assert policy._where[1] == "t2"
+
+    def test_directory_bounded(self, rng):
+        t = single_user_trace(rng.integers(0, 50, 2_000).tolist())
+        policy = ARCPolicy()
+        simulate(t, policy, 10)
+        total = (
+            len(policy._t1) + len(policy._t2) + len(policy._b1) + len(policy._b2)
+        )
+        assert total <= 20  # 2k directory bound
+        assert len(policy._t1) + len(policy._b1) <= 10
+
+    def test_repeated_requests_all_hit(self):
+        t = single_user_trace([0] * 50)
+        r = simulate(t, ARCPolicy(), 2)
+        assert r.misses == 1
+
+
+class TestTwoQueue:
+    def test_basic_run(self, rng):
+        t = single_user_trace(rng.integers(0, 20, 500).tolist())
+        r = simulate(t, TwoQueuePolicy(), 8)
+        assert r.hits + r.misses == 500
+        assert len(r.final_cache) <= 8
+
+    def test_beats_lru_on_scan_pollution(self):
+        t = scan_polluted_trace()
+        q2 = simulate(t, TwoQueuePolicy(), 60)
+        lru = simulate(t, LRUPolicy(), 60)
+        assert q2.misses < lru.misses
+
+    def test_one_shot_pages_never_enter_main_queue(self):
+        # A pure scan never re-references: Am stays empty.
+        t = single_user_trace(list(range(100)))
+        policy = TwoQueuePolicy()
+        simulate(t, policy, 10)
+        assert len(policy._am) == 0
+
+    def test_ghost_promotion(self):
+        # 0 is evicted from A1in, then re-referenced -> lands in Am.
+        t = single_user_trace([0, 1, 2, 3, 4, 0])
+        policy = TwoQueuePolicy(in_fraction=0.5, out_fraction=2.0)
+        simulate(t, policy, 4)
+        assert policy._where.get(0) == "am"
+
+    def test_ghost_queue_bounded(self):
+        t = single_user_trace(list(range(100)))
+        policy = TwoQueuePolicy(in_fraction=0.5, out_fraction=0.5)
+        simulate(t, policy, 8)
+        assert len(policy._a1out) <= max(1, int(0.5 * 8))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TwoQueuePolicy(in_fraction=0.0)
+        with pytest.raises(ValueError):
+            TwoQueuePolicy(in_fraction=1.0)
+        with pytest.raises(ValueError):
+            TwoQueuePolicy(out_fraction=0.0)
+
+
+@pytest.mark.parametrize("factory", [ARCPolicy, TwoQueuePolicy])
+@settings(max_examples=25, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 12), min_size=1, max_size=200),
+    k=st.integers(1, 6),
+)
+def test_arc_2q_safety(factory, requests, k):
+    """Engine-level safety: capacity respected, victims resident."""
+    t = single_user_trace(requests, num_pages=13)
+    r = simulate(t, factory(), k)
+    assert r.hits + r.misses == len(requests)
+    assert len(r.final_cache) <= k

@@ -1,0 +1,212 @@
+"""BudgetIndex vs a naive reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget_index import BudgetIndex
+
+
+class NaiveBudgets:
+    """Dict-of-budgets reference with explicit O(n) bulk updates and the
+    same tie-break rules (user by current-min insertion, page FIFO)."""
+
+    def __init__(self):
+        self.budgets = {}
+        self.user = {}
+        self.page_seq = {}
+        self.entry_seq = {}  # user's top-entry seqno, mirrors push_or_update
+        self.counter = 0
+        self.top_counter = 0
+        self.prev_min = {}
+
+    def insert(self, page, user, budget):
+        assert page not in self.budgets
+        self.budgets[page] = budget
+        self.user[page] = user
+        self.page_seq[page] = self.counter
+        self.counter += 1
+        self._sync_top(user)
+
+    def _user_min(self, user):
+        pages = [p for p in self.budgets if self.user[p] == user]
+        if not pages:
+            return None
+        return min(pages, key=lambda p: (self.budgets[p], self.page_seq[p]))
+
+    def _sync_top(self, user):
+        m = self._user_min(user)
+        key = None if m is None else self.budgets[m]
+        prev = self.prev_min.get(user)
+        if key is None:
+            self.prev_min.pop(user, None)
+            self.entry_seq.pop(user, None)
+        else:
+            if user not in self.entry_seq:
+                self.entry_seq[user] = self.top_counter
+                self.top_counter += 1
+            self.prev_min[user] = key
+
+    def refresh(self, page, budget):
+        self.budgets[page] = budget
+        self._sync_top(self.user[page])
+
+    def remove(self, page):
+        b = self.budgets.pop(page)
+        u = self.user.pop(page)
+        self.page_seq.pop(page)
+        self._sync_top(u)
+        return b
+
+    def subtract_from_all(self, delta):
+        for p in self.budgets:
+            self.budgets[p] -= delta
+        for u in list(self.prev_min):
+            self._sync_top(u)
+
+    def uplift_user(self, user, delta):
+        for p in self.budgets:
+            if self.user[p] == user:
+                self.budgets[p] += delta
+        self._sync_top(user)
+
+    def min_page(self):
+        # User chosen by (min budget, top-entry seqno), page FIFO within.
+        users = {}
+        for p in self.budgets:
+            u = self.user[p]
+            key = (self.budgets[p], self.page_seq[p])
+            if u not in users or key < users[u]:
+                users[u] = key
+        best_u = min(users, key=lambda u: (users[u][0], self.entry_seq[u]))
+        pages = [p for p in self.budgets if self.user[p] == best_u]
+        best_p = min(pages, key=lambda p: (self.budgets[p], self.page_seq[p]))
+        return best_p, best_u, self.budgets[best_p]
+
+
+class TestBasics:
+    def test_empty(self):
+        idx = BudgetIndex()
+        assert len(idx) == 0
+        with pytest.raises(IndexError):
+            idx.min_page()
+
+    def test_insert_and_min(self):
+        idx = BudgetIndex()
+        idx.insert(0, 0, 5.0)
+        idx.insert(1, 1, 3.0)
+        page, user, budget = idx.min_page()
+        assert (page, user, budget) == (1, 1, 3.0)
+
+    def test_duplicate_insert_rejected(self):
+        idx = BudgetIndex()
+        idx.insert(0, 0, 1.0)
+        with pytest.raises(KeyError):
+            idx.insert(0, 0, 2.0)
+
+    def test_remove_returns_budget(self):
+        idx = BudgetIndex()
+        idx.insert(0, 0, 2.5)
+        assert idx.remove(0) == 2.5
+        assert 0 not in idx
+
+    def test_subtract_is_lazy_and_correct(self):
+        idx = BudgetIndex()
+        idx.insert(0, 0, 5.0)
+        idx.insert(1, 1, 3.0)
+        idx.subtract_from_all(2.0)
+        assert idx.budget_of(0) == 3.0
+        assert idx.budget_of(1) == 1.0
+        # Later insert unaffected by past subtractions.
+        idx.insert(2, 0, 10.0)
+        assert idx.budget_of(2) == 10.0
+
+    def test_uplift_only_touches_user(self):
+        idx = BudgetIndex()
+        idx.insert(0, 0, 1.0)
+        idx.insert(1, 1, 1.0)
+        idx.uplift_user(0, 4.0)
+        assert idx.budget_of(0) == 5.0
+        assert idx.budget_of(1) == 1.0
+        # Future inserts for user 0 not affected by past uplifts.
+        idx.insert(2, 0, 1.0)
+        assert idx.budget_of(2) == 1.0
+
+    def test_min_crosses_users_after_uplift(self):
+        idx = BudgetIndex()
+        idx.insert(0, 0, 1.0)
+        idx.insert(1, 1, 2.0)
+        idx.uplift_user(0, 5.0)
+        assert idx.min_page()[0] == 1
+
+    def test_budgets_snapshot(self):
+        idx = BudgetIndex()
+        idx.insert(0, 0, 1.0)
+        idx.insert(1, 1, 2.0)
+        idx.subtract_from_all(0.5)
+        assert idx.budgets() == {0: 0.5, 1: 1.5}
+
+    def test_clamp_noise(self):
+        idx = BudgetIndex()
+        idx.insert(0, 0, 1.0)
+        idx.subtract_from_all(1.0 + 1e-12)
+        assert idx.budget_of(0) == 0.0  # clamped, not negative
+
+    def test_real_negative_passes_through(self):
+        # Legal for non-convex costs (negative uplifts, paper section 2.5).
+        idx = BudgetIndex()
+        idx.insert(0, 0, 1.0)
+        idx.uplift_user(0, -5.0)
+        assert idx.budget_of(0) == pytest.approx(-4.0)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "refresh", "evict_min", "subtract_min", "uplift"]),
+            st.integers(0, 11),  # page
+            st.integers(0, 2),  # user
+            # Dyadic values (multiples of 1/64) keep both the lazy-offset
+            # and the direct arithmetic exact, so order comparisons are
+            # well-defined.  (With arbitrary floats, budgets closer than
+            # one ulp of the accumulated offset are absorbed and may
+            # order arbitrarily — a documented representation limit.)
+            st.integers(0, 3200).map(lambda v: v / 64.0),
+        ),
+        max_size=60,
+    )
+)
+def test_index_matches_naive(ops):
+    """Random workloads agree with the O(n) reference — including the
+    argmin (page, user, budget) and all individual budgets."""
+    idx = BudgetIndex()
+    ref = NaiveBudgets()
+    for op, page, user, val in ops:
+        if op == "insert" and page not in ref.budgets:
+            idx.insert(page, user, val)
+            ref.insert(page, user, val)
+        elif op == "refresh" and page in ref.budgets:
+            idx.refresh(page, val)
+            ref.refresh(page, val)
+        elif op == "evict_min" and ref.budgets:
+            got = idx.min_page()
+            want = ref.min_page()
+            assert got[0] == want[0] and got[1] == want[1]
+            assert got[2] == pytest.approx(want[2], abs=1e-9)
+            idx.remove(got[0])
+            ref.remove(want[0])
+        elif op == "subtract_min" and ref.budgets:
+            # Subtract the current min (the only subtraction the
+            # algorithm performs, keeping budgets >= 0).
+            delta = ref.min_page()[2]
+            idx.subtract_from_all(delta)
+            ref.subtract_from_all(delta)
+        elif op == "uplift" and ref.budgets:
+            idx.uplift_user(user, val)
+            ref.uplift_user(user, val)
+        idx.check_invariants()
+        assert len(idx) == len(ref.budgets)
+        for p, want_b in ref.budgets.items():
+            assert idx.budget_of(p) == pytest.approx(max(want_b, 0.0), abs=1e-7)

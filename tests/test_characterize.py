@@ -1,0 +1,151 @@
+"""Tests for workload characterisation (stack distances, Mattson MRC)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace, single_user_trace
+from repro.workloads.builders import zipf_trace
+from repro.workloads.characterize import (
+    lru_stack_distances,
+    mattson_miss_ratio_curve,
+    per_tenant_summary,
+    working_set_profile,
+)
+
+
+class TestStackDistances:
+    def test_cold_references(self):
+        d = lru_stack_distances(single_user_trace([0, 1, 2]))
+        assert d.tolist() == [-1, -1, -1]
+
+    def test_immediate_reuse_distance_zero(self):
+        d = lru_stack_distances(single_user_trace([0, 0]))
+        assert d.tolist() == [-1, 0]
+
+    def test_classic_example(self):
+        # 0 1 2 0: the re-reference of 0 has 2 distinct pages between.
+        d = lru_stack_distances(single_user_trace([0, 1, 2, 0]))
+        assert d.tolist() == [-1, -1, -1, 2]
+
+    def test_repeats_do_not_inflate(self):
+        # 0 1 1 1 0: only one distinct page between the 0s.
+        d = lru_stack_distances(single_user_trace([0, 1, 1, 1, 0]))
+        assert d[-1] == 1
+
+    def test_matches_naive(self, rng):
+        reqs = rng.integers(0, 8, 120).tolist()
+        t = single_user_trace(reqs, num_pages=8)
+        d = lru_stack_distances(t)
+        for i, p in enumerate(reqs):
+            prev = max((j for j in range(i) if reqs[j] == p), default=None)
+            if prev is None:
+                assert d[i] == -1
+            else:
+                assert d[i] == len(set(reqs[prev + 1 : i]))
+
+
+class TestMattson:
+    def test_matches_direct_lru_simulation(self, rng):
+        t = zipf_trace(40, 2_000, skew=0.8, seed=3)
+        mrc = mattson_miss_ratio_curve(t)
+        for k in (1, 3, 8, 20, 40):
+            direct = simulate(t, LRUPolicy(), k).miss_ratio
+            assert mrc[k] == pytest.approx(direct), k
+
+    def test_monotone_non_increasing(self):
+        t = zipf_trace(30, 1_000, seed=4)
+        mrc = mattson_miss_ratio_curve(t)
+        assert np.all(np.diff(mrc) <= 1e-12)
+
+    def test_k0_is_one_and_full_is_cold_only(self):
+        t = single_user_trace([0, 1, 0, 1, 2])
+        mrc = mattson_miss_ratio_curve(t)
+        assert mrc[0] == 1.0
+        assert mrc[-1] == pytest.approx(3 / 5)  # 3 cold misses
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            mattson_miss_ratio_curve(single_user_trace([], num_pages=1))
+
+
+class TestWorkingSet:
+    def test_profile_basic(self):
+        t = single_user_trace([0, 0, 1, 1, 2, 2, 3, 3])
+        prof = working_set_profile(t, window=4, stride=4)
+        assert prof.sizes.tolist() == [2, 2]
+        assert prof.mean_size == 2.0
+        assert prof.peak_size == 2
+
+    def test_window_larger_than_trace(self):
+        t = single_user_trace([0, 1])
+        prof = working_set_profile(t, window=10)
+        assert prof.sizes.tolist() == [2]
+
+
+class TestPerTenant:
+    def test_summary_rows(self, tiny_trace):
+        rows = per_tenant_summary(tiny_trace)
+        assert len(rows) == 3
+        assert sum(r["requests"] for r in rows) == tiny_trace.length
+        assert all(0 <= r["share"] <= 1 for r in rows)
+        assert all(r["owned_pages"] == 2 for r in rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 9), min_size=1, max_size=150),
+    k=st.integers(1, 10),
+)
+def test_mattson_equals_simulation_property(requests, k):
+    t = single_user_trace(requests, num_pages=10)
+    mrc = mattson_miss_ratio_curve(t, max_k=10)
+    direct = simulate(t, LRUPolicy(), k).miss_ratio
+    assert mrc[k] == pytest.approx(direct)
+
+
+class TestShards:
+    def test_rate_one_is_exact(self, rng):
+        from repro.workloads.characterize import shards_miss_ratio_curve
+
+        t = zipf_trace(40, 2_000, skew=0.8, seed=3)
+        exact = mattson_miss_ratio_curve(t)
+        approx = shards_miss_ratio_curve(t, 1.0)
+        assert np.allclose(exact, approx)
+
+    def test_half_rate_near_exact(self):
+        from repro.workloads.characterize import shards_miss_ratio_curve
+
+        t = zipf_trace(1_000, 40_000, skew=0.9, seed=5)
+        exact = mattson_miss_ratio_curve(t)
+        approx = shards_miss_ratio_curve(t, 0.5)
+        assert abs(exact[100] - approx[100]) < 0.05  # steep region
+        for k in (400, 800):
+            assert abs(exact[k] - approx[k]) < 0.03
+
+    def test_low_rate_bounded_error_at_large_k(self):
+        from repro.workloads.characterize import shards_miss_ratio_curve
+
+        t = zipf_trace(1_000, 40_000, skew=0.9, seed=5)
+        exact = mattson_miss_ratio_curve(t)
+        approx = shards_miss_ratio_curve(t, 0.1)
+        assert abs(exact[800] - approx[800]) < 0.1
+
+    def test_monotone(self):
+        from repro.workloads.characterize import shards_miss_ratio_curve
+
+        t = zipf_trace(300, 10_000, seed=6)
+        approx = shards_miss_ratio_curve(t, 0.3)
+        assert np.all(np.diff(approx) <= 1e-12)
+
+    def test_validation(self):
+        from repro.workloads.characterize import shards_miss_ratio_curve
+
+        t = zipf_trace(30, 100, seed=7)
+        with pytest.raises(ValueError):
+            shards_miss_ratio_curve(t, 0.0)
+        with pytest.raises(ValueError):
+            shards_miss_ratio_curve(t, 1.5)

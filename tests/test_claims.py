@@ -1,0 +1,101 @@
+"""Tests for the Claim 2.3 verification machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.claims import check_claim_2_3, claim_2_3_tightness_profile
+from repro.core.cost_functions import (
+    ExponentialCost,
+    LinearCost,
+    MonomialCost,
+    PiecewiseLinearCost,
+    PolynomialCost,
+)
+
+FAMILIES = [
+    LinearCost(3.0),
+    MonomialCost(2),
+    MonomialCost(3),
+    PolynomialCost([0.0, 2.0, 1.0]),
+    PiecewiseLinearCost([0.0, 2.0], [1.0, 4.0]),
+    ExponentialCost(rate=0.2),
+]
+
+
+class TestClaimHolds:
+    @pytest.mark.parametrize("f", FAMILIES, ids=lambda f: type(f).__name__)
+    def test_holds_on_fixed_sequences(self, f):
+        for xs in ([1.0], [1.0, 2.0, 3.0], [0.0, 5.0, 0.0, 2.0], [0.1] * 20):
+            alpha = f.alpha(x_max=float(sum(xs)) + 1.0)
+            check = check_claim_2_3(f, xs, alpha=alpha)
+            assert check.holds, (f, xs, check)
+            assert check.inequality6_holds
+
+    def test_linear_is_tight(self):
+        check = check_claim_2_3(LinearCost(2.0), [1.0, 2.0, 3.0])
+        assert check.tightness == pytest.approx(1.0)
+
+    def test_monomial_exact_alpha_needed(self):
+        """With alpha < beta the claim FAILS (so alpha = beta is sharp)."""
+        f = MonomialCost(3)
+        xs = [1.0] * 50
+        good = check_claim_2_3(f, xs, alpha=3.0)
+        bad = check_claim_2_3(f, xs, alpha=2.5)
+        assert good.holds
+        assert not bad.holds
+
+    def test_zero_sequence(self):
+        check = check_claim_2_3(MonomialCost(2), [0.0, 0.0])
+        assert check.lhs == 0.0
+        assert check.holds
+
+    def test_rejects_negative_terms(self):
+        with pytest.raises(ValueError):
+            check_claim_2_3(MonomialCost(2), [1.0, -1.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_claim_2_3(MonomialCost(2), np.ones((2, 2)))
+
+
+class TestTightness:
+    def test_monomial_tightness_formula(self):
+        """For x^beta with n equal terms the tightness has the closed
+        form n^beta / (beta * sum_{j<=n} j^{beta-1})."""
+        beta, n = 2, 10
+        expect = n**beta / (beta * sum(j ** (beta - 1) for j in range(1, n + 1)))
+        got = claim_2_3_tightness_profile(MonomialCost(beta), n)
+        assert got == pytest.approx(expect)
+
+    def test_tightness_approaches_one(self):
+        vals = [claim_2_3_tightness_profile(MonomialCost(3), n) for n in (5, 50, 500)]
+        assert vals[0] < vals[1] < vals[2] <= 1.0
+        assert vals[2] > 0.99
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    xs=st.lists(st.floats(0.0, 20.0), min_size=1, max_size=15),
+    beta=st.sampled_from([1.0, 1.5, 2.0, 3.0, 4.0]),
+    scale=st.floats(0.1, 5.0),
+)
+def test_claim_2_3_property_monomial(xs, beta, scale):
+    check = check_claim_2_3(MonomialCost(beta, scale=scale), xs)
+    assert check.holds
+    assert check.inequality6_holds
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    xs=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=10),
+    kink=st.floats(0.5, 5.0),
+    s1=st.floats(0.1, 2.0),
+    s2_extra=st.floats(0.0, 5.0),
+)
+def test_claim_2_3_property_piecewise(xs, kink, s1, s2_extra):
+    f = PiecewiseLinearCost([0.0, kink], [s1, s1 + s2_extra])
+    alpha = f.alpha()
+    check = check_claim_2_3(f, xs, alpha=alpha)
+    assert check.holds

@@ -1,0 +1,152 @@
+"""Tests for the (CP)/(CP-h) builder and fractional solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.convex_program import (
+    build_program,
+    fractional_opt_lower_bound,
+    solution_from_events,
+    solve_fractional,
+)
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.core.offline import exact_offline_opt
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace, single_user_trace
+
+
+class TestBuildProgram:
+    def test_variable_enumeration(self):
+        t = single_user_trace([0, 1, 0])
+        prog = build_program(t, h=1)
+        assert prog.num_vars == 3
+        assert set(prog.var_index) == {(0, 1), (1, 1), (0, 2)}
+
+    def test_rows_only_when_binding(self):
+        # |B(t)| <= h rows are vacuous and skipped.
+        t = single_user_trace([0, 1, 2])
+        prog = build_program(t, h=2)
+        assert prog.A.shape[0] == 1  # only t=2 has |B| - h = 1 > 0
+        assert prog.b.tolist() == [1.0]
+        assert prog.constraint_times.tolist() == [2]
+
+    def test_constraint_excludes_requested_page(self):
+        t = single_user_trace([0, 1])
+        prog = build_program(t, h=1)
+        # Row at t=1: only x(0,1) appears (page 1 excluded).
+        row = prog.A.toarray()[0]
+        assert row[prog.var_index[(0, 1)]] == 1.0
+        assert row[prog.var_index[(1, 1)]] == 0.0
+
+    def test_all_ones_feasible(self):
+        t = single_user_trace([0, 1, 2, 0, 1, 2])
+        prog = build_program(t, h=1)
+        assert prog.is_feasible(np.ones(prog.num_vars))
+        assert prog.violation(np.ones(prog.num_vars)) == 0.0
+
+    def test_all_zero_infeasible_when_binding(self):
+        t = single_user_trace([0, 1, 2])
+        prog = build_program(t, h=1)
+        assert not prog.is_feasible(np.zeros(prog.num_vars))
+        assert prog.violation(np.zeros(prog.num_vars)) > 0
+
+    def test_objective_and_gradient(self):
+        t = single_user_trace([0, 1])
+        prog = build_program(t, h=1)
+        costs = [MonomialCost(2)]
+        x = np.array([1.0, 0.5])
+        assert prog.objective(x, costs) == pytest.approx(1.5**2)
+        grad = prog.objective_gradient(x, costs)
+        assert np.allclose(grad, 2 * 1.5)
+
+
+class TestEngineSolutions:
+    def test_engine_run_is_cp_feasible(self, rng):
+        """Every engine schedule induces a feasible (CP) point whose
+        objective (on evictions) lower-bounds its fetch-miss cost."""
+        owners = np.repeat(np.arange(2), 3)
+        trace = Trace(rng.integers(0, 6, 60), owners)
+        costs = [MonomialCost(2), MonomialCost(2)]
+        k = 3
+        r = simulate(trace, AlgDiscrete(), k, costs=costs, record_events=True)
+        prog = build_program(trace, k)
+        x = solution_from_events(prog, r.events)
+        assert prog.is_feasible(x)
+        assert prog.objective(x, costs) <= r.cost(costs) + 1e-9
+
+    def test_rejects_event_for_unknown_page(self):
+        from repro.sim.engine import EvictionEvent
+
+        t = single_user_trace([0, 1])
+        prog = build_program(t, h=1)
+        with pytest.raises(ValueError):
+            solution_from_events(prog, [EvictionEvent(t=1, requested=1, victim=4)])
+
+
+class TestFractionalSolver:
+    def test_lp_path_for_linear(self):
+        t = single_user_trace([0, 1, 2] * 4)
+        sol = solve_fractional(build_program(t, 2), [LinearCost(2.0)])
+        assert sol.method == "highs-lp"
+        assert sol.converged
+        assert sol.objective >= 0
+
+    def test_nonlinear_path(self):
+        t = single_user_trace([0, 1, 2] * 3)
+        sol = solve_fractional(build_program(t, 2), [MonomialCost(2)])
+        assert sol.method == "trust-constr"
+        assert sol.objective >= 0
+
+    def test_empty_program(self):
+        t = single_user_trace([], num_pages=2)
+        sol = solve_fractional(build_program(t, 1), [LinearCost()])
+        assert sol.objective == 0.0
+
+    def test_lower_bounds_exact_opt(self, rng):
+        for beta in (1, 2):
+            owners = np.array([0, 0, 1, 1])
+            trace = Trace(rng.integers(0, 4, 18), owners)
+            costs = [MonomialCost(beta), MonomialCost(beta)]
+            k = 2
+            frac = fractional_opt_lower_bound(trace, costs, k)
+            opt = exact_offline_opt(trace, costs, k)
+            assert frac <= opt.cost + 1e-6
+
+    def test_lp_equals_ilp_for_unit_linear_small(self, rng):
+        """For paging LPs the relaxation is often integral; at minimum
+        it must match Belady's count on interval-structured instances
+        within rounding."""
+        trace = single_user_trace(rng.integers(0, 5, 20).tolist(), num_pages=5)
+        k = 2
+        frac = fractional_opt_lower_bound(trace, [LinearCost()], k)
+        opt = exact_offline_opt(trace, [LinearCost()], k)
+        assert frac <= opt.cost + 1e-6
+        assert frac >= 0
+
+    def test_requires_enough_costs(self, tiny_trace):
+        prog = build_program(tiny_trace, 2)
+        with pytest.raises(ValueError):
+            solve_fractional(prog, [LinearCost()])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 4), min_size=3, max_size=24),
+    k=st.integers(1, 3),
+)
+def test_fractional_below_every_schedule(requests, k):
+    """Property: the fractional optimum lower-bounds the eviction cost
+    of LRU's actual schedule."""
+    from repro.policies.lru import LRUPolicy
+
+    trace = single_user_trace(requests, num_pages=5)
+    costs = [MonomialCost(2)]
+    frac = fractional_opt_lower_bound(trace, costs, k)
+    r = simulate(trace, LRUPolicy(), k, record_events=True)
+    prog = build_program(trace, k)
+    x = solution_from_events(prog, r.events)
+    sched = prog.objective(x, costs)
+    assert frac <= sched + 1e-6 * max(1.0, sched)

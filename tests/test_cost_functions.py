@@ -1,0 +1,305 @@
+"""Tests for the cost-function families and curvature machinery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_functions import (
+    CallableCost,
+    ExponentialCost,
+    LinearCost,
+    MonomialCost,
+    PiecewiseLinearCost,
+    PolynomialCost,
+    ScaledCost,
+    SumCost,
+    TableCost,
+    combined_alpha,
+    curvature_ratio,
+    discrete_alpha,
+    numeric_alpha,
+    validate_paper_assumptions,
+)
+
+ALL_CONVEX = [
+    LinearCost(2.0),
+    MonomialCost(1),
+    MonomialCost(2),
+    MonomialCost(3, scale=0.5),
+    PolynomialCost([0.0, 1.0, 0.5, 0.25]),
+    PiecewiseLinearCost.sla(5.0, 4.0, 0.5),
+    PiecewiseLinearCost([0.0, 2.0, 6.0], [1.0, 2.0, 7.0]),
+    ExponentialCost(rate=0.3),
+    SumCost([LinearCost(1.0), MonomialCost(2)]),
+    ScaledCost(MonomialCost(2), 3.0),
+]
+
+
+class TestLinear:
+    def test_value_and_derivative(self):
+        f = LinearCost(3.0)
+        assert f.value(4) == 12.0
+        assert f.derivative(100) == 3.0
+        assert f.marginal(7) == 3.0
+        assert f.alpha() == 1.0
+
+    def test_vectorised(self):
+        f = LinearCost(2.0)
+        xs = np.array([0.0, 1.0, 2.0])
+        assert np.allclose(f.value(xs), [0, 2, 4])
+        assert np.allclose(f.derivative(xs), [2, 2, 2])
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            LinearCost(0.0)
+        with pytest.raises(ValueError):
+            LinearCost(-1.0)
+
+
+class TestMonomial:
+    def test_value(self):
+        f = MonomialCost(2, scale=3.0)
+        assert f.value(2) == 12.0
+        assert f.value(0) == 0.0
+
+    def test_derivative_at_zero(self):
+        assert MonomialCost(1).derivative(0) == 1.0
+        assert MonomialCost(2).derivative(0) == 0.0
+
+    def test_alpha_equals_beta(self):
+        for beta in (1.0, 2.0, 2.5, 4.0):
+            assert MonomialCost(beta).alpha() == beta
+
+    def test_curvature_ratio_constant(self):
+        f = MonomialCost(3)
+        xs = np.array([0.5, 1.0, 10.0, 1e4])
+        assert np.allclose(curvature_ratio(f, xs), 3.0)
+
+    def test_rejects_beta_below_one(self):
+        with pytest.raises(ValueError):
+            MonomialCost(0.5)
+
+    def test_marginal_matches_value_difference(self):
+        f = MonomialCost(2)
+        assert f.marginal(5) == f.value(5) - f.value(4)
+        with pytest.raises(ValueError):
+            f.marginal(0)
+
+
+class TestPolynomial:
+    def test_value_gradient(self):
+        f = PolynomialCost([0.0, 1.0, 2.0])  # x + 2x^2
+        assert f.value(2) == 2 + 8
+        assert f.derivative(2) == 1 + 8
+
+    def test_alpha_is_degree(self):
+        assert PolynomialCost([0.0, 1.0, 0.0, 4.0]).alpha() == 3.0
+
+    def test_degree_skips_trailing_zero(self):
+        assert PolynomialCost([0.0, 2.0, 0.0]).degree == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            PolynomialCost([1.0, 1.0])  # c0 != 0
+        with pytest.raises(ValueError):
+            PolynomialCost([0.0, -1.0])  # negative coeff
+        with pytest.raises(ValueError):
+            PolynomialCost([0.0, 0.0])  # not increasing
+        with pytest.raises(ValueError):
+            PolynomialCost([0.0])  # too short
+
+
+class TestPiecewiseLinear:
+    def test_sla_shape(self):
+        f = PiecewiseLinearCost.sla(free_misses=10, penalty_slope=5.0)
+        assert f.value(0) == 0.0
+        assert f.value(10) == 0.0
+        assert f.value(12) == 10.0
+        assert f.derivative(5) == 0.0
+        assert f.derivative(10) == 5.0  # right derivative at the kink
+
+    def test_multi_segment_values(self):
+        f = PiecewiseLinearCost([0.0, 2.0, 4.0], [1.0, 2.0, 3.0])
+        assert f.value(1) == 1.0
+        assert f.value(3) == 2.0 + 2.0
+        assert f.value(5) == 2.0 + 4.0 + 3.0
+
+    def test_alpha_exact_vs_numeric(self):
+        f = PiecewiseLinearCost([0.0, 2.0, 6.0], [1.0, 2.0, 7.0])
+        analytic = f.alpha()
+        numeric = numeric_alpha(f, x_max=1e5)
+        assert analytic >= numeric - 1e-5
+        assert analytic == pytest.approx(numeric, rel=1e-3)
+
+    def test_alpha_infinite_for_free_allowance(self):
+        # f = 0 until the kink then positive: x f'/f diverges at the kink.
+        assert PiecewiseLinearCost.sla(5.0, 2.0).alpha() == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost([1.0], [1.0])  # first bp not 0
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost([0.0, 1.0], [2.0, 1.0])  # decreasing slopes
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost([0.0, 0.0], [1.0, 2.0])  # non-increasing bps
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost([0.0], [0.0])  # never increases
+
+    def test_scalar_matches_vector(self):
+        f = PiecewiseLinearCost([0.0, 3.0, 7.0], [0.5, 2.0, 4.0])
+        xs = np.linspace(0, 12, 37)
+        vec_v = f.value(xs)
+        vec_d = f.derivative(xs)
+        for i, x in enumerate(xs):
+            assert f.value(float(x)) == pytest.approx(vec_v[i])
+            assert f.derivative(float(x)) == pytest.approx(vec_d[i])
+
+
+class TestExponential:
+    def test_f0_zero(self):
+        assert ExponentialCost(0.5).value(0) == 0.0
+
+    def test_alpha_grows_with_range(self):
+        f = ExponentialCost(rate=1.0)
+        assert f.alpha(x_max=10) < f.alpha(x_max=100)
+
+    def test_alpha_large_range_no_overflow(self):
+        assert ExponentialCost(rate=1.0).alpha(x_max=1e6) == pytest.approx(1e6)
+
+
+class TestTable:
+    def test_interpolation_and_extrapolation(self):
+        f = TableCost([0.0, 1.0, 3.0, 6.0])
+        assert f.value(2) == 3.0
+        assert f.value(1.5) == 2.0
+        assert f.value(5) == 6.0 + 2 * 3.0  # extrapolates last marginal
+
+    def test_marginal(self):
+        f = TableCost([0.0, 1.0, 3.0])
+        assert f.marginal(1) == 1.0
+        assert f.marginal(2) == 2.0
+        assert f.marginal(10) == 2.0
+
+    def test_non_convex_allowed(self):
+        f = TableCost([0.0, 5.0, 6.0, 12.0])  # marginals 5, 1, 6: not convex
+        assert not f.is_convex_on_integers(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableCost([1.0, 2.0])
+        with pytest.raises(ValueError):
+            TableCost([0.0, 2.0, 1.0])
+        with pytest.raises(ValueError):
+            TableCost([0.0])
+
+
+class TestCombinators:
+    def test_scaled(self):
+        f = ScaledCost(MonomialCost(2), 3.0)
+        assert f.value(2) == 12.0
+        assert f.derivative(2) == 12.0
+        assert f.marginal(2) == 3.0 * 3.0
+        assert f.alpha() == 2.0
+
+    def test_sum(self):
+        f = SumCost([LinearCost(1.0), MonomialCost(2)])
+        assert f.value(3) == 3 + 9
+        assert f.derivative(3) == 1 + 6
+        assert 1.0 <= f.alpha() <= 2.0
+
+    def test_sum_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SumCost([])
+
+    def test_callable_finite_difference(self):
+        f = CallableCost(lambda x: np.asarray(x, dtype=float) ** 2)
+        assert float(f.derivative(3.0)) == pytest.approx(6.0, abs=1e-4)
+
+    def test_callable_explicit_derivative(self):
+        f = CallableCost(lambda x: x, deriv=lambda x: 1.0)
+        assert f.derivative(5.0) == 1.0
+
+
+class TestAlphaMachinery:
+    def test_numeric_matches_analytic(self):
+        cases = [
+            (LinearCost(5.0), 1.0),
+            (MonomialCost(2), 2.0),
+            (MonomialCost(3), 3.0),
+        ]
+        for f, expect in cases:
+            assert numeric_alpha(f) == pytest.approx(expect, rel=1e-4)
+
+    def test_numeric_alpha_argument_validation(self):
+        with pytest.raises(ValueError):
+            numeric_alpha(LinearCost(), x_max=1.0, x_min=2.0)
+
+    def test_discrete_alpha_monomial(self):
+        # Discrete curvature approaches beta from below for x^2.
+        a = discrete_alpha(MonomialCost(2), m_max=5000)
+        assert 1.9 < a <= 2.0
+
+    def test_combined_alpha_is_max(self):
+        assert combined_alpha([LinearCost(), MonomialCost(3)]) == 3.0
+
+    def test_combined_alpha_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combined_alpha([])
+
+
+class TestPaperAssumptions:
+    @pytest.mark.parametrize("f", ALL_CONVEX, ids=lambda f: repr(f)[:40])
+    def test_all_families_satisfy_assumptions(self, f):
+        validate_paper_assumptions(f, x_max=200.0)
+
+    def test_rejects_nonzero_at_origin(self):
+        bad = CallableCost(lambda x: np.asarray(x, dtype=float) + 1.0)
+        with pytest.raises(ValueError):
+            validate_paper_assumptions(bad)
+
+    def test_rejects_concave(self):
+        bad = CallableCost(lambda x: np.sqrt(np.asarray(x, dtype=float)))
+        with pytest.raises(ValueError):
+            validate_paper_assumptions(bad)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    beta=st.floats(1.0, 4.0),
+    scale=st.floats(0.1, 10.0),
+    x=st.floats(0.01, 100.0),
+    y=st.floats(0.01, 100.0),
+)
+def test_monomial_convexity_first_order(beta, scale, x, y):
+    """f(y) - f(x) >= f'(x)(y - x) for every monomial (first-order
+    convexity condition the analysis uses throughout)."""
+    f = MonomialCost(beta, scale=scale)
+    lhs = float(f.value(y)) - float(f.value(x))
+    rhs = float(f.derivative(x)) * (y - x)
+    assert lhs >= rhs - 1e-8 * max(1.0, abs(lhs), abs(rhs))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    bps=st.lists(st.floats(0.5, 20.0), min_size=1, max_size=4),
+    slopes_raw=st.lists(st.floats(0.0, 5.0), min_size=2, max_size=5),
+)
+def test_piecewise_alpha_upper_bounds_ratio(bps, slopes_raw):
+    """The analytic alpha dominates x f'(x)/f(x) on a dense grid."""
+    breakpoints = [0.0] + list(np.cumsum(bps))
+    slopes = sorted(slopes_raw)[: len(breakpoints)]
+    while len(slopes) < len(breakpoints):
+        slopes.append(slopes[-1] + 1.0)
+    if slopes[-1] <= 0:
+        slopes[-1] = 1.0
+    f = PiecewiseLinearCost(breakpoints, slopes)
+    a = f.alpha()
+    xs = np.linspace(1e-6, breakpoints[-1] * 3 + 1, 400)
+    ratios = curvature_ratio(f, xs)
+    finite = np.isfinite(ratios)
+    if math.isinf(a):
+        return  # diverging ratio; nothing to dominate
+    assert np.all(ratios[finite] <= a + 1e-6)

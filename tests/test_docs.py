@@ -1,0 +1,89 @@
+"""Documentation consistency guards.
+
+Keeps DESIGN.md / EXPERIMENTS.md / README.md in sync with the code as
+the experiment registry and policy zoo grow.
+"""
+
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+class TestExperimentDocs:
+    def test_every_experiment_in_experiments_md(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        text = read("EXPERIMENTS.md")
+        for eid in EXPERIMENTS:
+            assert f"## {eid.upper()} " in text or f"## {eid.upper()}—" in text or (
+                f"## {eid.upper()}" in text
+            ), f"{eid} missing from EXPERIMENTS.md"
+
+    def test_every_experiment_in_design_md(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        text = read("DESIGN.md")
+        for eid in EXPERIMENTS:
+            assert f"| {eid.upper()} |" in text, f"{eid} missing from DESIGN.md index"
+
+    def test_every_experiment_in_readme(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        text = read("README.md")
+        for eid in EXPERIMENTS:
+            assert f"| {eid} |" in text, f"{eid} missing from README table"
+
+    def test_registry_ids_match_module_ids(self):
+        from repro.experiments.registry import EXPERIMENTS, _MODULES
+
+        assert len(EXPERIMENTS) == len(_MODULES)
+        for mod in _MODULES:
+            assert mod.EXPERIMENT_ID in EXPERIMENTS
+
+
+class TestPolicyDocs:
+    def test_registry_policies_in_design_or_readme(self):
+        """Every registered policy name appears somewhere in the docs."""
+        from repro.policies import POLICY_REGISTRY
+
+        corpus = (read("README.md") + read("DESIGN.md")).lower()
+        missing = []
+        for name in POLICY_REGISTRY:
+            probe = name.replace("-", "").replace("_", "")
+            flat = corpus.replace("-", "").replace("_", "")
+            if probe not in flat:
+                missing.append(name)
+        assert not missing, f"undocumented policies: {missing}"
+
+
+class TestStructure:
+    def test_required_files_exist(self):
+        for name in (
+            "pyproject.toml",
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "Makefile",
+            "docs/paper_map.md",
+            "docs/api.md",
+            "src/repro/py.typed",
+        ):
+            assert (ROOT / name).exists(), name
+
+    def test_examples_have_docstrings_and_main(self):
+        for path in sorted((ROOT / "examples").glob("*.py")):
+            text = path.read_text(encoding="utf-8")
+            assert text.lstrip().startswith(('"""', "#!")), path.name
+            assert "Run:" in text or "quickstart" in path.name, path.name
+
+    def test_version_consistent(self):
+        import repro
+
+        pyproject = read("pyproject.toml")
+        assert f'version = "{repro.__version__}"' in pyproject

@@ -1,0 +1,110 @@
+"""Edge-case coverage across modules: tiny caches, single pages,
+degenerate traces, engine fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.alg_continuous import AlgContinuous
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.core.invariants import check_invariants, flushed_instance
+from repro.core.offline import exact_offline_opt
+from repro.policies import POLICY_REGISTRY, make_policy
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace, single_user_trace
+
+
+class TestDegenerateTraces:
+    def test_single_request(self):
+        t = single_user_trace([0])
+        for name in ("lru", "alg-discrete", "belady", "arc"):
+            policy = make_policy(name)
+            r = simulate(t, policy, 1, costs=[MonomialCost(2)])
+            assert r.misses == 1 and r.hits == 0
+
+    def test_all_same_page(self):
+        t = single_user_trace([3] * 100, num_pages=5)
+        r = simulate(t, AlgDiscrete(), 1, costs=[MonomialCost(2)])
+        assert r.misses == 1 and r.hits == 99
+
+    def test_k_one_thrash(self):
+        t = single_user_trace([0, 1] * 30)
+        r = simulate(t, AlgDiscrete(), 1, costs=[MonomialCost(2)])
+        assert r.misses == 60
+
+    def test_k_larger_than_universe(self):
+        t = single_user_trace([0, 1, 2] * 10)
+        r = simulate(t, AlgDiscrete(), 50, costs=[MonomialCost(2)])
+        assert r.misses == 3  # cold only; never a victim choice
+
+    def test_empty_trace(self):
+        t = single_user_trace([], num_pages=2)
+        r = simulate(t, AlgDiscrete(), 2, costs=[MonomialCost(2)])
+        assert r.misses == 0 and r.hits == 0
+        assert r.miss_ratio == 0.0
+
+    def test_user_ids_with_gaps(self):
+        """Owner array may skip user ids (user 1 owns nothing)."""
+        owners = np.array([0, 2, 2])
+        t = Trace(np.array([0, 1, 2, 0]), owners)
+        costs = [MonomialCost(2), LinearCost(1.0), MonomialCost(2)]
+        r = simulate(t, AlgDiscrete(), 2, costs=costs)
+        assert r.user_misses[1] == 0
+
+
+class TestInvariantsEdge:
+    def test_invariants_k_one(self, rng):
+        t = single_user_trace(rng.integers(0, 4, 60).tolist())
+        ftrace, fcosts = flushed_instance(t, [MonomialCost(2)], 1)
+        alg = AlgContinuous()
+        simulate(ftrace, alg, 1, costs=fcosts)
+        report = check_invariants(ftrace, alg.ledger, fcosts, 1)
+        assert report.ok, report.summary()
+
+    def test_invariants_no_evictions(self):
+        t = single_user_trace([0, 1, 0, 1])
+        ftrace, fcosts = flushed_instance(t, [MonomialCost(2)], 4)
+        alg = AlgContinuous()
+        simulate(ftrace, alg, 4, costs=fcosts)
+        report = check_invariants(ftrace, alg.ledger, fcosts, 4, check_3a=False)
+        assert report.ok
+
+    def test_exact_opt_trivial_instances(self):
+        t = single_user_trace([0])
+        opt = exact_offline_opt(t, [MonomialCost(2)], 1)
+        assert opt.cost == 1.0
+        t2 = single_user_trace([], num_pages=1)
+        opt2 = exact_offline_opt(t2, [MonomialCost(2)], 1)
+        assert opt2.cost == 0.0
+
+
+class TestEngineFastPath:
+    def test_validate_false_matches_validate_true(self, rng):
+        t = single_user_trace(rng.integers(0, 10, 300).tolist())
+        a = simulate(t, make_policy("lru"), 4, validate=True)
+        b = simulate(t, make_policy("lru"), 4, validate=False)
+        assert a.misses == b.misses
+        assert np.array_equal(a.user_misses, b.user_misses)
+
+    def test_all_policies_on_degenerate_k1_single_page(self):
+        t = single_user_trace([0] * 10, num_pages=1)
+        costs = [MonomialCost(2)]
+        for name in sorted(POLICY_REGISTRY):
+            policy = make_policy(name)
+            r = simulate(t, policy, 1, costs=costs)
+            assert r.misses == 1, name
+
+
+class TestExperimentOutputRendering:
+    def test_render_failed_check(self):
+        from repro.experiments.base import ExperimentOutput
+
+        out = ExperimentOutput(
+            experiment_id="ex",
+            title="t",
+            shape_checks={"good": True, "bad": False},
+        )
+        rendered = out.render()
+        assert "[PASS] good" in rendered
+        assert "[FAIL] bad" in rendered
+        assert not out.ok

@@ -1,0 +1,175 @@
+"""Tests for the simulation engine's mechanics and accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import EvictionEvent, SimResult, replay_evictions, simulate
+from repro.sim.policy import EvictionPolicy, SimContext
+from repro.sim.trace import Trace, single_user_trace
+
+
+class AlwaysEvictFirst(EvictionPolicy):
+    """Evicts the smallest-id resident page (for deterministic tests)."""
+
+    name = "evict-smallest"
+
+    def reset(self, ctx):
+        self._resident = set()
+
+    def on_insert(self, page, t):
+        self._resident.add(page)
+
+    def choose_victim(self, page, t):
+        return min(self._resident)
+
+    def on_evict(self, page, t):
+        self._resident.discard(page)
+
+
+class BrokenVictimPolicy(EvictionPolicy):
+    """Returns a non-resident victim to exercise engine validation."""
+
+    name = "broken"
+
+    def reset(self, ctx):
+        pass
+
+    def choose_victim(self, page, t):
+        return 10**9
+
+
+class EvictRequestedPolicy(EvictionPolicy):
+    """Returns the requested page itself as the victim (invalid)."""
+
+    name = "evict-requested"
+
+    def reset(self, ctx):
+        pass
+
+    def choose_victim(self, page, t):
+        return page
+
+
+class TestAccounting:
+    def test_cold_misses_only(self):
+        t = single_user_trace([0, 1, 2, 0, 1, 2])
+        r = simulate(t, LRUPolicy(), k=3)
+        assert r.misses == 3
+        assert r.hits == 3
+        assert r.miss_ratio == 0.5
+
+    def test_all_hits_after_warm(self):
+        t = single_user_trace([0, 0, 0, 0])
+        r = simulate(t, LRUPolicy(), k=1)
+        assert r.misses == 1
+        assert r.hits == 3
+
+    def test_per_user_attribution(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=6)
+        # k = all pages: only cold misses, one per page.
+        assert r.user_misses.tolist() == [2, 2, 2]
+
+    def test_final_cache_size_bounded(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=2)
+        assert len(r.final_cache) <= 2
+
+    def test_cost(self):
+        t = single_user_trace([0, 1, 2])
+        r = simulate(t, LRUPolicy(), k=2, costs=[MonomialCost(2)])
+        assert r.cost([MonomialCost(2)]) == 9.0
+
+    def test_cost_requires_enough_functions(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=2)
+        with pytest.raises(ValueError):
+            r.cost([LinearCost()])
+
+
+class TestMechanics:
+    def test_k_validation(self, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate(tiny_trace, LRUPolicy(), k=0)
+
+    def test_requires_costs_enforced(self, tiny_trace):
+        from repro.core.alg_discrete import AlgDiscrete
+
+        with pytest.raises(ValueError, match="requires cost"):
+            simulate(tiny_trace, AlgDiscrete(), k=2)
+
+    def test_too_few_costs_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="cost functions"):
+            simulate(tiny_trace, LRUPolicy(), k=2, costs=[LinearCost()])
+
+    def test_nonresident_victim_detected(self):
+        t = single_user_trace([0, 1, 2])
+        with pytest.raises(RuntimeError, match="non-resident"):
+            simulate(t, BrokenVictimPolicy(), k=2)
+
+    def test_requested_victim_detected(self):
+        t = single_user_trace([0, 1, 2])
+        with pytest.raises(RuntimeError, match="requested"):
+            simulate(t, EvictRequestedPolicy(), k=2)
+
+    def test_offline_policy_gets_trace(self):
+        from repro.policies.belady import BeladyPolicy
+
+        t = single_user_trace([0, 1, 2, 0])
+        r = simulate(t, BeladyPolicy(), k=2)
+        assert r.misses >= 3
+
+    def test_online_policy_does_not_get_trace(self, tiny_trace):
+        seen = {}
+
+        class Spy(LRUPolicy):
+            def reset(self, ctx):
+                seen["trace"] = ctx.trace
+                super().reset(ctx)
+
+        simulate(tiny_trace, Spy(), k=2)
+        assert seen["trace"] is None
+
+
+class TestRecording:
+    def test_events_match_misses(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=3, record_events=True)
+        # Evictions = misses - cold fills.
+        assert len(r.events) == r.misses - 3
+
+    def test_events_off_by_default(self, tiny_trace):
+        assert simulate(tiny_trace, LRUPolicy(), k=3).events is None
+
+    def test_curve_shape_and_totals(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=3, record_curve=True)
+        assert r.miss_curve.shape == (tiny_trace.length + 1, 3)
+        assert np.array_equal(r.miss_curve[-1], r.user_misses)
+        assert np.all(np.diff(r.miss_curve, axis=0) >= 0)
+
+    def test_replay_evictions_consistent(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=2, record_events=True)
+        replayed = replay_evictions(tiny_trace, 2, r.events)
+        assert np.array_equal(replayed, r.user_misses)
+
+    def test_replay_rejects_bogus_log(self, tiny_trace):
+        bogus = [EvictionEvent(t=0, requested=0, victim=1)]
+        with pytest.raises(ValueError):
+            replay_evictions(tiny_trace, 2, bogus)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 9), min_size=1, max_size=120),
+    k=st.integers(1, 6),
+)
+def test_engine_universal_properties(requests, k):
+    """For any policy run: requested page always counted, misses >=
+    distinct pages when k < distinct, events replay to identical counts."""
+    t = single_user_trace(requests, num_pages=10)
+    r = simulate(t, AlwaysEvictFirst(), k=k, record_events=True)
+    assert r.hits + r.misses == len(requests)
+    distinct = len(set(requests))
+    assert r.misses >= min(distinct, len(requests))  # at least cold misses
+    assert len(r.final_cache) <= k
+    assert np.array_equal(replay_evictions(t, k, r.events), r.user_misses)

@@ -1,0 +1,94 @@
+"""Integration tests for the experiment suite and CLI.
+
+Each experiment runs in a down-sized configuration here (the full quick
+mode runs in CI via ``python -m repro.experiments``); the fastest ones
+run whole.
+"""
+
+import pytest
+
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+
+class TestRegistry:
+    def test_all_nine_registered(self):
+        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 16))
+
+    def test_titles_nonempty(self):
+        for _fn, title in EXPERIMENTS.values():
+            assert title
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("e99")
+
+
+class TestFastExperiments:
+    """The cheap experiments run end-to-end in the unit suite."""
+
+    def test_e7_claim23(self):
+        out = run_experiment("e7", quick=True)
+        assert isinstance(out, ExperimentOutput)
+        assert out.ok, out.render()
+        assert out.rows
+        assert "tightness" in out.text
+
+    def test_e2_invariants(self):
+        out = run_experiment("e2", quick=True)
+        assert out.ok, out.render()
+        assert all(r["violations"] == 0 for r in out.rows)
+
+    def test_e1_competitive(self):
+        out = run_experiment("e1", quick=True)
+        assert out.ok, out.render()
+        for row in out.rows:
+            assert row["worst_ratio"] <= row["bound_beta^beta*k^beta"]
+
+    def test_e3_bicriteria(self):
+        out = run_experiment("e3", quick=True)
+        assert out.ok, out.render()
+
+    def test_e4_lower_bound(self):
+        out = run_experiment("e4", quick=True)
+        assert out.ok, out.render()
+        for row in out.rows:
+            assert row["ratio"] >= row["floor_(n/4)^beta"]
+
+    def test_render_contains_checks(self):
+        out = run_experiment("e7", quick=True)
+        text = out.render()
+        assert "[PASS]" in text
+        assert out.experiment_id in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1:" in out and "e9:" in out
+
+    def test_unknown_id_exit_code(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["e42"]) == 2
+
+    def test_run_one_with_csv(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        rc = main(["e7", "--csv", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "e7.csv").exists()
+        out = capsys.readouterr().out
+        assert "ALL SHAPE CHECKS PASS" in out
+
+
+class TestE13:
+    def test_e13_randomization(self):
+        out = run_experiment("e13", quick=True)
+        assert out.ok, out.render()
+        # Separation visible in the rows.
+        for row in out.rows:
+            assert row["rand_marking_miss_rate"] < row["lru_miss_rate"]

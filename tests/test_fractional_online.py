@@ -1,0 +1,103 @@
+"""Tests for the BBN online fractional weighted-caching algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convex_program import build_program, fractional_opt_lower_bound
+from repro.core.cost_functions import LinearCost
+from repro.core.fractional_online import (
+    OnlineFractionalCaching,
+    bbn_competitive_ceiling,
+)
+from repro.sim.trace import Trace, single_user_trace
+from repro.workloads.builders import adversarial_cycle_trace
+
+
+class TestMechanics:
+    def test_no_cost_when_everything_fits(self):
+        trace = single_user_trace([0, 1, 2, 0, 1, 2])
+        result = OnlineFractionalCaching([1.0], k=3).run(trace)
+        assert result.cost == 0.0
+        assert all(v == 0.0 for v in result.x.values())
+
+    def test_single_overflow_page(self):
+        # 4 distinct pages, k=3: one unit of eviction mass per new page.
+        trace = single_user_trace([0, 1, 2, 3])
+        result = OnlineFractionalCaching([1.0], k=3).run(trace)
+        assert result.cost == pytest.approx(1.0, rel=1e-6)
+
+    def test_x_values_in_unit_box(self, rng):
+        trace = single_user_trace(rng.integers(0, 8, 300).tolist())
+        result = OnlineFractionalCaching([1.0], k=3).run(trace)
+        assert all(-1e-12 <= v <= 1 + 1e-9 for v in result.x.values())
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            OnlineFractionalCaching([0.0], k=2)
+        with pytest.raises(ValueError):
+            OnlineFractionalCaching([1.0], k=0)
+
+    def test_needs_enough_weights(self):
+        trace = Trace(np.array([0, 1]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            OnlineFractionalCaching([1.0], k=1).run(trace)
+
+    def test_expensive_pages_raised_less(self):
+        """On an alternating overflow, the cheap user's variables carry
+        more of the eviction mass."""
+        owners = np.array([0, 1, 1])
+        trace = Trace(np.array([1, 0, 2, 0, 2, 0, 2]), owners)
+        result = OnlineFractionalCaching([100.0, 1.0], k=2).run(trace)
+        mass = result.user_mass
+        assert mass[1] > mass[0]
+
+    def test_cost_accounting_consistent(self, rng):
+        """Total cost equals the weighted final + closed x mass."""
+        trace = single_user_trace(rng.integers(0, 6, 150).tolist())
+        result = OnlineFractionalCaching([2.5], k=2).run(trace)
+        mass = sum(result.x.values())
+        assert result.cost == pytest.approx(2.5 * mass, rel=1e-9)
+
+
+class TestFeasibilityAndGuarantee:
+    def test_feasible_for_cp(self, rng):
+        owners = np.repeat(np.arange(2), 4)
+        trace = Trace(rng.integers(0, 8, 200), owners)
+        alg = OnlineFractionalCaching([1.0, 3.0], k=3)
+        result = alg.run(trace)
+        prog = build_program(trace, 3)
+        assert prog.is_feasible(alg.to_program_vector(trace, result), tol=1e-6)
+        assert result.max_violation <= 1e-6
+
+    def test_log_k_on_cycle(self):
+        for k in (4, 16):
+            trace = adversarial_cycle_trace(k, 40 * (k + 1))
+            result = OnlineFractionalCaching([1.0], k).run(trace)
+            lp = fractional_opt_lower_bound(trace, [LinearCost(1.0)], k)
+            assert result.cost / lp <= 2.0 * bbn_competitive_ceiling(k)
+
+    def test_never_below_lp_opt(self, rng):
+        """The online fractional cost upper-bounds the LP optimum."""
+        trace = single_user_trace(rng.integers(0, 7, 120).tolist())
+        result = OnlineFractionalCaching([1.0], k=3).run(trace)
+        lp = fractional_opt_lower_bound(trace, [LinearCost(1.0)], 3)
+        assert result.cost >= lp - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 6), min_size=3, max_size=80),
+    k=st.integers(1, 4),
+)
+def test_fractional_feasibility_property(requests, k):
+    owners = np.array([0, 0, 0, 1, 1, 1, 1])
+    trace = Trace(np.asarray(requests), owners)
+    alg = OnlineFractionalCaching([1.0, 2.0], k=k)
+    result = alg.run(trace)
+    prog = build_program(trace, k)
+    assert prog.is_feasible(alg.to_program_vector(trace, result), tol=1e-6)
+    assert all(-1e-12 <= v <= 1 + 1e-9 for v in result.x.values())

@@ -1,0 +1,195 @@
+"""Tests for the Lemma 2.1 invariant checker and the flush construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alg_continuous import AlgContinuous
+from repro.core.cost_functions import (
+    LinearCost,
+    MonomialCost,
+    PiecewiseLinearCost,
+    PolynomialCost,
+)
+from repro.core.invariants import (
+    InvariantReport,
+    check_invariants,
+    flush_weight,
+    flushed_instance,
+)
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace, single_user_trace
+
+
+def run_and_check(trace, costs, k, flush=True, **kwargs):
+    if flush:
+        trace, costs = flushed_instance(trace, costs, k)
+    alg = AlgContinuous()
+    result = simulate(trace, alg, k, costs=costs)
+    report = check_invariants(trace, alg.ledger, costs, k, **kwargs)
+    return report, alg.ledger, result, trace, costs
+
+
+class TestFlush:
+    def test_flush_adds_dummy_user_and_pages(self, tiny_trace, monomial_costs):
+        ftrace, fcosts = flushed_instance(tiny_trace, monomial_costs, k=3)
+        assert ftrace.num_users == tiny_trace.num_users + 1
+        assert ftrace.num_pages == tiny_trace.num_pages + 3
+        assert ftrace.length == tiny_trace.length + 3
+        assert len(fcosts) == len(monomial_costs) + 1
+
+    def test_flush_empties_real_cache(self, tiny_trace, monomial_costs):
+        _rep, _led, result, ftrace, _fc = run_and_check(
+            tiny_trace, monomial_costs, 3
+        )
+        real = [p for p in result.final_cache if p < tiny_trace.num_pages]
+        assert real == []
+
+    def test_flush_weight_dominates(self, monomial_costs):
+        w = flush_weight(monomial_costs, horizon=100, k=5)
+        # Strictly above (k+1) * max gradient at the horizon.
+        top = max(float(f.derivative(102.0)) for f in monomial_costs)
+        assert w > 6 * top
+
+    def test_originals_not_modified(self, tiny_trace, monomial_costs):
+        before = tiny_trace.requests.copy()
+        flushed_instance(tiny_trace, monomial_costs, 2)
+        assert np.array_equal(tiny_trace.requests, before)
+        assert len(monomial_costs) == 3
+
+
+class TestInvariantsHold:
+    @pytest.mark.parametrize(
+        "make_costs",
+        [
+            lambda n: [MonomialCost(2) for _ in range(n)],
+            lambda n: [MonomialCost(3) for _ in range(n)],
+            lambda n: [LinearCost(1.0 + i) for i in range(n)],
+            lambda n: [PolynomialCost([0.0, 1.0, 1.0]) for _ in range(n)],
+            lambda n: [
+                PiecewiseLinearCost([0.0, 3.0], [0.5, 2.0 + i]) for i in range(n)
+            ],
+        ],
+        ids=["x^2", "x^3", "linear", "poly", "pwl"],
+    )
+    def test_invariants_per_family(self, make_costs, rng):
+        n, pages_per = 3, 3
+        owners = np.repeat(np.arange(n), pages_per)
+        trace = Trace(rng.integers(0, n * pages_per, 150), owners)
+        report, *_ = run_and_check(trace, make_costs(n), k=4)
+        assert report.ok, report.summary()
+
+    def test_invariants_single_user(self, rng):
+        trace = single_user_trace(rng.integers(0, 6, 120).tolist())
+        report, *_ = run_and_check(trace, [MonomialCost(2)], k=3)
+        assert report.ok, report.summary()
+
+    def test_unflushed_without_3a_ok(self, rng):
+        trace = single_user_trace(rng.integers(0, 6, 120).tolist())
+        alg = AlgContinuous()
+        simulate(trace, alg, 3, costs=[MonomialCost(2)])
+        report = check_invariants(
+            trace, alg.ledger, [MonomialCost(2)], 3, check_3a=False
+        )
+        assert report.ok, report.summary()
+        assert "3a" not in report.checked_conditions
+
+    def test_report_summary_strings(self, rng):
+        trace = single_user_trace(rng.integers(0, 6, 60).tolist())
+        report, *_ = run_and_check(trace, [MonomialCost(2)], k=3)
+        assert "all invariants hold" in report.summary()
+
+
+class TestCheckerDetectsCorruption:
+    """The checker must actually catch violations — corrupt a valid
+    ledger in each dimension and assert the right condition fires."""
+
+    @pytest.fixture
+    def valid_run(self, rng):
+        trace = single_user_trace(rng.integers(0, 6, 120).tolist())
+        ftrace, fcosts = flushed_instance(trace, [MonomialCost(2)], 3)
+        alg = AlgContinuous()
+        simulate(ftrace, alg, 3, costs=fcosts)
+        return ftrace, alg.ledger, fcosts
+
+    def test_detects_negative_y(self, valid_run):
+        ftrace, ledger, fcosts = valid_run
+        ledger.y[ledger.y.argmax()] = -1.0
+        report = check_invariants(ftrace, ledger, fcosts, 3)
+        assert report.by_condition("1c")
+
+    def test_detects_bad_x_value(self, valid_run):
+        ftrace, ledger, fcosts = valid_run
+        key = next(iter(ledger.x))
+        ledger.x[key] = 2
+        report = check_invariants(ftrace, ledger, fcosts, 3)
+        assert report.by_condition("1b")
+
+    def test_detects_missing_eviction(self, valid_run):
+        """Deleting an x assignment breaks primal feasibility (1a)."""
+        ftrace, ledger, fcosts = valid_run
+        key = ledger.x_pairs()[0]
+        del ledger.x[key]
+        del ledger.set_time[key]
+        report = check_invariants(ftrace, ledger, fcosts, 3, check_3a=False)
+        assert report.by_condition("1a")
+
+    def test_detects_z_on_unevicted_interval(self, valid_run):
+        ftrace, ledger, fcosts = valid_run
+        # Find an interval with x = 0 and inject z > 0.
+        for page, times in ledger.request_times.items():
+            for j in range(1, len(times) + 1):
+                if (page, j) not in ledger.x:
+                    ledger.z[(page, j)] = 5.0
+                    report = check_invariants(ftrace, ledger, fcosts, 3)
+                    assert report.by_condition("2a")
+                    return
+        pytest.skip("no unevicted interval in this run")
+
+    def test_detects_broken_2b_equality(self, valid_run):
+        ftrace, ledger, fcosts = valid_run
+        key = ledger.x_pairs()[0]
+        ledger.z[key] = ledger.z.get(key, 0.0) + 123.0
+        report = check_invariants(ftrace, ledger, fcosts, 3)
+        assert report.by_condition("2b")
+
+    def test_detects_3a_violation(self, valid_run):
+        ftrace, ledger, fcosts = valid_run
+        # Inflate y inside some interval far beyond any gradient.
+        key = ledger.x_pairs()[-1]
+        page, j = key
+        start, end = ledger.interval_bounds(page, j)
+        if end - start < 2:
+            pytest.skip("no interior point")
+        ledger.y[start + 1] += 1e9
+        report = check_invariants(ftrace, ledger, fcosts, 3)
+        assert report.by_condition("3a") or report.by_condition("2b")
+
+    def test_violation_details_present(self, valid_run):
+        ftrace, ledger, fcosts = valid_run
+        ledger.y[0] = -1.0
+        report = check_invariants(ftrace, ledger, fcosts, 3)
+        assert not report.ok
+        assert "violation" in report.summary() or "1c" in report.summary()
+        v = report.violations[0]
+        assert v.condition and v.detail
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 7), min_size=10, max_size=100),
+    k=st.integers(2, 5),
+    beta=st.sampled_from([1, 2, 3]),
+)
+def test_invariants_hold_property(requests, k, beta):
+    """Lemma 2.1 as a property: invariants hold on arbitrary request
+    sequences under the flush convention."""
+    owners = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+    trace = Trace(np.asarray(requests), owners)
+    costs = [MonomialCost(beta) for _ in range(4)]
+    ftrace, fcosts = flushed_instance(trace, costs, k)
+    alg = AlgContinuous()
+    simulate(ftrace, alg, k, costs=fcosts)
+    report = check_invariants(ftrace, alg.ledger, fcosts, k)
+    assert report.ok, report.summary()

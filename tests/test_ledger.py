@@ -1,0 +1,114 @@
+"""Tests for the primal-dual ledger's bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.alg_continuous import AlgContinuous
+from repro.core.cost_functions import MonomialCost
+from repro.core.ledger import PrimalDualLedger
+from repro.sim.engine import simulate
+from repro.sim.trace import single_user_trace
+
+
+class TestRecording:
+    def test_request_intervals(self):
+        led = PrimalDualLedger(num_pages=3, num_users=1, T=10)
+        assert led.record_request(0, 0) == 1
+        assert led.record_request(0, 3) == 2
+        assert led.record_request(1, 4) == 1
+        assert led.current_interval(0) == 2
+        assert led.request_count(0) == 2
+        assert led.request_count(2) == 0
+
+    def test_current_interval_unknown_page(self):
+        led = PrimalDualLedger(num_pages=1, num_users=1, T=5)
+        with pytest.raises(KeyError):
+            led.current_interval(0)
+
+    def test_eviction_sets_x_once(self):
+        led = PrimalDualLedger(num_pages=2, num_users=1, T=10)
+        led.record_request(0, 0)
+        led.record_eviction(0, 0, 2)
+        assert led.x[(0, 1)] == 1
+        assert led.set_time[(0, 1)] == 2
+        with pytest.raises(ValueError):
+            led.record_eviction(0, 0, 3)
+
+    def test_y_monotone(self):
+        led = PrimalDualLedger(num_pages=1, num_users=1, T=5)
+        led.record_y_jump(2, 1.5)
+        assert led.y[2] == 1.5
+        with pytest.raises(ValueError):
+            led.record_y_jump(2, -0.1)
+
+    def test_z_accumulates(self):
+        led = PrimalDualLedger(num_pages=1, num_users=1, T=5)
+        led.record_z_increase(0, 1, 1.0)
+        led.record_z_increase(0, 1, 0.5)
+        assert led.z[(0, 1)] == 1.5
+        with pytest.raises(ValueError):
+            led.record_z_increase(0, 1, -1.0)
+
+
+class TestIntervalQueries:
+    def test_interval_bounds(self):
+        led = PrimalDualLedger(num_pages=1, num_users=1, T=10)
+        led.record_request(0, 1)
+        led.record_request(0, 5)
+        assert led.interval_bounds(0, 1) == (1, 5)
+        assert led.interval_bounds(0, 2) == (5, 10)  # open-ended last
+        with pytest.raises(IndexError):
+            led.interval_bounds(0, 3)
+
+    def test_y_sum_over_interval_strict_interior(self):
+        led = PrimalDualLedger(num_pages=1, num_users=1, T=10)
+        led.record_request(0, 1)
+        led.record_request(0, 5)
+        led.record_y_jump(1, 10.0)  # at t(p,1): excluded
+        led.record_y_jump(3, 2.0)  # interior: included
+        led.record_y_jump(5, 7.0)  # at t(p,2): excluded from interval 1
+        assert led.y_sum_over_interval(0, 1) == 2.0
+        assert led.y_sum_over_interval(0, 2) == 0.0
+
+    def test_miss_curve_and_counts(self):
+        led = PrimalDualLedger(num_pages=2, num_users=2, T=6)
+        led.record_request(0, 0)
+        led.record_request(1, 1)
+        led.record_eviction(0, 0, 2)
+        led.record_eviction(1, 1, 4)
+        curve = led.miss_curve()
+        assert curve.shape == (7, 2)
+        assert curve[3, 0] == 1 and curve[2, 0] == 0
+        assert led.evictions_of_user(0) == 1
+        assert led.evictions_of_user(0, up_to=1) == 0
+        assert led.total_evictions_by_user().tolist() == [1, 1]
+
+    def test_objective_value(self):
+        led = PrimalDualLedger(num_pages=2, num_users=1, T=4)
+        led.record_request(0, 0)
+        led.record_eviction(0, 0, 1)
+        assert led.objective_value([MonomialCost(2)]) == 1.0
+
+    def test_x_pairs_sorted_by_set_time(self):
+        led = PrimalDualLedger(num_pages=3, num_users=1, T=9)
+        for p, t_req, t_ev in [(0, 0, 5), (1, 1, 2), (2, 3, 4)]:
+            led.record_request(p, t_req)
+            led.record_eviction(p, 0, t_ev)
+        assert led.x_pairs() == [(1, 1), (2, 1), (0, 1)]
+
+
+class TestLedgerFromRun:
+    def test_ledger_matches_engine(self, rng):
+        t = single_user_trace(rng.integers(0, 8, 200).tolist())
+        alg = AlgContinuous()
+        r = simulate(t, alg, 3, costs=[MonomialCost(2)], record_events=True)
+        led = alg.ledger
+        # Evictions recorded 1:1 with engine events.
+        assert len(led.eviction_events) == len(r.events)
+        assert [(ev.t, ev.victim) for ev in r.events] == [
+            (et, ep) for (et, ep, _u) in led.eviction_events
+        ]
+        # Requests recorded 1:1 with the trace.
+        assert sum(led.request_count(p) for p in led.request_times) == t.length
+        # Evictions per user equal engine misses minus final residents.
+        assert led.total_evictions_by_user()[0] == r.misses - len(r.final_cache)

@@ -1,0 +1,118 @@
+"""Tests for the Theorem 1.4 adversary and the §4 batched offline strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.lower_bound import (
+    AdaptiveAdversary,
+    BatchedOfflinePolicy,
+    lower_bound_costs,
+    measure_lower_bound,
+)
+from repro.policies.belady import BeladyPolicy
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import simulate
+
+
+class TestAdversary:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(n=1, T=10)
+        with pytest.raises(ValueError):
+            AdaptiveAdversary(n=5, T=3)
+
+    def test_every_post_warmup_request_misses(self):
+        adv = AdaptiveAdversary(n=5, T=200)
+        run = adv.run(LRUPolicy())
+        # Warm-up misses: k = n - 1 fills; then every request misses.
+        assert run.online_result.misses == 200
+        assert run.online_result.hits == 0
+
+    def test_trace_structure(self):
+        adv = AdaptiveAdversary(n=6, T=100)
+        run = adv.run(LRUPolicy())
+        t = run.trace
+        assert t.num_users == 6
+        assert t.num_pages == 6
+        assert t.length == 100
+        # Page i owned by user i.
+        assert t.owners.tolist() == list(range(6))
+
+    def test_replay_through_engine_matches(self):
+        """Re-simulating the recorded trace through the engine must
+        reproduce the adversary's accounting exactly."""
+        adv = AdaptiveAdversary(n=5, T=300)
+        run = adv.run(LRUPolicy())
+        replay = simulate(run.trace, LRUPolicy(), k=4)
+        assert replay.misses == run.online_result.misses
+        assert np.array_equal(replay.user_misses, run.online_result.user_misses)
+
+    def test_rejects_offline_policy(self):
+        adv = AdaptiveAdversary(n=4, T=50)
+        with pytest.raises(ValueError):
+            adv.run(BeladyPolicy())
+
+    def test_requires_costs_for_alg(self):
+        adv = AdaptiveAdversary(n=4, T=50)
+        with pytest.raises(ValueError):
+            adv.run(AlgDiscrete())
+
+    def test_works_against_alg_discrete(self):
+        adv = AdaptiveAdversary(n=5, T=200)
+        run = adv.run(AlgDiscrete(), costs=lower_bound_costs(5, 2))
+        assert run.online_result.misses == 200
+
+
+class TestBatchedOffline:
+    def test_at_most_one_miss_per_batch(self):
+        n, T = 9, 1800
+        adv = AdaptiveAdversary(n=n, T=T)
+        run = adv.run(LRUPolicy())
+        batch_len = (n - 1) // 2
+        r = simulate(run.trace, BatchedOfflinePolicy(batch_len), n - 1)
+        # Warm-up cold misses (n pages) + at most one miss per batch.
+        assert r.misses <= n + T // batch_len + 1
+
+    def test_balanced_evictions(self):
+        """The fewest-evictions rule keeps per-user miss counts within
+        a small spread (the property the §4 analysis uses)."""
+        n, T = 9, 3600
+        adv = AdaptiveAdversary(n=n, T=T)
+        run = adv.run(LRUPolicy())
+        r = simulate(run.trace, BatchedOfflinePolicy((n - 1) // 2), n - 1)
+        nonzero = r.user_misses[r.user_misses > 1]
+        assert nonzero.max() <= 3 * max(nonzero.min(), 1)
+
+    def test_batch_len_validation(self):
+        with pytest.raises(ValueError):
+            BatchedOfflinePolicy(0)
+
+
+class TestMeasurement:
+    def test_ratio_exceeds_floor_lru(self):
+        m = measure_lower_bound(LRUPolicy, n=9, beta=2, T=3600)
+        assert m.ratio >= m.theoretical_ratio
+
+    def test_ratio_exceeds_floor_alg(self):
+        m = measure_lower_bound(AlgDiscrete, n=9, beta=2, T=3600)
+        assert m.ratio >= m.theoretical_ratio
+
+    def test_ratio_grows_with_n(self):
+        r5 = measure_lower_bound(LRUPolicy, n=5, beta=2, T=2000)
+        r13 = measure_lower_bound(LRUPolicy, n=13, beta=2, T=5200)
+        assert r13.ratio > r5.ratio
+
+    def test_online_cost_is_forced(self):
+        """The adversary forces ~T total misses, so the online cost is
+        at least n * (T/n)^beta by convexity."""
+        n, beta, T = 7, 2, 2100
+        m = measure_lower_bound(LRUPolicy, n=n, beta=beta, T=T)
+        assert m.online_misses.sum() == T
+        assert m.online_cost >= n * (T / n) ** beta - 1e-6
+
+    def test_fields(self):
+        m = measure_lower_bound(LRUPolicy, n=5, beta=1, T=500)
+        assert m.k == 4
+        assert m.theoretical_ratio == pytest.approx(5 / 4)
+        assert m.offline_cost > 0

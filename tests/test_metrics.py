@@ -1,0 +1,115 @@
+"""Tests for metrics: cost accounting, windowed counting, fairness."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import simulate
+from repro.sim.metrics import (
+    cost_of_misses,
+    fairness_index,
+    miss_ratio_curve,
+    per_user_costs,
+    total_cost,
+    windowed_cost,
+    windowed_miss_counts,
+)
+from repro.sim.trace import Trace, single_user_trace
+
+
+@pytest.fixture
+def run_with_curve(tiny_trace):
+    return simulate(tiny_trace, LRUPolicy(), k=2, record_curve=True)
+
+
+class TestCosts:
+    def test_per_user_costs(self, tiny_trace, monomial_costs):
+        r = simulate(tiny_trace, LRUPolicy(), k=6)
+        pc = per_user_costs(r, monomial_costs)
+        assert pc.tolist() == [4.0, 4.0, 4.0]  # 2 cold misses each, squared
+
+    def test_total_cost_sums(self, tiny_trace, monomial_costs):
+        r = simulate(tiny_trace, LRUPolicy(), k=6)
+        assert total_cost(r, monomial_costs) == 12.0
+
+    def test_cost_of_misses_direct(self):
+        assert cost_of_misses(np.array([2, 3]), [LinearCost(2.0), MonomialCost(2)]) == (
+            4.0 + 9.0
+        )
+
+    def test_too_few_costs(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=2)
+        with pytest.raises(ValueError):
+            per_user_costs(r, [LinearCost()])
+        with pytest.raises(ValueError):
+            cost_of_misses(np.array([1, 2]), [LinearCost()])
+
+
+class TestWindowed:
+    def test_window_counts_sum_to_total(self, run_with_curve):
+        counts = windowed_miss_counts(run_with_curve, window=5)
+        assert np.array_equal(counts.sum(axis=0), run_with_curve.user_misses)
+
+    def test_window_shape(self, run_with_curve):
+        counts = windowed_miss_counts(run_with_curve, window=5)
+        # T=16 -> windows of 5,5,5,1.
+        assert counts.shape[0] == 4
+
+    def test_exact_division(self, run_with_curve):
+        counts = windowed_miss_counts(run_with_curve, window=8)
+        assert counts.shape[0] == 2
+
+    def test_requires_curve(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=2)
+        with pytest.raises(ValueError):
+            windowed_miss_counts(r, 4)
+
+    def test_windowed_cost_convexity_penalises_bursts(self):
+        """With f = x^2 per window, bursty misses cost more than spread
+        misses — the paper's time-window SLA motivation."""
+        owners = np.zeros(8, dtype=np.int64)
+        # Bursty: all 8 distinct pages missed in one window.
+        bursty = Trace(np.array([0, 1, 2, 3, 4, 5, 6, 7] + [0] * 8), owners)
+        # Spread: one miss per window (page repeats fill the gaps).
+        spread = Trace(
+            np.array([0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7]), owners
+        )
+        costs = [MonomialCost(2)]
+        rb = simulate(bursty, LRUPolicy(), k=8, record_curve=True)
+        rs = simulate(spread, LRUPolicy(), k=8, record_curve=True)
+        assert rb.misses == rs.misses == 8
+        assert windowed_cost(rb, costs, window=2) > windowed_cost(rs, costs, window=2)
+
+    def test_windowed_cost_requires_enough_functions(self, run_with_curve):
+        with pytest.raises(ValueError):
+            windowed_cost(run_with_curve, [LinearCost()], 4)
+
+
+class TestCurvesAndFairness:
+    def test_miss_ratio_curve_ends_at_global_ratio(self, run_with_curve):
+        curve = miss_ratio_curve(run_with_curve)
+        assert curve.shape == (16,)
+        assert curve[-1] == pytest.approx(run_with_curve.miss_ratio)
+        assert curve[0] == 1.0  # first request always misses
+
+    def test_miss_ratio_requires_curve(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=2)
+        with pytest.raises(ValueError):
+            miss_ratio_curve(r)
+
+    def test_fairness_equal_is_one(self):
+        r = simulate(
+            single_user_trace([0, 1, 2]), LRUPolicy(), k=3
+        )  # single user: trivially fair
+        assert fairness_index(r) == 1.0
+
+    def test_fairness_skewed_below_one(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=2)
+        r.user_misses[:] = [10, 0, 0]
+        assert fairness_index(r) == pytest.approx(1 / 3)
+
+    def test_fairness_zero_misses(self, tiny_trace):
+        r = simulate(tiny_trace, LRUPolicy(), k=6)
+        r.user_misses[:] = 0
+        assert fairness_index(r) == 1.0

@@ -1,0 +1,196 @@
+"""Tests for the multi-pool extension (paper §5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.multipool import (
+    AllInOneAssignment,
+    BalancedPagesAssignment,
+    CostAwareRebalancing,
+    MultiPoolResult,
+    PoolSystem,
+    RandomAssignment,
+    RoundRobinAssignment,
+    simulate_multipool,
+)
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace
+from repro.workloads.builders import random_multi_tenant_trace
+
+
+@pytest.fixture
+def mt_trace():
+    return random_multi_tenant_trace(4, 6, 2000, seed=21)
+
+
+@pytest.fixture
+def mt_costs():
+    return [MonomialCost(2), LinearCost(2.0), MonomialCost(2), LinearCost(1.0)]
+
+
+class TestPoolSystem:
+    def test_basic(self):
+        s = PoolSystem(capacities=np.array([4, 6]), migration_cost=3.0)
+        assert s.num_pools == 2
+        assert s.total_capacity == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoolSystem(capacities=np.array([0, 3]))
+        with pytest.raises(ValueError):
+            PoolSystem(capacities=np.array([]))
+        with pytest.raises(ValueError):
+            PoolSystem(capacities=np.array([2]), migration_cost=-1.0)
+
+
+class TestAssignments:
+    def test_round_robin(self):
+        s = PoolSystem(capacities=np.array([3, 3]))
+        a = RoundRobinAssignment().initial(s, 5, np.ones(5), [])
+        assert a.tolist() == [0, 1, 0, 1, 0]
+
+    def test_all_in_one(self):
+        s = PoolSystem(capacities=np.array([3, 3]))
+        a = AllInOneAssignment().initial(s, 4, np.ones(4), [])
+        assert a.tolist() == [0, 0, 0, 0]
+
+    def test_balanced_by_pages(self):
+        s = PoolSystem(capacities=np.array([10, 10]))
+        pages = np.array([8, 7, 2, 1])
+        a = BalancedPagesAssignment().initial(s, 4, pages, [])
+        # The two big users land on different pools.
+        assert a[0] != a[1]
+
+    def test_balanced_respects_capacity_ratio(self):
+        s = PoolSystem(capacities=np.array([30, 10]))
+        pages = np.array([10, 10, 10, 10])
+        a = BalancedPagesAssignment().initial(s, 4, pages, [])
+        # The larger pool takes more users.
+        assert (a == 0).sum() >= (a == 1).sum()
+
+    def test_random_assignment_reproducible(self):
+        s = PoolSystem(capacities=np.array([2, 2]))
+        a = RandomAssignment(rng=5).initial(s, 6, np.ones(6), [])
+        b = RandomAssignment(rng=5).initial(s, 6, np.ones(6), [])
+        assert np.array_equal(a, b)
+
+    def test_rebalancer_validation(self):
+        with pytest.raises(ValueError):
+            CostAwareRebalancing(imbalance_factor=0.5)
+
+
+class TestSimulator:
+    def test_pool_capacities_respected(self, mt_trace, mt_costs):
+        system = PoolSystem(capacities=np.array([5, 7]))
+        res = simulate_multipool(
+            mt_trace, mt_costs, system, RoundRobinAssignment(), epoch_length=500
+        )
+        assert isinstance(res, MultiPoolResult)
+        assert res.user_misses.sum() == res.per_pool_misses.sum()
+
+    def test_single_pool_equals_plain_engine(self, mt_trace, mt_costs):
+        """With one pool holding everyone the multi-pool simulator is
+        exactly the single-cache engine."""
+        k = 8
+        system = PoolSystem(capacities=np.array([k]))
+        res = simulate_multipool(
+            mt_trace, mt_costs, system, RoundRobinAssignment(), epoch_length=10**9
+        )
+        plain = simulate(mt_trace, AlgDiscrete(), k, costs=mt_costs)
+        assert np.array_equal(res.user_misses, plain.user_misses)
+
+    def test_total_cost_includes_migrations(self, mt_trace, mt_costs):
+        system = PoolSystem(capacities=np.array([4, 4]), migration_cost=7.0)
+        res = simulate_multipool(
+            mt_trace,
+            mt_costs,
+            system,
+            CostAwareRebalancing(start=AllInOneAssignment()),
+            epoch_length=200,
+        )
+        base = float(
+            sum(f.value(int(m)) for f, m in zip(mt_costs, res.user_misses))
+        )
+        assert res.total_cost(mt_costs) == pytest.approx(
+            base + 7.0 * res.migrations
+        )
+
+    def test_rebalancer_moves_off_overloaded_pool(self, mt_trace, mt_costs):
+        system = PoolSystem(capacities=np.array([6, 6]), migration_cost=0.0)
+        res = simulate_multipool(
+            mt_trace,
+            mt_costs,
+            system,
+            CostAwareRebalancing(start=AllInOneAssignment()),
+            epoch_length=200,
+        )
+        assert res.migrations >= 1
+        # At least one user left pool 0.
+        assert (res.final_assignment != 0).any()
+
+    def test_huge_migration_cost_freezes_assignment(self, mt_trace, mt_costs):
+        system = PoolSystem(capacities=np.array([6, 6]), migration_cost=1e12)
+        res = simulate_multipool(
+            mt_trace,
+            mt_costs,
+            system,
+            CostAwareRebalancing(start=AllInOneAssignment()),
+            epoch_length=200,
+        )
+        assert res.migrations == 0
+        assert (res.final_assignment == 0).all()
+
+    def test_each_user_migrates_at_most_once(self, mt_trace, mt_costs):
+        system = PoolSystem(capacities=np.array([6, 6]), migration_cost=0.0)
+        res = simulate_multipool(
+            mt_trace,
+            mt_costs,
+            system,
+            CostAwareRebalancing(start=AllInOneAssignment()),
+            epoch_length=100,
+        )
+        assert res.migrations <= mt_trace.num_users
+
+    def test_lru_pools_work_too(self, mt_trace, mt_costs):
+        system = PoolSystem(capacities=np.array([5, 5]))
+        res = simulate_multipool(
+            mt_trace,
+            mt_costs,
+            system,
+            RoundRobinAssignment(),
+            epoch_length=500,
+            policy_factory=LRUPolicy,
+        )
+        assert res.user_misses.sum() > 0
+
+    def test_invalid_assignment_rejected(self, mt_trace, mt_costs):
+        class Bad(RoundRobinAssignment):
+            def initial(self, system, num_users, page_counts, costs):
+                return np.full(num_users, 99, dtype=np.int64)
+
+        system = PoolSystem(capacities=np.array([5, 5]))
+        with pytest.raises(ValueError):
+            simulate_multipool(mt_trace, mt_costs, system, Bad())
+
+    def test_offline_policy_rejected(self, mt_trace, mt_costs):
+        from repro.policies.belady import BeladyPolicy
+
+        system = PoolSystem(capacities=np.array([5, 5]))
+        with pytest.raises(ValueError):
+            simulate_multipool(
+                mt_trace,
+                mt_costs,
+                system,
+                RoundRobinAssignment(),
+                policy_factory=BeladyPolicy,
+            )
+
+    def test_requires_enough_costs(self, mt_trace):
+        system = PoolSystem(capacities=np.array([5, 5]))
+        with pytest.raises(ValueError):
+            simulate_multipool(
+                mt_trace, [LinearCost()], system, RoundRobinAssignment()
+            )

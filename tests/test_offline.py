@@ -1,0 +1,165 @@
+"""Tests for the offline optimum ladder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_functions import LinearCost, MonomialCost, PiecewiseLinearCost
+from repro.core.offline import (
+    WeightedBeladyPolicy,
+    belady_misses,
+    brute_force_offline_opt,
+    exact_offline_opt,
+    heuristic_offline_cost,
+)
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import simulate
+from repro.sim.metrics import total_cost
+from repro.sim.trace import Trace, single_user_trace
+
+
+class TestExactOpt:
+    def test_matches_brute_force_randomized(self, rng):
+        for _ in range(12):
+            owners = np.array([0, 0, 1, 1, 2])
+            trace = Trace(rng.integers(0, 5, 14), owners)
+            costs = [MonomialCost(2), LinearCost(3.0), MonomialCost(2)]
+            k = int(rng.integers(1, 4))
+            a = exact_offline_opt(trace, costs, k)
+            b = brute_force_offline_opt(trace, costs, k)
+            assert a.optimal
+            assert a.cost == pytest.approx(b.cost)
+
+    def test_unit_linear_matches_belady(self, rng):
+        for _ in range(8):
+            trace = single_user_trace(rng.integers(0, 6, 18).tolist(), num_pages=6)
+            k = 3
+            opt = exact_offline_opt(trace, [LinearCost()], k)
+            assert int(opt.user_misses.sum()) == belady_misses(trace, k)
+
+    def test_no_misses_when_cache_fits_everything(self, tiny_trace, monomial_costs):
+        opt = exact_offline_opt(tiny_trace, monomial_costs, k=6)
+        # Only cold misses: one per distinct page.
+        assert int(opt.user_misses.sum()) == 6
+
+    def test_node_limit_flags_suboptimal(self, rng):
+        owners = np.repeat(np.arange(3), 3)
+        trace = Trace(rng.integers(0, 9, 60), owners)
+        costs = [MonomialCost(2)] * 3
+        limited = exact_offline_opt(trace, costs, 3, node_limit=5)
+        assert not limited.optimal
+        # Still a feasible upper bound (from the heuristic incumbent).
+        assert np.isfinite(limited.cost)
+
+    def test_opt_below_any_online_policy(self, rng):
+        for _ in range(6):
+            owners = np.array([0, 0, 1, 1])
+            trace = Trace(rng.integers(0, 4, 16), owners)
+            costs = [MonomialCost(2), MonomialCost(2)]
+            k = 2
+            opt = exact_offline_opt(trace, costs, k)
+            lru = simulate(trace, LRUPolicy(), k)
+            assert opt.cost <= total_cost(lru, costs) + 1e-9
+
+    def test_convexity_shapes_optimum(self):
+        """With strongly convex costs OPT spreads misses; the optimal
+        vector's objective is at most the balanced-miss objective of
+        any feasible schedule."""
+        owners = np.array([0, 1])
+        # Alternating requests with k=1: every request misses for any
+        # schedule; with beta=2 the objective is (a)^2+(b)^2, a+b = T.
+        trace = Trace(np.array([0, 1] * 6), owners)
+        costs = [MonomialCost(2), MonomialCost(2)]
+        opt = exact_offline_opt(trace, costs, 1)
+        assert int(opt.user_misses.sum()) == 12
+        assert opt.cost == 6**2 + 6**2
+
+    def test_requires_enough_costs(self, tiny_trace):
+        with pytest.raises(ValueError):
+            exact_offline_opt(tiny_trace, [LinearCost()], 2)
+
+
+class TestHeuristics:
+    def test_weighted_belady_reduces_to_belady_unit_linear(self, rng):
+        trace = single_user_trace(rng.integers(0, 8, 120).tolist())
+        k = 3
+        from repro.policies.belady import BeladyPolicy
+
+        wb = simulate(trace, WeightedBeladyPolicy(), k, costs=[LinearCost()])
+        bel = simulate(trace, BeladyPolicy(), k)
+        assert wb.misses == bel.misses
+
+    def test_heuristic_upper_bounds_opt(self, rng):
+        owners = np.array([0, 0, 1, 1])
+        trace = Trace(rng.integers(0, 4, 16), owners)
+        costs = [MonomialCost(2), LinearCost(2.0)]
+        h_cost, h_misses = heuristic_offline_cost(trace, costs, 2)
+        opt = exact_offline_opt(trace, costs, 2)
+        assert h_cost >= opt.cost - 1e-9
+
+    def test_weighted_belady_requires_future_and_costs(self):
+        from repro.sim.policy import SimContext
+
+        p = WeightedBeladyPolicy()
+        with pytest.raises(ValueError):
+            p.reset(SimContext(k=1, owners=np.zeros(1, dtype=np.int64), num_users=1))
+
+    def test_weighted_belady_prefers_dead_pages(self):
+        """A resident page never requested again is always the victim."""
+        trace = single_user_trace([0, 1, 2, 1, 2, 1, 2])  # page 0 dies at t=0
+        r = simulate(
+            trace, WeightedBeladyPolicy(), 2, costs=[LinearCost()], record_events=True
+        )
+        assert r.events[0].victim == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 4), min_size=4, max_size=16),
+    k=st.integers(1, 3),
+    beta=st.sampled_from([1, 2]),
+)
+def test_exact_opt_is_minimum_property(requests, k, beta):
+    """B&B result equals brute force on arbitrary tiny instances."""
+    owners = np.array([0, 0, 1, 1, 1])
+    trace = Trace(np.asarray(requests), owners)
+    costs = [MonomialCost(beta), MonomialCost(beta)]
+    a = exact_offline_opt(trace, costs, k)
+    b = brute_force_offline_opt(trace, costs, k)
+    assert a.cost == pytest.approx(b.cost)
+
+
+class TestWeightedLpOpt:
+    def test_sandwich_against_branch_and_bound(self, rng):
+        """eviction-opt (LP) <= fetch-opt (B&B) <= eviction-opt + residual
+        weight: the two counting conventions bracket each other."""
+        from repro.core.offline import exact_weighted_opt_lp
+
+        for _ in range(10):
+            owners = np.repeat(np.arange(2), 3)
+            trace = Trace(rng.integers(0, 6, 20), owners)
+            weights = [float(rng.uniform(0.5, 4.0)) for _ in range(2)]
+            k = int(rng.integers(1, 4))
+            costs = [LinearCost(w) for w in weights]
+            lp = exact_weighted_opt_lp(trace, weights, k)
+            bnb = exact_offline_opt(trace, costs, k)
+            assert lp.optimal
+            assert lp.cost <= bnb.cost + 1e-6
+            # Residents at the end are at most k, each costing <= max w.
+            assert bnb.cost <= lp.cost + k * max(weights) + 1e-6
+
+    def test_scales_beyond_branch_and_bound(self, rng):
+        from repro.core.offline import exact_weighted_opt_lp
+
+        owners = np.repeat(np.arange(4), 10)
+        trace = Trace(rng.integers(0, 40, 2_000), owners)
+        result = exact_weighted_opt_lp(trace, [1.0, 2.0, 3.0, 4.0], 12)
+        assert result.optimal
+        assert result.cost > 0
+
+    def test_requires_enough_weights(self, tiny_trace):
+        from repro.core.offline import exact_weighted_opt_lp
+
+        with pytest.raises(ValueError):
+            exact_weighted_opt_lp(tiny_trace, [1.0], 2)

@@ -1,0 +1,304 @@
+"""Per-policy behaviour on handcrafted traces, plus universal safety
+properties every registered policy must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.core.offline import brute_force_offline_opt
+from repro.policies import (
+    POLICY_REGISTRY,
+    BeladyPolicy,
+    ClockPolicy,
+    FIFOPolicy,
+    GreedyDualPolicy,
+    LFUPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    MarkingPolicy,
+    MRUPolicy,
+    RandomPolicy,
+    StaticPartitionLRU,
+    make_policy,
+)
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace, single_user_trace
+
+
+def victims_of(trace, policy, k, costs=None):
+    r = simulate(trace, policy, k, costs=costs, record_events=True)
+    return [e.victim for e in r.events], r
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        t = single_user_trace([0, 1, 2, 0, 3])
+        victims, _ = victims_of(t, LRUPolicy(), 3)
+        assert victims == [1]  # 1 is least recently used at the miss of 3
+
+    def test_cyclic_scan_pathology(self):
+        # Classic: scan over k+1 pages -> LRU misses every request.
+        t = single_user_trace(list(range(4)) * 10)
+        r = simulate(t, LRUPolicy(), k=3)
+        assert r.misses == t.length
+
+    def test_hit_refreshes_recency(self):
+        t = single_user_trace([0, 1, 0, 2, 3])
+        victims, _ = victims_of(t, LRUPolicy(), 3)
+        assert victims == [1]  # 0 was refreshed by the hit at t=2
+
+
+class TestMRU:
+    def test_evicts_most_recent(self):
+        t = single_user_trace([0, 1, 2, 3])
+        victims, _ = victims_of(t, MRUPolicy(), 3)
+        assert victims == [2]
+
+    def test_beats_lru_on_cyclic_scan(self):
+        t = single_user_trace(list(range(4)) * 10)
+        lru = simulate(t, LRUPolicy(), k=3)
+        mru = simulate(t, MRUPolicy(), k=3)
+        assert mru.misses < lru.misses
+
+
+class TestFIFO:
+    def test_hit_does_not_refresh(self):
+        t = single_user_trace([0, 1, 2, 0, 3])
+        victims, _ = victims_of(t, FIFOPolicy(), 3)
+        assert victims == [0]  # inserted first, despite the recent hit
+
+
+class TestClock:
+    def test_second_chance(self):
+        # 0 gets its bit set by the hit; hand skips it and takes 1.
+        t = single_user_trace([0, 1, 2, 0, 3])
+        victims, _ = victims_of(t, ClockPolicy(), 3)
+        assert victims == [1]
+
+    def test_all_referenced_degenerates_to_fifo(self):
+        t = single_user_trace([0, 1, 2, 0, 1, 2, 3])
+        victims, _ = victims_of(t, ClockPolicy(), 3)
+        assert victims == [0]
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        t = single_user_trace([0, 0, 0, 1, 2, 1, 3])
+        victims, _ = victims_of(t, LFUPolicy(), 3)
+        assert victims == [2]
+
+    def test_perfect_lfu_remembers_history(self):
+        # Page 0 accumulates count 3, evicted, returns with count 4.
+        t = single_user_trace([0, 0, 0, 1, 2, 3, 0, 4])
+        policy = LFUPolicy(reset_counts_on_evict=False)
+        victims, _ = victims_of(t, policy, 3)
+        # Final miss (4) must not evict 0 (count 4) but some count-1 page.
+        assert victims[-1] != 0
+
+    def test_in_cache_lfu_forgets(self):
+        t = single_user_trace([0, 0, 0, 1, 2, 3, 0, 4])
+        policy = LFUPolicy(reset_counts_on_evict=True)
+        r = simulate(t, policy, 3)
+        assert r.misses >= 5
+
+
+class TestLRUK:
+    def test_short_history_evicted_first(self):
+        # Pages 0,1 referenced twice; page 2 once -> 2 goes first.
+        t = single_user_trace([0, 1, 0, 1, 2, 3])
+        victims, _ = victims_of(t, LRUKPolicy(k_history=2), 3)
+        assert victims == [2]
+
+    def test_k1_equals_lru(self):
+        rng = np.random.default_rng(0)
+        t = single_user_trace(rng.integers(0, 8, 200).tolist())
+        v1, _ = victims_of(t, LRUKPolicy(k_history=1), 4)
+        v2, _ = victims_of(t, LRUPolicy(), 4)
+        assert v1 == v2
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            LRUKPolicy(k_history=0)
+
+
+class TestMarking:
+    def test_phase_reset(self):
+        # k=2: after 0,1 are marked, a miss clears marks and evicts the LRU
+        # unmarked page.
+        t = single_user_trace([0, 1, 2, 0])
+        victims, r = victims_of(t, MarkingPolicy(), 2)
+        assert victims[0] == 0
+        assert r.misses == 4
+
+    def test_k_competitive_on_random(self):
+        rng = np.random.default_rng(1)
+        t = single_user_trace(rng.integers(0, 6, 150).tolist())
+        k = 3
+        marking = simulate(t, MarkingPolicy(), k)
+        opt = simulate(t, BeladyPolicy(), k)
+        assert marking.misses <= k * opt.misses + k
+
+
+class TestRandom:
+    def test_reproducible_with_seed(self):
+        rng = np.random.default_rng(3)
+        reqs = rng.integers(0, 10, 100).tolist()
+        t = single_user_trace(reqs)
+        v1, _ = victims_of(t, RandomPolicy(rng=7), 3)
+        v2, _ = victims_of(t, RandomPolicy(rng=7), 3)
+        assert v1 == v2
+
+    def test_victims_always_resident(self):
+        rng = np.random.default_rng(4)
+        t = single_user_trace(rng.integers(0, 10, 200).tolist())
+        simulate(t, RandomPolicy(rng=1), 3)  # engine validates residency
+
+
+class TestBelady:
+    def test_optimal_on_small_instances(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            reqs = rng.integers(0, 5, 14).tolist()
+            t = single_user_trace(reqs, num_pages=5)
+            belady = simulate(t, BeladyPolicy(), 2)
+            opt = brute_force_offline_opt(t, [LinearCost()], 2)
+            assert belady.misses == int(opt.user_misses.sum())
+
+    def test_never_worse_than_lru(self):
+        rng = np.random.default_rng(6)
+        t = single_user_trace(rng.integers(0, 12, 300).tolist())
+        assert (
+            simulate(t, BeladyPolicy(), 4).misses
+            <= simulate(t, LRUPolicy(), 4).misses
+        )
+
+    def test_requires_trace(self):
+        from repro.sim.policy import SimContext
+
+        with pytest.raises(ValueError):
+            BeladyPolicy().reset(
+                SimContext(k=2, owners=np.zeros(1, dtype=np.int64), num_users=1)
+            )
+
+
+class TestGreedyDual:
+    def test_prefers_evicting_cheap_user(self):
+        # Page 0 belongs to a 100x more expensive user; with k=2 and a
+        # churn of cheap pages 1/2, the victims are always cheap.
+        owners = np.array([0, 1, 1])
+        t = Trace(np.array([0, 1, 2, 1, 2, 1, 2]), owners)
+        costs = [LinearCost(100.0), LinearCost(1.0)]
+        victims, _ = victims_of(t, GreedyDualPolicy(), 2, costs=costs)
+        assert victims and all(v in (1, 2) for v in victims)
+
+    def test_explicit_weights(self):
+        owners = np.array([0, 1, 1])
+        t = Trace(np.array([1, 0, 2, 0, 2, 0, 2]), owners)
+        # Explicit weights invert the cost relation: user 1 expensive,
+        # so the cheap page 0 is the first full-cache victim.
+        policy = GreedyDualPolicy(weights=np.array([1.0, 100.0]))
+        victims, _ = victims_of(t, policy, 2)
+        assert victims[0] == 0
+
+    def test_unit_weights_without_costs(self):
+        t = single_user_trace([0, 1, 2, 0])
+        simulate(t, GreedyDualPolicy(), 2)  # runs cost-free
+
+    def test_sla_fallback_weight_positive(self):
+        from repro.core.cost_functions import PiecewiseLinearCost
+
+        owners = np.array([0])
+        t = Trace(np.array([0]), owners)
+        costs = [PiecewiseLinearCost.sla(10.0, 5.0)]  # marginal(1) == 0
+        simulate(t, GreedyDualPolicy(), 1, costs=costs)
+
+    def test_k_competitive_weighted(self):
+        rng = np.random.default_rng(7)
+        owners = np.repeat(np.arange(3), 3)
+        t = Trace(rng.integers(0, 9, 200), owners)
+        costs = [LinearCost(1.0), LinearCost(5.0), LinearCost(25.0)]
+        from repro.core.convex_program import fractional_opt_lower_bound
+        from repro.sim.metrics import total_cost
+
+        k = 4
+        r = simulate(t, GreedyDualPolicy(), k, costs=costs)
+        lp = fractional_opt_lower_bound(t, costs, k)
+        assert total_cost(r, costs) <= k * lp * (1 + 1e-6)
+
+
+class TestStaticPartition:
+    def test_default_quota_split(self, tiny_trace):
+        r = simulate(tiny_trace, StaticPartitionLRU(), k=3)
+        assert len(r.final_cache) <= 3
+
+    def test_explicit_quotas_respected(self):
+        owners = np.array([0, 0, 0, 1, 1, 1])
+        rng = np.random.default_rng(8)
+        t = Trace(rng.integers(0, 6, 200), owners)
+        policy = StaticPartitionLRU(quotas=[1, 2])
+        r = simulate(t, policy, k=3, record_curve=True)
+        # User 0 can never hold more than 1 page: it must miss a lot.
+        assert r.user_misses[0] > r.user_misses[1]
+
+    def test_rejects_oversubscribed_quotas(self, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate(tiny_trace, StaticPartitionLRU(quotas=[5, 5, 5]), k=3)
+
+    def test_rejects_negative_quota(self, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate(tiny_trace, StaticPartitionLRU(quotas=[-1, 2, 2]), k=3)
+
+
+class TestRegistry:
+    def test_all_registered_policies_instantiate(self):
+        for name in POLICY_REGISTRY:
+            policy = make_policy(name)
+            assert policy.name  # has a display name
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            make_policy("does-not-exist")
+
+
+# ----------------------------------------------------------------------
+# Universal safety properties over the whole registry
+# ----------------------------------------------------------------------
+ONLINE_POLICIES = [
+    name for name in POLICY_REGISTRY if name not in ("belady",)
+]
+
+
+@pytest.mark.parametrize("name", sorted(POLICY_REGISTRY))
+@settings(max_examples=15, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 8), min_size=1, max_size=80),
+    k=st.integers(1, 5),
+)
+def test_policy_safety(name, requests, k):
+    """Every policy: never exceeds capacity, never evicts non-resident
+    pages (engine-validated), accounts all requests, and achieves at
+    most one miss per request."""
+    owners = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+    t = Trace(np.asarray(requests), owners)
+    costs = [MonomialCost(2), LinearCost(2.0), MonomialCost(2)]
+    policy = make_policy(name) if name != "random" else RandomPolicy(rng=0)
+    r = simulate(t, policy, k, costs=costs)
+    assert r.hits + r.misses == len(requests)
+    assert len(r.final_cache) <= k
+    assert r.misses <= len(requests)
+    assert int(r.user_misses.sum()) == r.misses
+
+
+def test_greedydual_fallback_doubles_past_large_allowance():
+    """Allowances larger than the reference horizon must still yield a
+    positive weight (regression: crashed on long full-mode traces)."""
+    import numpy as np
+    from repro.core.cost_functions import PiecewiseLinearCost
+    from repro.sim.trace import Trace
+
+    owners = np.array([0])
+    t = Trace(np.array([0]), owners)
+    costs = [PiecewiseLinearCost.sla(50_000.0, 3.0)]  # huge free allowance
+    simulate(t, GreedyDualPolicy(reference_misses=1000), 1, costs=costs)

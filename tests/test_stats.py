@@ -1,0 +1,99 @@
+"""Tests for the bootstrap statistics helpers and cost curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    PairedComparison,
+    Summary,
+    bootstrap_summary,
+    paired_comparison,
+)
+from repro.core.cost_functions import LinearCost, MonomialCost
+from repro.policies.lru import LRUPolicy
+from repro.sim.engine import simulate
+from repro.sim.metrics import cost_curve
+from repro.sim.trace import single_user_trace
+
+
+class TestBootstrapSummary:
+    def test_basic(self):
+        s = bootstrap_summary([1.0, 2.0, 3.0, 4.0], seed=0)
+        assert s.mean == 2.5
+        assert s.ci_low <= 2.5 <= s.ci_high
+        assert s.n == 4
+        assert "CI" in str(s)
+
+    def test_single_value(self):
+        s = bootstrap_summary([7.0])
+        assert s.mean == s.ci_low == s.ci_high == 7.0
+        assert s.std == 0.0
+
+    def test_ci_narrows_with_n(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_summary(rng.normal(0, 1, 10), seed=1)
+        large = bootstrap_summary(rng.normal(0, 1, 1000), seed=1)
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_ci_covers_true_mean_mostly(self):
+        rng = np.random.default_rng(2)
+        covered = 0
+        for i in range(40):
+            sample = rng.normal(5.0, 2.0, 30)
+            s = bootstrap_summary(sample, seed=i)
+            covered += s.ci_low <= 5.0 <= s.ci_high
+        assert covered >= 32  # ~95% nominal, generous slack
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_summary([])
+
+    def test_deterministic_given_seed(self):
+        a = bootstrap_summary([1.0, 5.0, 3.0], seed=9)
+        b = bootstrap_summary([1.0, 5.0, 3.0], seed=9)
+        assert (a.ci_low, a.ci_high) == (b.ci_low, b.ci_high)
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        a = [1.0] * 20
+        b = [2.0] * 20
+        c = paired_comparison(a, b, seed=0)
+        assert c.mean_diff == 1.0
+        assert c.significant
+        assert c.fraction_a_wins == 1.0
+
+    def test_no_difference(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 50)
+        noise = rng.normal(0, 0.001, 50)
+        c = paired_comparison(x, x + noise, seed=0)
+        assert abs(c.mean_diff) < 0.01
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0], [1.0, 2.0])
+
+
+class TestCostCurve:
+    def test_monotone_and_final_value(self):
+        t = single_user_trace([0, 1, 2, 0, 1, 3])
+        r = simulate(t, LRUPolicy(), 2, record_curve=True)
+        curve = cost_curve(r, [MonomialCost(2)])
+        assert curve.shape == (6,)
+        assert np.all(np.diff(curve) >= 0)
+        assert curve[-1] == r.cost([MonomialCost(2)])
+
+    def test_requires_curve(self):
+        t = single_user_trace([0, 1])
+        r = simulate(t, LRUPolicy(), 2)
+        with pytest.raises(ValueError):
+            cost_curve(r, [LinearCost()])
+
+    def test_convexity_visible(self):
+        """With f = x^2 every additional miss raises the increment."""
+        t = single_user_trace(list(range(10)))  # all misses
+        r = simulate(t, LRUPolicy(), 3, record_curve=True)
+        curve = cost_curve(r, [MonomialCost(2)])
+        increments = np.diff(curve)
+        assert np.all(np.diff(increments) >= 0)

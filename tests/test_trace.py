@@ -1,0 +1,141 @@
+"""Tests for the Trace data model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import Trace, make_trace, single_user_trace
+
+
+class TestConstruction:
+    def test_basic(self, tiny_trace):
+        assert tiny_trace.length == 16
+        assert tiny_trace.num_pages == 6
+        assert tiny_trace.num_users == 3
+        assert len(tiny_trace) == 16
+
+    def test_owner_of(self, tiny_trace):
+        assert tiny_trace.owner_of(0) == 0
+        assert tiny_trace.owner_of(5) == 2
+
+    def test_rejects_out_of_range_pages(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([0, 7]), np.array([0, 0]))
+
+    def test_rejects_negative_page(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([-1]), np.array([0]))
+
+    def test_rejects_negative_owner(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([0]), np.array([-1]))
+
+    def test_rejects_2d_requests(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2), dtype=int), np.array([0]))
+
+    def test_empty_requests_ok(self):
+        t = Trace(np.array([], dtype=np.int64), np.array([0, 1]))
+        assert t.length == 0
+        assert t.num_users == 2
+
+
+class TestDerivedQuantities:
+    def test_distinct_count_prefix(self):
+        t = single_user_trace([0, 0, 1, 0, 2, 1])
+        assert t.distinct_count_prefix().tolist() == [1, 1, 2, 2, 3, 3]
+
+    def test_request_counts(self):
+        t = single_user_trace([0, 0, 1, 2, 2, 2], num_pages=4)
+        assert t.request_counts().tolist() == [2, 1, 3, 0]
+
+    def test_per_user_request_counts(self, tiny_trace):
+        counts = tiny_trace.per_user_request_counts()
+        assert counts.sum() == tiny_trace.length
+        assert counts.tolist() == [6, 5, 5]
+
+    def test_next_use_table(self):
+        t = single_user_trace([0, 1, 0, 2])
+        # page 0 at t=0 next used at t=2; page 1 never again (T=4);
+        # page 0 at t=2 never again; page 2 never again.
+        assert t.next_use_table().tolist() == [2, 4, 4, 4]
+
+    def test_interval_indices(self):
+        t = single_user_trace([0, 1, 0, 0, 1])
+        assert t.interval_indices().tolist() == [1, 1, 2, 3, 2]
+
+    def test_pages_of_user(self, tiny_trace):
+        assert tiny_trace.pages_of_user(1).tolist() == [2, 3]
+
+    def test_distinct_pages_requested(self):
+        t = single_user_trace([3, 1, 3], num_pages=5)
+        assert t.distinct_pages_requested().tolist() == [1, 3]
+
+
+class TestComposition:
+    def test_head(self, tiny_trace):
+        h = tiny_trace.head(4)
+        assert h.length == 4
+        assert h.num_pages == tiny_trace.num_pages
+
+    def test_head_negative_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.head(-1)
+
+    def test_concat(self):
+        a = single_user_trace([0, 1], num_pages=3)
+        b = single_user_trace([2, 0], num_pages=3)
+        c = a.concat(b)
+        assert c.requests.tolist() == [0, 1, 2, 0]
+
+    def test_concat_mismatched_universe_rejected(self):
+        a = single_user_trace([0], num_pages=2)
+        b = single_user_trace([0], num_pages=3)
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_with_name(self, tiny_trace):
+        assert tiny_trace.with_name("renamed").name == "renamed"
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, tiny_trace):
+        restored = Trace.from_json(tiny_trace.to_json())
+        assert np.array_equal(restored.requests, tiny_trace.requests)
+        assert np.array_equal(restored.owners, tiny_trace.owners)
+        assert restored.name == tiny_trace.name
+
+    def test_file_roundtrip(self, tiny_trace, tmp_path):
+        path = str(tmp_path / "trace.json")
+        tiny_trace.save(path)
+        restored = Trace.load(path)
+        assert np.array_equal(restored.requests, tiny_trace.requests)
+
+
+class TestHelpers:
+    def test_make_trace_with_dict_owners(self):
+        t = make_trace([0, 1, 2], {0: 0, 1: 1, 2: 1})
+        assert t.owners.tolist() == [0, 1, 1]
+
+    def test_make_trace_with_list_owners(self):
+        t = make_trace([0, 1], [0, 1])
+        assert t.num_users == 2
+
+    def test_single_user_trace_defaults(self):
+        t = single_user_trace([0, 4])
+        assert t.num_pages == 5
+        assert t.num_users == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 7), min_size=1, max_size=60),
+)
+def test_next_use_table_matches_naive(requests):
+    t = single_user_trace(requests, num_pages=8)
+    table = t.next_use_table()
+    T = len(requests)
+    for i, p in enumerate(requests):
+        naive = next((j for j in range(i + 1, T) if requests[j] == p), T)
+        assert table[i] == naive

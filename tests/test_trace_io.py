@@ -1,0 +1,85 @@
+"""Tests for CSV trace import/export and parallel sweeps."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import run_sweep
+from repro.sim.trace import Trace
+from repro.sim.trace_io import load_csv, round_trip, save_csv
+
+
+class TestLoadCsv:
+    def test_basic(self):
+        csv_text = "page,tenant\na,x\nb,y\na,x\n"
+        loaded = load_csv(io.StringIO(csv_text))
+        assert loaded.trace.length == 3
+        assert loaded.trace.num_pages == 2
+        assert loaded.trace.num_users == 2
+        assert loaded.page_labels == ["a", "b"]
+        assert loaded.tenant_labels == ["x", "y"]
+        assert loaded.trace.requests.tolist() == [0, 1, 0]
+        assert loaded.page_id("b") == 1
+        assert loaded.tenant_id("y") == 1
+
+    def test_extra_columns_tolerated(self):
+        csv_text = "t,page,tenant,latency\n0,a,x,5\n1,b,x,9\n"
+        loaded = load_csv(io.StringIO(csv_text))
+        assert loaded.trace.length == 2
+
+    def test_conflicting_ownership_rejected(self):
+        csv_text = "page,tenant\na,x\na,y\n"
+        with pytest.raises(ValueError, match="two tenants"):
+            load_csv(io.StringIO(csv_text))
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            load_csv(io.StringIO("foo,bar\n1,2\n"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no requests"):
+            load_csv(io.StringIO("page,tenant\n"))
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("page,tenant\np,q\n")
+        assert load_csv(str(path)).trace.length == 1
+
+
+class TestSaveCsv:
+    def test_round_trip(self, tiny_trace):
+        restored = round_trip(tiny_trace)
+        assert np.array_equal(restored.requests, tiny_trace.requests)
+        assert np.array_equal(restored.owners, tiny_trace.owners)
+
+    def test_custom_labels(self, tmp_path):
+        t = Trace(np.array([0, 1]), np.array([0, 1]))
+        path = str(tmp_path / "out.csv")
+        save_csv(t, path, page_labels=["pg-a", "pg-b"], tenant_labels=["tn-x", "tn-y"])
+        text = open(path).read()
+        assert "pg-a" in text and "tn-y" in text
+        loaded = load_csv(path)
+        assert loaded.page_labels == ["pg-a", "pg-b"]
+
+    def test_label_length_validated(self, tiny_trace, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv(tiny_trace, str(tmp_path / "x.csv"), page_labels=["only-one"])
+
+
+def _parallel_cell(a, seed):
+    return {"value": a * 100 + seed % 10}
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        grid = {"a": [1, 2, 3]}
+        serial = run_sweep(_parallel_cell, grid, replicates=2, base_seed=7)
+        parallel = run_sweep(
+            _parallel_cell, grid, replicates=2, base_seed=7, workers=2
+        )
+        assert serial.rows == parallel.rows
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            run_sweep(_parallel_cell, {"a": [1]}, workers=0)

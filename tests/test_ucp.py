@@ -1,0 +1,89 @@
+"""Tests for the UCP offline-MRC static-partitioning oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import LinearCost, MonomialCost, PiecewiseLinearCost
+from repro.policies import LRUPolicy, StaticPartitionLRU
+from repro.policies.ucp import UCPPolicy
+from repro.sim.engine import simulate
+from repro.sim.metrics import total_cost
+from repro.sim.policy import SimContext
+from repro.sim.trace import Trace
+from repro.workloads.sqlvm import contention_scenario
+
+
+class TestAllocation:
+    def test_allocates_to_steep_tenants(self):
+        scenario, k = contention_scenario(
+            num_tenants=4, pages_per_tenant=60, length=20_000, seed=0
+        )
+        policy = UCPPolicy()
+        simulate(scenario.trace, policy, k, costs=scenario.costs)
+        q = policy.allocated_quotas
+        assert int(q.sum()) == k
+        # Priorities strictly decrease across tenants: quotas must too
+        # (weakly), and the steepest tenant gets the largest share.
+        assert q[0] == q.max()
+        assert all(q[i] >= q[i + 1] for i in range(len(q) - 1))
+
+    def test_quota_sum_equals_k(self, rng):
+        owners = np.repeat(np.arange(3), 10)
+        trace = Trace(rng.integers(0, 30, 600), owners)
+        costs = [MonomialCost(2), LinearCost(1.0), LinearCost(0.1)]
+        policy = UCPPolicy()
+        simulate(trace, policy, 7, costs=costs)
+        assert int(policy.allocated_quotas.sum()) == 7
+
+    def test_zero_gain_spreads_remainder(self):
+        """When tenants stop benefiting (cache bigger than working
+        sets) the leftover slots are spread instead of looping."""
+        owners = np.array([0, 1])
+        trace = Trace(np.array([0, 1, 0, 1]), owners)
+        costs = [LinearCost(1.0), LinearCost(1.0)]
+        policy = UCPPolicy()
+        simulate(trace, policy, 10, costs=costs)
+        assert int(policy.allocated_quotas.sum()) == 10
+
+
+class TestBehaviour:
+    def test_beats_even_split_on_contention(self):
+        scenario, k = contention_scenario(
+            num_tenants=4, pages_per_tenant=60, length=15_000, seed=1
+        )
+        ucp = simulate(scenario.trace, UCPPolicy(), k, costs=scenario.costs)
+        even = simulate(
+            scenario.trace, StaticPartitionLRU(), k, costs=scenario.costs
+        )
+        assert total_cost(ucp, scenario.costs) < total_cost(even, scenario.costs)
+
+    def test_oracle_advantage_over_online_is_bounded(self):
+        """On the stationary contention family the offline oracle wins,
+        but the online algorithm stays within a small factor."""
+        scenario, k = contention_scenario(
+            num_tenants=4, pages_per_tenant=60, length=15_000, seed=2
+        )
+        ucp = total_cost(
+            simulate(scenario.trace, UCPPolicy(), k, costs=scenario.costs),
+            scenario.costs,
+        )
+        alg = total_cost(
+            simulate(scenario.trace, AlgDiscrete(), k, costs=scenario.costs),
+            scenario.costs,
+        )
+        assert ucp <= alg  # oracle does not lose on stationary input
+        assert alg <= 3.0 * max(ucp, 1.0)
+
+    def test_requires_trace_and_costs(self):
+        with pytest.raises(ValueError):
+            UCPPolicy().reset(
+                SimContext(k=2, owners=np.zeros(1, dtype=np.int64), num_users=1)
+            )
+
+    def test_handles_tenant_with_no_requests(self):
+        owners = np.array([0, 0, 1])
+        trace = Trace(np.array([0, 1, 0, 1]), owners)  # tenant 1 silent
+        costs = [LinearCost(1.0), MonomialCost(2)]
+        r = simulate(trace, UCPPolicy(), 2, costs=costs)
+        assert r.user_misses[1] == 0

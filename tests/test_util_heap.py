@@ -1,0 +1,159 @@
+"""Unit and property tests for the addressable heap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.heap import AddressableHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        h = AddressableHeap()
+        assert len(h) == 0
+        assert not h
+        with pytest.raises(IndexError):
+            h.pop()
+        with pytest.raises(IndexError):
+            h.peek()
+
+    def test_push_pop_sorted(self):
+        h = AddressableHeap()
+        for i, key in enumerate([5.0, 1.0, 3.0, 2.0, 4.0]):
+            h.push(f"p{i}", key)
+        keys = [h.pop()[1] for _ in range(5)]
+        assert keys == sorted(keys)
+
+    def test_peek_does_not_remove(self):
+        h = AddressableHeap()
+        h.push("a", 2.0)
+        h.push("b", 1.0)
+        assert h.peek() == ("b", 1.0)
+        assert len(h) == 2
+
+    def test_duplicate_push_rejected(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        with pytest.raises(KeyError):
+            h.push("a", 2.0)
+
+    def test_contains_and_key_of(self):
+        h = AddressableHeap()
+        h.push("a", 1.5)
+        assert "a" in h
+        assert "b" not in h
+        assert h.key_of("a") == 1.5
+        with pytest.raises(KeyError):
+            h.key_of("b")
+
+    def test_update_decrease_and_increase(self):
+        h = AddressableHeap()
+        h.push("a", 5.0)
+        h.push("b", 3.0)
+        h.update("a", 1.0)
+        assert h.peek()[0] == "a"
+        h.update("a", 10.0)
+        assert h.peek()[0] == "b"
+
+    def test_push_or_update(self):
+        h = AddressableHeap()
+        h.push_or_update("a", 3.0)
+        h.push_or_update("a", 1.0)
+        assert h.key_of("a") == 1.0
+        assert len(h) == 1
+
+    def test_remove_returns_key(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        h.push("b", 2.0)
+        assert h.remove("a") == 1.0
+        assert "a" not in h
+        assert h.pop() == ("b", 2.0)
+
+    def test_remove_missing_raises(self):
+        h = AddressableHeap()
+        with pytest.raises(KeyError):
+            h.remove("ghost")
+
+    def test_fifo_tie_breaking(self):
+        h = AddressableHeap()
+        for name in ["first", "second", "third"]:
+            h.push(name, 1.0)
+        assert h.pop()[0] == "first"
+        assert h.pop()[0] == "second"
+        assert h.pop()[0] == "third"
+
+    def test_update_preserves_insertion_tiebreak(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        h.push("b", 1.0)
+        h.update("a", 1.0)  # same key; seqno must not change
+        assert h.pop()[0] == "a"
+
+    def test_add_to_all(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        h.push("b", 2.0)
+        h.add_to_all(-0.5)
+        assert h.key_of("a") == 0.5
+        assert h.key_of("b") == 1.5
+        h.check_invariants()
+
+    def test_clear(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        h.clear()
+        assert len(h) == 0
+        h.push("a", 2.0)  # reusable after clear
+        assert h.peek() == ("a", 2.0)
+
+    def test_iteration_and_items(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        h.push("b", 2.0)
+        assert set(h) == {"a", "b"}
+        assert dict(h.items()) == {"a": 1.0, "b": 2.0}
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["push", "pop", "update", "remove"]),
+            st.integers(0, 15),
+            st.floats(-100, 100, allow_nan=False),
+        ),
+        max_size=60,
+    )
+)
+def test_heap_matches_reference(ops):
+    """Random op sequences agree with a dict + min() reference."""
+    h = AddressableHeap()
+    ref: dict[int, float] = {}
+    seq: dict[int, int] = {}
+    counter = 0
+    for op, item, key in ops:
+        if op == "push" and item not in ref:
+            h.push(item, key)
+            ref[item] = key
+            seq[item] = counter
+            counter += 1
+        elif op == "pop" and ref:
+            got_item, got_key = h.pop()
+            want_key = min(ref.values())
+            candidates = [i for i, v in ref.items() if v == want_key]
+            want_item = min(candidates, key=lambda i: seq[i])
+            assert got_item == want_item
+            assert got_key == want_key
+            del ref[got_item]
+        elif op == "update" and item in ref:
+            h.update(item, key)
+            ref[item] = key
+        elif op == "remove" and item in ref:
+            assert h.remove(item) == ref.pop(item)
+        h.check_invariants()
+        assert len(h) == len(ref)
+    # Drain and confirm full sorted order.
+    drained = [h.pop() for _ in range(len(h))]
+    assert [k for _, k in drained] == sorted(ref.values())

@@ -1,0 +1,129 @@
+"""Unit and property tests for the intrusive doubly-linked list."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.linkedlist import DoublyLinkedList, ListNode
+
+
+class TestBasics:
+    def test_empty(self):
+        lst = DoublyLinkedList()
+        assert len(lst) == 0
+        assert not lst
+        assert list(lst) == []
+        with pytest.raises(IndexError):
+            lst.popleft()
+        with pytest.raises(IndexError):
+            lst.pop()
+
+    def test_append_order(self):
+        lst = DoublyLinkedList()
+        for v in [1, 2, 3]:
+            lst.append(v)
+        assert list(lst) == [1, 2, 3]
+        assert list(reversed(lst)) == [3, 2, 1]
+
+    def test_appendleft(self):
+        lst = DoublyLinkedList()
+        lst.append(2)
+        lst.appendleft(1)
+        assert list(lst) == [1, 2]
+
+    def test_popleft_pop(self):
+        lst = DoublyLinkedList()
+        for v in [1, 2, 3]:
+            lst.append(v)
+        assert lst.popleft() == 1
+        assert lst.pop() == 3
+        assert list(lst) == [2]
+
+    def test_remove_middle(self):
+        lst = DoublyLinkedList()
+        nodes = [lst.append(v) for v in [1, 2, 3]]
+        lst.remove(nodes[1])
+        assert list(lst) == [1, 3]
+        lst.check_invariants()
+
+    def test_remove_head_and_tail(self):
+        lst = DoublyLinkedList()
+        nodes = [lst.append(v) for v in [1, 2, 3]]
+        lst.remove(nodes[0])
+        lst.remove(nodes[2])
+        assert list(lst) == [2]
+
+    def test_move_to_tail(self):
+        lst = DoublyLinkedList()
+        nodes = [lst.append(v) for v in [1, 2, 3]]
+        lst.move_to_tail(nodes[0])
+        assert list(lst) == [2, 3, 1]
+        lst.move_to_tail(nodes[0])  # already at tail: no-op
+        assert list(lst) == [2, 3, 1]
+        lst.check_invariants()
+
+    def test_foreign_node_rejected(self):
+        a, b = DoublyLinkedList(), DoublyLinkedList()
+        node = a.append(1)
+        with pytest.raises(ValueError):
+            b.remove(node)
+        with pytest.raises(ValueError):
+            b.move_to_tail(node)
+
+    def test_double_attach_rejected(self):
+        lst = DoublyLinkedList()
+        node = lst.append(1)
+        with pytest.raises(ValueError):
+            lst.append_node(node)
+
+    def test_clear_detaches(self):
+        lst = DoublyLinkedList()
+        node = lst.append(1)
+        lst.clear()
+        assert len(lst) == 0
+        lst.append_node(node)  # reusable after clear
+        assert list(lst) == [1]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["append", "appendleft", "popleft", "pop", "remove", "mtt"]),
+            st.integers(0, 9),
+        ),
+        max_size=50,
+    )
+)
+def test_list_matches_reference(ops):
+    """Random op sequences agree with a Python list reference."""
+    lst = DoublyLinkedList()
+    ref: list[int] = []
+    nodes: dict[int, ListNode] = {}
+    counter = 0
+    for op, _arg in ops:
+        if op == "append":
+            nodes[counter] = lst.append(counter)
+            ref.append(counter)
+            counter += 1
+        elif op == "appendleft":
+            nodes[counter] = lst.appendleft(counter)
+            ref.insert(0, counter)
+            counter += 1
+        elif op == "popleft" and ref:
+            v = lst.popleft()
+            assert v == ref.pop(0)
+            del nodes[v]
+        elif op == "pop" and ref:
+            v = lst.pop()
+            assert v == ref.pop()
+            del nodes[v]
+        elif op == "remove" and ref:
+            v = ref.pop(_arg % len(ref))
+            lst.remove(nodes.pop(v))
+        elif op == "mtt" and ref:
+            v = ref.pop(_arg % len(ref))
+            ref.append(v)
+            lst.move_to_tail(nodes[v])
+        lst.check_invariants()
+        assert list(lst) == ref

@@ -1,0 +1,77 @@
+"""Tests for seeded-RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_seed, ensure_rng, shuffled, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_from_int_reproducible(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_from_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_from_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = ensure_rng(seq)
+        assert isinstance(a, np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+        with pytest.raises(TypeError):
+            ensure_rng(3.14)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        rngs = spawn_rngs(0, 5)
+        assert len(rngs) == 5
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.integers(0, 10**9, 20), b.integers(0, 10**9, 20))
+
+    def test_spawn_deterministic(self):
+        a1, _ = spawn_rngs(123, 2)
+        a2, _ = spawn_rngs(123, 2)
+        assert np.array_equal(a1.integers(0, 10**9, 10), a2.integers(0, 10**9, 10))
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(5)
+        rngs = spawn_rngs(g, 3)
+        assert len(rngs) == 3
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(9, 3) == derive_seed(9, 3)
+
+    def test_differs_by_index(self):
+        assert derive_seed(9, 0) != derive_seed(9, 1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(9, -1)
+
+
+def test_shuffled_preserves_input():
+    items = [1, 2, 3, 4, 5]
+    out = shuffled(items, 0)
+    assert sorted(out) == items
+    assert items == [1, 2, 3, 4, 5]  # input untouched

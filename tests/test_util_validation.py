@@ -1,0 +1,91 @@
+"""Tests for validation helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+        assert check_positive(np.float64(1.0), "x") == 1.0
+
+    def test_rejects_zero_negative_inf_nan(self):
+        for bad in (0, -1, math.inf, math.nan):
+            with pytest.raises(ValueError):
+                check_positive(bad, "x")
+
+    def test_rejects_non_numeric(self):
+        for bad in ("1", None, True, [1]):
+            with pytest.raises(TypeError):
+                check_positive(bad, "x")
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_positive(-1, "myparam")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, "x") == 3
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_zero_and_negative(self):
+        for bad in (0, -5):
+            with pytest.raises(ValueError):
+                check_positive_int(bad, "x")
+
+    def test_rejects_float_and_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "x")
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_outside(self):
+        for bad in (-0.01, 1.01, math.nan):
+            with pytest.raises(ValueError):
+                check_probability(bad, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive(self):
+        assert check_in_range(5, "x", 5, 10) == 5.0
+        assert check_in_range(10, "x", 5, 10) == 10.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(11, "x", 5, 10)

@@ -1,0 +1,209 @@
+"""Tests for page streams, trace builders, and the DaaS scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import Trace
+from repro.util.rng import ensure_rng
+from repro.workloads import (
+    HotColdStream,
+    MarkovStream,
+    PhasedStream,
+    ScanStream,
+    StackDistanceStream,
+    TenantSpec,
+    UniformStream,
+    ZipfStream,
+    adversarial_cycle_trace,
+    contention_scenario,
+    hot_cold_trace,
+    multi_tenant_trace,
+    phased_trace,
+    random_multi_tenant_trace,
+    scan_trace,
+    sqlvm_scenario,
+    stack_distance_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+
+class TestStreams:
+    @pytest.mark.parametrize(
+        "stream",
+        [
+            UniformStream(10),
+            ZipfStream(10, skew=0.9),
+            HotColdStream(10, 0.2, 0.9),
+            ScanStream(10),
+            PhasedStream(10, working_set_size=4, phase_length=5),
+            StackDistanceStream(10, theta=1.0),
+            MarkovStream(10),
+        ],
+        ids=lambda s: type(s).__name__,
+    )
+    def test_pages_in_range(self, stream, rng):
+        stream.reset()
+        pages = stream.sample(rng, 300)
+        assert pages.min() >= 0
+        assert pages.max() < 10
+        assert pages.shape == (300,)
+
+    def test_zipf_skew_orders_frequencies(self, rng):
+        s = ZipfStream(50, skew=1.2, shuffle=False)
+        pages = s.sample(rng, 20_000)
+        counts = np.bincount(pages, minlength=50)
+        # Rank-0 page must dominate the tail ranks.
+        assert counts[0] > counts[10] > counts[40]
+
+    def test_zipf_skew_zero_is_uniform(self, rng):
+        s = ZipfStream(10, skew=0.0, shuffle=False)
+        pages = s.sample(rng, 30_000)
+        counts = np.bincount(pages, minlength=10)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_zipf_permutation_reproducible(self, rng):
+        a = ZipfStream(20, skew=1.0, perm_seed=5)
+        b = ZipfStream(20, skew=1.0, perm_seed=5)
+        assert np.array_equal(a._perm, b._perm)
+
+    def test_scan_is_cyclic_deterministic(self, rng):
+        s = ScanStream(4)
+        assert s.sample(rng, 10).tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+        s.reset()
+        assert s.next_page(rng) == 0
+
+    def test_scan_start_validation(self):
+        with pytest.raises(ValueError):
+            ScanStream(4, start=4)
+
+    def test_hot_cold_concentration(self, rng):
+        s = HotColdStream(100, hot_fraction=0.1, hot_probability=0.9)
+        pages = s.sample(rng, 20_000)
+        hot_share = np.mean(pages < 10)
+        assert 0.85 < hot_share < 0.95
+
+    def test_phased_working_set_is_bounded(self, rng):
+        s = PhasedStream(100, working_set_size=5, phase_length=50)
+        pages = [s.next_page(rng) for _ in range(50)]
+        assert len(set(pages)) <= 5
+
+    def test_phased_changes_sets(self, rng):
+        s = PhasedStream(1000, working_set_size=5, phase_length=20)
+        first = {s.next_page(rng) for _ in range(20)}
+        second = {s.next_page(rng) for _ in range(20)}
+        assert first != second  # overwhelmingly likely with 1000 pages
+
+    def test_phased_validation(self):
+        with pytest.raises(ValueError):
+            PhasedStream(4, working_set_size=5, phase_length=10)
+
+    def test_stack_distance_locality(self, rng):
+        """High theta + low miss rate -> strong reuse (few distinct)."""
+        local = StackDistanceStream(1000, theta=2.0, miss_rate=0.01)
+        pages = [local.next_page(rng) for _ in range(2000)]
+        assert len(set(pages)) < 200
+
+    def test_markov_follows_graph(self, rng):
+        s = MarkovStream(50, out_degree=2, follow_prob=1.0, graph_seed=1)
+        pages = [s.next_page(rng) for _ in range(100)]
+        for a, b in zip(pages, pages[1:]):
+            assert b in set(s._succ[a])
+
+
+class TestBuilders:
+    def test_zipf_trace_shape(self):
+        t = zipf_trace(30, 500, skew=0.8, seed=0)
+        assert t.length == 500
+        assert t.num_pages == 30
+        assert t.num_users == 1
+
+    def test_uniform_scan_hotcold_phased_stack(self):
+        assert uniform_trace(10, 50, seed=0).length == 50
+        assert scan_trace(10, 50).requests[:3].tolist() == [0, 1, 2]
+        assert hot_cold_trace(10, 50, seed=0).length == 50
+        assert phased_trace(20, 50, 4, 10, seed=0).length == 50
+        assert stack_distance_trace(20, 50, seed=0).length == 50
+
+    def test_adversarial_cycle(self):
+        t = adversarial_cycle_trace(k=3, length=12)
+        assert t.num_pages == 4
+        from repro.policies.lru import LRUPolicy
+        from repro.sim.engine import simulate
+
+        assert simulate(t, LRUPolicy(), 3).misses == 12
+
+    def test_reproducible_by_seed(self):
+        a = zipf_trace(30, 200, seed=42)
+        b = zipf_trace(30, 200, seed=42)
+        assert np.array_equal(a.requests, b.requests)
+
+
+class TestMultiTenant:
+    def test_ownership_layout(self):
+        tenants = [
+            TenantSpec(UniformStream(3), weight=1.0),
+            TenantSpec(UniformStream(5), weight=2.0),
+        ]
+        t = multi_tenant_trace(tenants, 400, seed=1)
+        assert t.num_pages == 8
+        assert t.owners.tolist() == [0] * 3 + [1] * 5
+        # Pages referenced stay within their tenant's range.
+        users = t.owners[t.requests]
+        assert set(np.unique(users)) <= {0, 1}
+
+    def test_weights_shape_arrivals(self):
+        tenants = [
+            TenantSpec(UniformStream(4), weight=9.0),
+            TenantSpec(UniformStream(4), weight=1.0),
+        ]
+        t = multi_tenant_trace(tenants, 5000, seed=2)
+        counts = t.per_user_request_counts()
+        assert counts[0] > 3 * counts[1]
+
+    def test_empty_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            multi_tenant_trace([], 10)
+
+    def test_random_multi_tenant(self):
+        t = random_multi_tenant_trace(3, 4, 300, seed=3)
+        assert t.num_users == 3
+        assert t.num_pages == 12
+
+    def test_small_random_trace(self):
+        t = small_random = random_multi_tenant_trace(2, 2, 50, seed=0)
+        assert t.length == 50
+
+
+class TestScenarios:
+    def test_sqlvm_structure(self):
+        scenario, k = sqlvm_scenario(num_tenants=5, length=2000, seed=7)
+        assert scenario.num_users == 5
+        assert len(scenario.costs) == 5
+        assert scenario.trace.length == 2000
+        assert 1 <= k < scenario.trace.num_pages
+        # Every SLA is convex & zero at origin.
+        for f in scenario.costs:
+            assert f.value(0) == 0.0
+            assert f.is_convex_on_integers(200)
+
+    def test_sqlvm_reproducible(self):
+        a, ka = sqlvm_scenario(num_tenants=4, length=1000, seed=9)
+        b, kb = sqlvm_scenario(num_tenants=4, length=1000, seed=9)
+        assert ka == kb
+        assert np.array_equal(a.trace.requests, b.trace.requests)
+
+    def test_contention_structure(self):
+        scenario, k = contention_scenario(
+            num_tenants=4, pages_per_tenant=20, length=2000, seed=11
+        )
+        assert scenario.trace.num_pages == 80
+        assert k == 40  # cache_fraction 0.5
+        # Priorities strictly decreasing across tenants.
+        prios = [t.priority for t in scenario.tenants]
+        assert all(a > b for a, b in zip(prios, prios[1:]))
+
+    def test_contention_equal_request_rates(self):
+        scenario, _ = contention_scenario(num_tenants=4, length=20_000, seed=13)
+        counts = scenario.trace.per_user_request_counts()
+        assert counts.min() > 0.85 * counts.max()
