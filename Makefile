@@ -1,12 +1,15 @@
 # Canonical commands for the reproduction repo.
 
-.PHONY: test bench experiments experiments-full examples api-docs all
+.PHONY: test bench bench-json experiments experiments-full examples api-docs all
 
 test:
 	pytest tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-json:
+	python benchmarks/perf_trajectory.py --out BENCH_PR1.json
 
 experiments:
 	python -m repro.experiments

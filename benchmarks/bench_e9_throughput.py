@@ -28,12 +28,55 @@ POLICIES = [
 ]
 
 
+#: Subset compared across engines (the fast-path acceptance rows plus
+#: the other tuned batch implementations).
+ENGINE_COMPARE = ["lru", "fifo", "clock", "lfu", "greedydual", "alg-discrete"]
+
+#: Hit-heavy configuration: larger cache + skew 2.0 trace gives ~0.6%
+#: misses and ~170-request hit runs — the fast engine's target regime.
+K_HOT = 1024
+
+
 @pytest.mark.parametrize("name", POLICIES)
 def test_bench_e9_policy_throughput(benchmark, name, zipf_50k):
     factory = POLICY_REGISTRY[name]
 
     def run():
         return simulate(zipf_50k, factory(), K, costs=COSTS, validate=False)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.misses > 0
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+@pytest.mark.parametrize("name", ENGINE_COMPARE)
+def test_bench_e9_engine_mixed(benchmark, name, engine, zipf_50k):
+    """Fast vs reference on the classic mixed trace (~45% misses):
+    short runs, so this bounds the fast path's overhead floor."""
+    factory = POLICY_REGISTRY[name]
+
+    def run():
+        return simulate(
+            zipf_50k, factory(), K, costs=COSTS, validate=False, engine=engine
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.misses > 0
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+@pytest.mark.parametrize("name", ENGINE_COMPARE)
+def test_bench_e9_engine_hot(benchmark, name, engine, zipf_hot_50k):
+    """Fast vs reference on the hit-heavy trace: the vectorized
+    hit-run path is expected to deliver >=3x on lru / fifo /
+    alg-discrete here (recorded in BENCH_PR1.json via `make
+    bench-json`)."""
+    factory = POLICY_REGISTRY[name]
+
+    def run():
+        return simulate(
+            zipf_hot_50k, factory(), K_HOT, costs=COSTS, validate=False, engine=engine
+        )
 
     result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert result.misses > 0

@@ -10,6 +10,9 @@ import numpy as np
 import pytest
 
 from repro.core.budget_index import BudgetIndex
+from repro.policies import POLICY_REGISTRY
+from repro.sim.driver import simulate_many
+from repro.sim.engine import simulate
 from repro.util.heap import AddressableHeap
 from repro.workloads.builders import zipf_trace
 
@@ -59,3 +62,42 @@ def test_bench_trace_generation(benchmark):
 def test_bench_next_use_table(benchmark, zipf_50k):
     table = benchmark(zipf_50k.next_use_table)
     assert table.shape == (50_000,)
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_bench_engine_scan_only(benchmark, engine, zipf_hot_50k):
+    """Pure engine overhead: FIFO ignores hits, so on the hit-heavy
+    trace this isolates the hit-run scanner against the per-request
+    loop with no policy work in the way."""
+    factory = POLICY_REGISTRY["fifo"]
+
+    def run():
+        return simulate(zipf_hot_50k, factory(), 1_024, validate=False, engine=engine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.hits > 0
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_bench_engine_batched_hits(benchmark, engine, zipf_hot_50k):
+    """Scanner + tuned on_hit_batch: LRU's last-occurrence dedupe on
+    ~100-request runs."""
+    factory = POLICY_REGISTRY["lru"]
+
+    def run():
+        return simulate(zipf_hot_50k, factory(), 1_024, validate=False, engine=engine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.hits > 0
+
+
+def test_bench_simulate_many_serial(benchmark, zipf_50k):
+    """Grid-driver overhead on top of the raw engine (serial path; the
+    process-pool path is exercised in tests, not timed here — worker
+    startup dominates at benchmark scale)."""
+
+    def run():
+        return simulate_many(["lru", "fifo"], [256, 1_024], [zipf_50k])
+
+    runs = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(runs) == 4

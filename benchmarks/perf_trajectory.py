@@ -1,0 +1,98 @@
+"""Record fast-vs-reference engine throughput as a compact JSON file.
+
+Standalone (no pytest-benchmark) so CI and the Makefile can snapshot
+the numbers that back the PR's performance claims::
+
+    make bench-json        # writes BENCH_PR1.json at the repo root
+
+Each row times a full 50k-request simulation per engine (best of
+``--reps``) on two trace shapes:
+
+* ``mixed`` — Zipf skew 0.9, k=256: ~45% misses, short hit runs; the
+  fast path must at worst break even here.
+* ``hot`` — Zipf skew 2.0, k=1024: ~0.6% misses, ~170-request hit
+  runs; the vectorized scanner's target regime, where the acceptance
+  bar is >=3x for the lru / fifo / alg-discrete rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.cost_functions import MonomialCost  # noqa: E402
+from repro.policies import POLICY_REGISTRY  # noqa: E402
+from repro.sim.engine import simulate  # noqa: E402
+from repro.workloads.builders import zipf_trace  # noqa: E402
+
+POLICIES = ["lru", "fifo", "clock", "lfu", "greedydual", "alg-discrete"]
+
+CASES = {
+    "mixed": {"skew": 0.9, "k": 256},
+    "hot": {"skew": 2.0, "k": 1024},
+}
+
+NUM_PAGES = 2_000
+NUM_REQUESTS = 50_000
+
+
+def best_rps(trace, policy_name: str, k: int, engine: str, reps: int) -> float:
+    costs = [MonomialCost(2)] * trace.num_users
+    factory = POLICY_REGISTRY[policy_name]
+    best = float("inf")
+    for _ in range(reps):
+        policy = factory()
+        start = time.perf_counter()
+        simulate(trace, policy, k, costs=costs, validate=False, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return len(trace.requests) / best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR1.json", help="output JSON path")
+    parser.add_argument("--reps", type=int, default=3, help="timing reps (best-of)")
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "engine fast-vs-reference throughput (requests/sec)",
+        "trace": {
+            "generator": "zipf_trace",
+            "num_pages": NUM_PAGES,
+            "num_requests": NUM_REQUESTS,
+            "seed": 0,
+        },
+        "cases": {},
+    }
+    for case_name, cfg in CASES.items():
+        trace = zipf_trace(NUM_PAGES, NUM_REQUESTS, skew=cfg["skew"], seed=0)
+        rows = []
+        for policy_name in POLICIES:
+            ref = best_rps(trace, policy_name, cfg["k"], "reference", args.reps)
+            fast = best_rps(trace, policy_name, cfg["k"], "fast", args.reps)
+            row = {
+                "policy": policy_name,
+                "reference_rps": round(ref),
+                "fast_rps": round(fast),
+                "speedup": round(fast / ref, 2),
+            }
+            rows.append(row)
+            print(
+                f"{case_name:5s} {policy_name:14s} "
+                f"ref={ref / 1e3:8.0f}k fast={fast / 1e3:8.0f}k "
+                f"speedup={row['speedup']:.2f}x"
+            )
+        report["cases"][case_name] = {**cfg, "rows": rows}
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,8 +34,10 @@ class SweepResult:
     ) -> List[Dict[str, object]]:
         """Aggregate *value* over replicates grouped by *by* columns.
 
-        ``agg`` ∈ {mean, min, max, median}.  Non-finite values are
-        dropped; groups with none left report nan.
+        ``agg`` ∈ {mean, min, max, median}.  Non-finite and non-numeric
+        values are dropped (bools are flags, not measurements — a
+        ``True`` silently averaging as 1.0 once hid a broken column);
+        groups with none left report nan.
         """
         groups: Dict[Tuple, List[float]] = {}
         order: List[Tuple] = []
@@ -45,7 +47,11 @@ class SweepResult:
                 groups[key] = []
                 order.append(key)
             v = row.get(value)
-            if isinstance(v, (int, float)) and math.isfinite(float(v)):
+            if (
+                isinstance(v, (int, float))
+                and not isinstance(v, bool)
+                and math.isfinite(float(v))
+            ):
                 groups[key].append(float(v))
         agg_fn = {
             "mean": np.mean,

@@ -93,6 +93,7 @@ class AlgDiscrete(EvictionPolicy):
             self.name = f"alg-smoothed-{self.smoothing_window}"
         self._costs: Optional[Sequence[CostFunction]] = None
         self._owners: Optional[np.ndarray] = None
+        self._owners_list: list = []
         self._index = BudgetIndex()
         self.evictions_by_user: Optional[np.ndarray] = None
         self._fresh_cache: dict = {}
@@ -104,6 +105,9 @@ class AlgDiscrete(EvictionPolicy):
             raise ValueError("AlgDiscrete requires per-user cost functions")
         self._costs = ctx.costs
         self._owners = ctx.owners
+        # Plain Python list: avoids boxing a numpy scalar per event on
+        # the hot path (int(owners[page]) is ~3x a list index).
+        self._owners_list = ctx.owners.tolist()
         self._index = BudgetIndex()
         self.evictions_by_user = np.zeros(max(ctx.num_users, 1), dtype=np.int64)
         self._fresh_cache = {}
@@ -139,12 +143,31 @@ class AlgDiscrete(EvictionPolicy):
     # ------------------------------------------------------------------
     def on_hit(self, page: int, t: int) -> None:
         """Hit refresh: ``B(p_t) <- f'(m+1)`` (Fig. 3, first bullet)."""
-        user = int(self._owners[page])
+        user = self._owners_list[page]
         self._index.refresh(page, self.fresh_budget(user))
+
+    def on_hit_batch(self, pages, t0: int) -> None:
+        """Eviction counts are frozen within a hit run, so the per-user
+        fresh budget is constant and refreshing a page is idempotent:
+        refresh each distinct page exactly once, grouped by user so the
+        index pays its top-heap update once per user per run."""
+        owners = self._owners_list
+        by_user: dict = {}
+        for page in dict.fromkeys(pages):
+            user = owners[page]
+            group = by_user.get(user)
+            if group is None:
+                by_user[user] = [page]
+            else:
+                group.append(page)
+        refresh_pages = self._index.refresh_pages
+        fresh_budget = self.fresh_budget
+        for user, group in by_user.items():
+            refresh_pages(user, group, fresh_budget(user))
 
     def on_insert(self, page: int, t: int) -> None:
         """Fetch: index the page with a fresh budget."""
-        user = int(self._owners[page])
+        user = self._owners_list[page]
         self._index.insert(page, user, self.fresh_budget(user))
 
     def choose_victim(self, page: int, t: int) -> int:
@@ -154,7 +177,7 @@ class AlgDiscrete(EvictionPolicy):
 
     def on_evict(self, page: int, t: int) -> None:
         """Fig. 3 steps 3-4: global subtraction + same-user uplift."""
-        user = int(self._owners[page])
+        user = self._owners_list[page]
         budget = self._index.remove(page)
 
         # Step 3 (Fig. 3): subtract the evicted budget from every other

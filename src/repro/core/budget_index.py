@@ -120,6 +120,23 @@ class BudgetIndex:
         self._user_heaps[user].update(page, self._stored_key(user, budget))
         self._refresh_top(user)
 
+    def refresh_pages(self, user: int, pages, budget: float) -> None:
+        """Refresh several resident pages of one *user* to the same
+        *budget*, paying the top-heap update once instead of per page.
+
+        Equivalent to ``refresh(p, budget) for p in pages`` (the final
+        stored keys and top key are identical); callers must pass pages
+        indexed under *user*.  This is the hit-run bulk path of
+        ALG-DISCRETE: within a run the user's fresh budget is constant,
+        so every hit page of the user refreshes to one value.
+        """
+        heap = self._user_heaps[user]
+        key = self._stored_key(user, budget)
+        update = heap.update
+        for page in pages:
+            update(page, key)
+        self._refresh_top(user)
+
     def remove(self, page: int) -> float:
         """Remove a page, returning its current budget."""
         user = self._user_of_page.pop(page)

@@ -78,6 +78,13 @@ class ARCPolicy(EvictionPolicy):
         # Case I: hit in T1 or T2 -> promote to MRU of T2.
         self._move(page, "t2")
 
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # Each hit is a remove + append into T2, so the final T2 order
+        # depends only on the order of last occurrences.
+        move = self._move
+        for page in reversed(dict.fromkeys(reversed(pages))):
+            move(page, "t2")
+
     def on_insert(self, page: int, t: int) -> None:
         where = self._where.get(page)
         if where == "b1":
@@ -167,6 +174,16 @@ class TwoQueuePolicy(EvictionPolicy):
         if self._where[page] == "am":
             self._am.move_to_tail(self._nodes[page])
         # A hit in A1in leaves the page in FIFO order (the 2Q rule).
+
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # Hits on A1in pages are no-ops; Am moves collapse to last
+        # occurrences like LRU.
+        where = self._where
+        move = self._am.move_to_tail
+        nodes = self._nodes
+        hot = [p for p in pages if where[p] == "am"]
+        for page in reversed(dict.fromkeys(reversed(hot))):
+            move(nodes[page])
 
     def on_insert(self, page: int, t: int) -> None:
         if self._where.get(page) == "out":

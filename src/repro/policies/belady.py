@@ -48,6 +48,19 @@ class BeladyPolicy(EvictionPolicy):
     def on_hit(self, page: int, t: int) -> None:
         self._heap.update(page, self._key(t))
 
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # Only a page's last occurrence in the run determines its final
+        # next-use key (no pops happen between hits).
+        last = {}
+        t = t0
+        for page in pages:
+            last[page] = t
+            t += 1
+        update = self._heap.update
+        key = self._key
+        for page, tp in last.items():
+            update(page, key(tp))
+
     def on_insert(self, page: int, t: int) -> None:
         self._heap.push(page, self._key(t))
 

@@ -17,6 +17,7 @@ class FIFOPolicy(EvictionPolicy):
     """Evict the earliest-inserted resident page; hits do not refresh."""
 
     name = "fifo"
+    ignores_hits = True  # insertion order is untouched by hits
 
     def __init__(self) -> None:
         self._order: DoublyLinkedList[int] = DoublyLinkedList()
@@ -62,6 +63,12 @@ class ClockPolicy(EvictionPolicy):
 
     def on_hit(self, page: int, t: int) -> None:
         self._referenced[page] = True
+
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # Setting a reference bit is idempotent and order-free.
+        referenced = self._referenced
+        for page in pages:
+            referenced[page] = True
 
     def on_insert(self, page: int, t: int) -> None:
         self._nodes[page] = self._order.append(page)

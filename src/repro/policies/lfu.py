@@ -8,6 +8,7 @@ counter.  An in-cache-only variant is available via
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict
 
 from repro.sim.policy import EvictionPolicy, SimContext
@@ -39,6 +40,16 @@ class LFUPolicy(EvictionPolicy):
     def on_hit(self, page: int, t: int) -> None:
         self._counts[page] = self._counts.get(page, 0) + 1
         self._heap.update(page, self._counts[page])
+
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # One bump of `count` replaces `count` bumps of one; the heap
+        # sees only the final key either way (no pops within a run).
+        counts = self._counts
+        update = self._heap.update
+        for page, bump in Counter(pages).items():
+            new = counts.get(page, 0) + bump
+            counts[page] = new
+            update(page, new)
 
     def on_insert(self, page: int, t: int) -> None:
         self._counts[page] = self._counts.get(page, 0) + 1

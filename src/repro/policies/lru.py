@@ -4,14 +4,18 @@ LRU is the classical :math:`k`-competitive algorithm of Sleator–Tarjan
 [19] for the single-tenant linear objective; the paper's related-work
 section positions it (and its variants) as the cost-blind baseline that
 "treats all users equally".
+
+Both policies keep the recency order in an :class:`~collections.OrderedDict`
+rather than a hand-rolled linked list: ``move_to_end`` / ``popitem`` are
+C-implemented, which matters because LRU is the baseline every
+throughput experiment (E9, E14) compares against.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from collections import OrderedDict
 
 from repro.sim.policy import EvictionPolicy, SimContext
-from repro.util.linkedlist import DoublyLinkedList, ListNode
 
 
 class LRUPolicy(EvictionPolicy):
@@ -20,27 +24,36 @@ class LRUPolicy(EvictionPolicy):
     name = "lru"
 
     def __init__(self) -> None:
-        self._order: DoublyLinkedList[int] = DoublyLinkedList()
-        self._nodes: Dict[int, ListNode[int]] = {}
+        self._order: "OrderedDict[int, None]" = OrderedDict()
 
     def reset(self, ctx: SimContext) -> None:
-        self._order = DoublyLinkedList()
-        self._nodes = {}
+        self._order = OrderedDict()
 
     def on_hit(self, page: int, t: int) -> None:
-        self._order.move_to_tail(self._nodes[page])
+        self._order.move_to_end(page)
+
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # The recency order after a run depends only on the order of
+        # each page's last occurrence, so move each distinct page once.
+        # For tiny runs the dedupe costs more than the moves it saves.
+        move = self._order.move_to_end
+        if len(pages) <= 8:
+            for page in pages:
+                move(page)
+        else:
+            for page in reversed(dict.fromkeys(reversed(pages))):
+                move(page)
 
     def on_insert(self, page: int, t: int) -> None:
-        self._nodes[page] = self._order.append(page)
+        self._order[page] = None
 
     def choose_victim(self, page: int, t: int) -> int:
-        if self._order.head is None:
+        if not self._order:
             raise RuntimeError("choose_victim called with empty cache")
-        return self._order.head.value
+        return next(iter(self._order))
 
     def on_evict(self, page: int, t: int) -> None:
-        node = self._nodes.pop(page)
-        self._order.remove(node)
+        del self._order[page]
 
 
 class MRUPolicy(EvictionPolicy):
@@ -54,27 +67,34 @@ class MRUPolicy(EvictionPolicy):
     name = "mru"
 
     def __init__(self) -> None:
-        self._order: DoublyLinkedList[int] = DoublyLinkedList()
-        self._nodes: Dict[int, ListNode[int]] = {}
+        self._order: "OrderedDict[int, None]" = OrderedDict()
 
     def reset(self, ctx: SimContext) -> None:
-        self._order = DoublyLinkedList()
-        self._nodes = {}
+        self._order = OrderedDict()
 
     def on_hit(self, page: int, t: int) -> None:
-        self._order.move_to_tail(self._nodes[page])
+        self._order.move_to_end(page)
+
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # Same argument as LRU: only each page's last occurrence matters.
+        move = self._order.move_to_end
+        if len(pages) <= 8:
+            for page in pages:
+                move(page)
+        else:
+            for page in reversed(dict.fromkeys(reversed(pages))):
+                move(page)
 
     def on_insert(self, page: int, t: int) -> None:
-        self._nodes[page] = self._order.append(page)
+        self._order[page] = None
 
     def choose_victim(self, page: int, t: int) -> int:
-        if self._order.tail is None:
+        if not self._order:
             raise RuntimeError("choose_victim called with empty cache")
-        return self._order.tail.value
+        return next(reversed(self._order))
 
     def on_evict(self, page: int, t: int) -> None:
-        node = self._nodes.pop(page)
-        self._order.remove(node)
+        del self._order[page]
 
 
 __all__ = ["LRUPolicy", "MRUPolicy"]

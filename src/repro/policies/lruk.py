@@ -78,6 +78,26 @@ class LRUKPolicy(EvictionPolicy):
         self._touch(page, t)
         self._heap.update(page, self._key(page))
 
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # Group each page's hit times; the bounded deque keeps only the
+        # last K of them, and the heap only sees the final key.
+        times: Dict[int, list] = {}
+        t = t0
+        for page in pages:
+            times.setdefault(page, []).append(t)
+            t += 1
+        K = self.k_history
+        history = self._history
+        update = self._heap.update
+        key = self._key
+        for page, ts in times.items():
+            hist = history.get(page)
+            if hist is None:
+                hist = deque(maxlen=K)
+                history[page] = hist
+            hist.extend(ts[-K:])
+            update(page, key(page))
+
     def on_insert(self, page: int, t: int) -> None:
         self._touch(page, t)
         self._heap.push(page, self._key(page))

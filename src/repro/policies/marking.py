@@ -39,6 +39,15 @@ class MarkingPolicy(EvictionPolicy):
         self._marked.add(page)
         self._order.move_to_tail(self._nodes[page])
 
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # Marks are a set union; the LRU tie-break order depends only on
+        # each page's last occurrence (same argument as LRUPolicy).
+        self._marked.update(pages)
+        move = self._order.move_to_tail
+        nodes = self._nodes
+        for page in reversed(dict.fromkeys(reversed(pages))):
+            move(nodes[page])
+
     def on_insert(self, page: int, t: int) -> None:
         self._marked.add(page)
         self._nodes[page] = self._order.append(page)
@@ -87,6 +96,9 @@ class RandomizedMarkingPolicy(EvictionPolicy):
 
     def on_hit(self, page: int, t: int) -> None:
         self._marked.add(page)
+
+    def on_hit_batch(self, pages, t0: int) -> None:
+        self._marked.update(pages)
 
     def on_insert(self, page: int, t: int) -> None:
         self._marked.add(page)

@@ -25,6 +25,7 @@ class RandomPolicy(EvictionPolicy):
     """
 
     name = "random"
+    ignores_hits = True  # victim sampling never looks at hit history
 
     def __init__(self, rng: RandomSource = None) -> None:
         self._rng = ensure_rng(rng)

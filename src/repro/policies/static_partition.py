@@ -39,6 +39,7 @@ class StaticPartitionLRU(EvictionPolicy):
         self._explicit_quotas = None if quotas is None else np.asarray(quotas, dtype=np.int64)
         self._quotas: Optional[np.ndarray] = None
         self._owners: Optional[np.ndarray] = None
+        self._owners_list: list = []
         self._lists: Dict[int, DoublyLinkedList[int]] = {}
         self._nodes: Dict[int, ListNode[int]] = {}
         self._counts: Optional[np.ndarray] = None
@@ -58,6 +59,7 @@ class StaticPartitionLRU(EvictionPolicy):
             self._quotas = np.full(n, base, dtype=np.int64)
             self._quotas[:extra] += 1
         self._owners = ctx.owners
+        self._owners_list = ctx.owners.tolist()
         self._lists = {i: DoublyLinkedList() for i in range(n)}
         self._nodes = {}
         self._counts = np.zeros(n, dtype=np.int64)
@@ -65,6 +67,15 @@ class StaticPartitionLRU(EvictionPolicy):
     def on_hit(self, page: int, t: int) -> None:
         user = int(self._owners[page])
         self._lists[user].move_to_tail(self._nodes[page])
+
+    def on_hit_batch(self, pages, t0: int) -> None:
+        # Per-partition recency depends only on last occurrences, and
+        # hits never change partition occupancy.
+        owners = self._owners_list
+        lists = self._lists
+        nodes = self._nodes
+        for page in reversed(dict.fromkeys(reversed(pages))):
+            lists[owners[page]].move_to_tail(nodes[page])
 
     def on_insert(self, page: int, t: int) -> None:
         user = int(self._owners[page])

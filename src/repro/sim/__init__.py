@@ -2,11 +2,13 @@
 
 :mod:`repro.sim.trace` — request sequences and ownership maps;
 :mod:`repro.sim.policy` — the eviction-policy protocol;
-:mod:`repro.sim.engine` — the simulation loop;
+:mod:`repro.sim.engine` — the simulation loop (fast + reference engines);
+:mod:`repro.sim.driver` — the parallel multi-run grid driver;
 :mod:`repro.sim.metrics` — cost / windowed / fairness metrics.
 """
 
-from repro.sim.engine import EvictionEvent, SimResult, replay_evictions, simulate
+from repro.sim.driver import GridRun, simulate_many
+from repro.sim.engine import ENGINES, EvictionEvent, SimResult, replay_evictions, simulate
 from repro.sim.metrics import (
     cost_curve,
     cost_of_misses,
@@ -22,10 +24,13 @@ from repro.sim.trace import Trace, make_trace, single_user_trace
 from repro.sim.trace_io import LoadedTrace, load_csv, round_trip, save_csv
 
 __all__ = [
+    "ENGINES",
     "EvictionEvent",
     "SimResult",
     "simulate",
     "replay_evictions",
+    "GridRun",
+    "simulate_many",
     "EvictionPolicy",
     "SimContext",
     "Trace",

@@ -10,6 +10,23 @@ Misses are counted on fetches.  The paper charges evictions instead but
 notes the two are equal under its end-of-sequence cache-flush
 convention; fetch-counting avoids the dummy user entirely and matches
 the quantity :math:`a_i(\\sigma)` in Theorem 1.1.
+
+Two interchangeable implementations share that contract:
+
+* ``engine="reference"`` — the original per-request loop (a ``set``
+  membership test and an ``on_hit`` call per request).  It is the
+  ground truth for the equivalence suite.
+* ``engine="fast"`` (the ``"auto"`` default) — exploits the fact that
+  residency only changes on misses: between two misses the engine scans
+  forward for the next non-resident request against a bool residency
+  array (a Python-list walk for short runs, escalating to doubling
+  vectorized chunks ``resident[requests[t:t+C]]`` once a run proves
+  long) and hands the whole hit run to the policy through
+  :meth:`~repro.sim.policy.EvictionPolicy.on_hit_batch`.  Policies with
+  ``ignores_hits`` skip delivery entirely.  Miss handling is identical
+  to the reference loop, so the two engines produce bit-identical
+  :class:`SimResult`\\ s (enforced for every registered policy by
+  ``tests/test_engine_fast.py``).
 """
 
 from __future__ import annotations
@@ -93,6 +110,19 @@ class SimResult:
         )
 
 
+#: Engine selector values accepted by :func:`simulate`.
+ENGINES = ("auto", "fast", "reference")
+
+#: Consecutive hits walked per run through the Python-list probe before
+#: the scanner escalates to vectorized chunks (a list probe costs ~60ns,
+#: a vectorized probe has ~2µs call overhead but ~2ns/element after).
+_WALK_LIMIT = 32
+
+#: First vectorized chunk size; doubles up to the cap while a run lasts.
+_CHUNK_START = 256
+_CHUNK_CAP = 16_384
+
+
 def simulate(
     trace: Trace,
     policy: EvictionPolicy,
@@ -101,6 +131,7 @@ def simulate(
     record_events: bool = False,
     record_curve: bool = False,
     validate: bool = True,
+    engine: str = "auto",
 ) -> SimResult:
     """Run *policy* over *trace* with a cache of size *k*.
 
@@ -124,11 +155,17 @@ def simulate(
     validate:
         Check the victim returned by the policy is resident and not the
         requested page.  Disable only in throughput benchmarks.
+    engine:
+        ``"auto"`` (= ``"fast"``, the hit-run scanning engine) or
+        ``"reference"`` (the original per-request loop, kept as ground
+        truth).  Both produce bit-identical results.
 
     Returns
     -------
     SimResult
     """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     k = check_positive_int(k, "k")
     num_users = trace.num_users
     if policy.requires_costs:
@@ -148,6 +185,20 @@ def simulate(
     )
     policy.reset(ctx)
 
+    run = _simulate_reference if engine == "reference" else _simulate_fast
+    return run(trace, policy, k, record_events, record_curve, validate)
+
+
+def _simulate_reference(
+    trace: Trace,
+    policy: EvictionPolicy,
+    k: int,
+    record_events: bool,
+    record_curve: bool,
+    validate: bool,
+) -> SimResult:
+    """The original per-request loop — ground truth for equivalence."""
+    num_users = trace.num_users
     cache: set[int] = set()
     hits = 0
     user_misses = np.zeros(max(num_users, 1), dtype=np.int64)
@@ -203,6 +254,136 @@ def simulate(
     )
 
 
+def _simulate_fast(
+    trace: Trace,
+    policy: EvictionPolicy,
+    k: int,
+    record_events: bool,
+    record_curve: bool,
+    validate: bool,
+) -> SimResult:
+    """Hit-run scanning engine.
+
+    Residency lives in a bool array indexed by page (no hashing) plus a
+    mirrored Python list (a plain-list probe beats both numpy scalar
+    indexing and set hashing for single lookups).  Because residency
+    only changes on misses, the next miss is found by scanning forward
+    through constant residency: a short Python walk first, then
+    vectorized chunks of doubling size once the run proves long.  The
+    hits in between reach the policy as one ``on_hit_batch`` call — or
+    not at all for ``ignores_hits`` policies.
+    """
+    num_users = trace.num_users
+    num_pages = trace.num_pages
+    requests = trace.requests
+    owners = trace.owners
+    req_list = requests.tolist()
+    T = len(req_list)
+
+    res_arr = np.zeros(max(num_pages, 1), dtype=bool)
+    res_list = [False] * max(num_pages, 1)
+    size = 0
+    hits = 0
+    user_misses = np.zeros(max(num_users, 1), dtype=np.int64)
+    events: Optional[List[EvictionEvent]] = [] if record_events else None
+    curve: Optional[np.ndarray] = (
+        np.zeros((T + 1, max(num_users, 1)), dtype=np.int64)
+        if record_curve
+        else None
+    )
+
+    deliver_hits = not policy.ignores_hits
+    on_hit = policy.on_hit
+    on_hit_batch = policy.on_hit_batch
+    on_insert = policy.on_insert
+
+    t = 0
+    vector_mode = False  # sticky: the previous run was long
+    while t < T:
+        # ---- scan for the next miss; [t, nm) is a maximal hit run ----
+        nm = t
+        escalate = vector_mode
+        if not escalate:
+            walk_end = t + _WALK_LIMIT
+            if walk_end > T:
+                walk_end = T
+            while nm < walk_end and res_list[req_list[nm]]:
+                nm += 1
+            escalate = nm == walk_end and nm < T
+        if escalate:
+            # Long run: vectorized chunk scanning with doubling chunks.
+            # argmin of a bool block is its first False (the miss); a
+            # True at that position means the whole block hit.
+            chunk = _CHUNK_START
+            while nm < T:
+                block = res_arr[requests[nm : nm + chunk]]
+                j = int(block.argmin())
+                if block[j]:
+                    nm += block.size
+                    if chunk < _CHUNK_CAP:
+                        chunk <<= 1
+                else:
+                    nm += j
+                    break
+
+        run_len = nm - t
+        vector_mode = run_len >= _WALK_LIMIT
+        if run_len:
+            hits += run_len
+            if deliver_hits:
+                if run_len == 1:
+                    on_hit(req_list[t], t)
+                else:
+                    on_hit_batch(req_list[t:nm], t)
+            if curve is not None:
+                curve[t + 1 : nm + 1] = user_misses
+        if nm >= T:
+            break
+
+        # ---- miss at nm: identical mechanics to the reference loop ----
+        page = req_list[nm]
+        user_misses[owners[page]] += 1
+        if size < k:
+            res_arr[page] = True
+            res_list[page] = True
+            size += 1
+            on_insert(page, nm)
+        else:
+            victim = policy.choose_victim(page, nm)
+            if validate:
+                if victim < 0 or victim >= num_pages or not res_list[victim]:
+                    raise RuntimeError(
+                        f"{policy.name} evicted non-resident page {victim} at t={nm}"
+                    )
+                if victim == page:
+                    raise RuntimeError(
+                        f"{policy.name} evicted the requested page {page} at t={nm}"
+                    )
+            res_arr[victim] = False
+            res_list[victim] = False
+            policy.on_evict(victim, nm)
+            res_arr[page] = True
+            res_list[page] = True
+            on_insert(page, nm)
+            if events is not None:
+                events.append(EvictionEvent(t=nm, requested=page, victim=victim))
+        if curve is not None:
+            curve[nm + 1] = user_misses
+        t = nm + 1
+
+    return SimResult(
+        policy_name=policy.name,
+        trace_name=trace.name,
+        k=k,
+        hits=hits,
+        misses=int(user_misses.sum()),
+        user_misses=user_misses,
+        final_cache=np.flatnonzero(res_arr).tolist(),
+        events=events,
+        miss_curve=curve,
+    )
+
+
 def replay_evictions(trace: Trace, k: int, events: Sequence[EvictionEvent]) -> np.ndarray:
     """Recompute per-user miss counts implied by an eviction log.
 
@@ -240,4 +421,4 @@ def replay_evictions(trace: Trace, k: int, events: Sequence[EvictionEvent]) -> n
     return user_misses
 
 
-__all__ = ["EvictionEvent", "SimResult", "simulate", "replay_evictions"]
+__all__ = ["ENGINES", "EvictionEvent", "SimResult", "simulate", "replay_evictions"]

@@ -18,6 +18,18 @@ Lifecycle per simulation::
                      policy.on_evict(victim, t)      # engine notifies
                      policy.on_insert(page, t)
 
+The fast engine (:func:`repro.sim.engine.simulate` with the default
+``engine="auto"``) delivers consecutive hits *between* two misses as one
+:meth:`EvictionPolicy.on_hit_batch` call instead of per-request
+:meth:`~EvictionPolicy.on_hit` calls.  Residency only changes on misses,
+so a policy observes exactly the same information either way; the
+default ``on_hit_batch`` loops ``on_hit`` and is therefore always
+correct, while policies whose hit bookkeeping collapses (recency moves
+where only the last occurrence matters, idempotent refreshes, counter
+bumps) override it with a tuned version.  Policies that ignore hits
+entirely (FIFO, Random) declare ``ignores_hits = True`` and the engine
+skips delivery altogether.
+
 Offline policies (Belady, the §4 batch strategy) set
 ``requires_future = True`` and read ``ctx.trace``.
 """
@@ -85,6 +97,11 @@ class EvictionPolicy(ABC):
     #: Set by cost-aware policies that need ``ctx.costs``.
     requires_costs: bool = False
 
+    #: Set by policies whose state is unaffected by hits (``on_hit`` is
+    #: a no-op).  The fast engine then skips hit delivery entirely, so
+    #: long hit runs cost it a vectorized scan and nothing else.
+    ignores_hits: bool = False
+
     #: Short name used in experiment tables; subclasses override.
     name: str = "policy"
 
@@ -103,6 +120,28 @@ class EvictionPolicy(ABC):
 
     def on_hit(self, page: int, t: int) -> None:
         """*page* was requested at time *t* and was resident."""
+
+    def on_hit_batch(self, pages: Sequence[int], t0: int) -> None:
+        """A maximal run of consecutive hits: ``pages[i]`` was requested
+        (and resident) at time ``t0 + i``; no misses occurred in between,
+        so residency was constant across the run.
+
+        The default delivers each hit through :meth:`on_hit` in order,
+        which is correct for every policy.  Override when the run can be
+        processed cheaper in one pass — e.g. recency orders depend only
+        on each page's *last* occurrence, reference bits and idempotent
+        budget refreshes need each distinct page only once, and
+        frequency counters can take one bump of ``count`` instead of
+        ``count`` bumps of one.  An override must leave the policy in a
+        state observably identical (victim choices, introspection) to
+        the per-hit loop; the engine-equivalence suite enforces this for
+        every registered policy.
+        """
+        on_hit = self.on_hit
+        t = t0
+        for page in pages:
+            on_hit(page, t)
+            t += 1
 
     def on_insert(self, page: int, t: int) -> None:
         """*page* was inserted at time *t* (after a miss)."""

@@ -152,6 +152,20 @@ class TestSweep:
         out = result.grouped(["a"], "value")
         assert out[0]["value_mean"] == 1.0 or math.isnan(out[0]["value_mean"])
 
+    def test_grouped_ignores_bool_values(self):
+        # bool is an int subclass; grouped() must treat flag columns as
+        # non-numeric rather than averaging True as 1.0.
+        result = run_sweep(
+            lambda a, seed: {"converged": bool(seed % 2 == 0), "v": 2.0},
+            {"a": [1]},
+            replicates=4,
+        )
+        out = result.grouped(["a"], "converged")
+        assert out[0]["replicates"] == 0
+        assert math.isnan(out[0]["converged_mean"])
+        # Genuine numerics still aggregate.
+        assert result.grouped(["a"], "v")[0]["v_mean"] == 2.0
+
     def test_column(self):
         result = run_sweep(lambda a, seed: {"v": a}, {"a": [5]}, replicates=2)
         assert result.column("v") == [5, 5]
