@@ -1,15 +1,22 @@
 # Canonical commands for the reproduction repo.
 
-.PHONY: test bench bench-json experiments experiments-full examples api-docs all
+# Everything imports with PYTHONPATH=src from the repo root.
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+# Output file for `make bench-json`; override per PR:
+#   make bench-json OUT=BENCH_PR3.json
+OUT ?= BENCH_PR2.json
+
+.PHONY: test bench bench-json experiments experiments-full examples api-docs serve all
 
 test:
-	pytest tests/
+	python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
 
 bench-json:
-	python benchmarks/perf_trajectory.py --out BENCH_PR1.json
+	python benchmarks/perf_trajectory.py --out $(OUT)
 
 experiments:
 	python -m repro.experiments
@@ -22,5 +29,8 @@ examples:
 
 api-docs:
 	python docs/gen_api.py
+
+serve:
+	python -m repro.serve serve
 
 all: test bench experiments

@@ -1,0 +1,63 @@
+"""Serving-subsystem throughput benchmarks.
+
+The acceptance bar for `repro.serve` is >=50k requests/sec on the
+hit-heavy Zipf shape with 4 shards (batched ingress amortises the
+asyncio overhead; the policy hot path itself is the engine loop body).
+Measured numbers are snapshotted to BENCH_PR2.json by
+``perf_trajectory.py``; these cases keep the bar enforced under
+pytest-benchmark alongside the engine microbenchmarks.
+"""
+
+import pytest
+
+from repro.core.cost_functions import MonomialCost
+from repro.serve import serve_trace
+
+SERVE_BAR_RPS = 50_000
+
+
+def _serve(trace, policy, k, num_shards):
+    costs = [MonomialCost(2)] * trace.num_users
+    return serve_trace(
+        trace,
+        policy,
+        k,
+        costs,
+        num_shards=num_shards,
+        batch=256,
+        policy_seed=0,
+        validate=False,
+    )
+
+
+@pytest.mark.parametrize("num_shards", [1, 4])
+def test_bench_serve_lru_hot(benchmark, zipf_hot_50k, num_shards):
+    report = benchmark.pedantic(
+        _serve, args=(zipf_hot_50k, "lru", 1024, num_shards), rounds=3
+    )
+    assert report.hits + report.misses == zipf_hot_50k.length
+
+
+@pytest.mark.parametrize("num_shards", [1, 4])
+def test_bench_serve_alg_discrete_hot(benchmark, zipf_hot_50k, num_shards):
+    report = benchmark.pedantic(
+        _serve, args=(zipf_hot_50k, "alg-discrete", 1024, num_shards), rounds=3
+    )
+    assert report.hits + report.misses == zipf_hot_50k.length
+
+
+def test_bench_serve_mixed_4shard(benchmark, zipf_50k):
+    """Miss-heavy shape: every miss pays a victim choice per shard."""
+    report = benchmark.pedantic(
+        _serve, args=(zipf_50k, "lru", 256, 4), rounds=3
+    )
+    assert report.hits + report.misses == zipf_50k.length
+
+
+def test_serve_throughput_acceptance_bar(zipf_hot_50k):
+    """ISSUE acceptance: >=50k req/s on hit-heavy zipf with 4 shards."""
+    report = _serve(zipf_hot_50k, "lru", 1024, 4)
+    assert report.requests_per_sec >= SERVE_BAR_RPS, (
+        f"serving throughput {report.requests_per_sec:.0f} req/s "
+        f"below the {SERVE_BAR_RPS} bar"
+    )

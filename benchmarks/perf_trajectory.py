@@ -13,6 +13,11 @@ Each row times a full 50k-request simulation per engine (best of
 * ``hot`` — Zipf skew 2.0, k=1024: ~0.6% misses, ~170-request hit
   runs; the vectorized scanner's target regime, where the acceptance
   bar is >=3x for the lru / fifo / alg-discrete rows.
+
+A second section times the serving subsystem (``repro.serve``) end to
+end — batched async ingress, sharded policy instances, live cost
+ledger — on the same traces; the acceptance bar there is >=50k
+requests/sec on ``hot`` with 4 shards.
 """
 
 from __future__ import annotations
@@ -27,10 +32,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.cost_functions import MonomialCost  # noqa: E402
 from repro.policies import POLICY_REGISTRY  # noqa: E402
+from repro.serve import serve_trace  # noqa: E402
 from repro.sim.engine import simulate  # noqa: E402
 from repro.workloads.builders import zipf_trace  # noqa: E402
 
 POLICIES = ["lru", "fifo", "clock", "lfu", "greedydual", "alg-discrete"]
+
+SERVE_POLICIES = ["lru", "alg-discrete"]
+SERVE_SHARDS = [1, 4]
+SERVE_BAR_RPS = 50_000
 
 CASES = {
     "mixed": {"skew": 0.9, "k": 256},
@@ -51,6 +61,24 @@ def best_rps(trace, policy_name: str, k: int, engine: str, reps: int) -> float:
         simulate(trace, policy, k, costs=costs, validate=False, engine=engine)
         best = min(best, time.perf_counter() - start)
     return len(trace.requests) / best
+
+
+def best_serve_rps(trace, policy_name: str, k: int, shards: int, reps: int) -> float:
+    costs = [MonomialCost(2)] * trace.num_users
+    best = 0.0
+    for _ in range(reps):
+        report = serve_trace(
+            trace,
+            policy_name,
+            k,
+            costs,
+            num_shards=shards,
+            batch=256,
+            policy_seed=0,
+            validate=False,
+        )
+        best = max(best, report.requests_per_sec)
+    return best
 
 
 def main(argv=None) -> int:
@@ -88,6 +116,37 @@ def main(argv=None) -> int:
                 f"speedup={row['speedup']:.2f}x"
             )
         report["cases"][case_name] = {**cfg, "rows": rows}
+
+    serve_rows = []
+    for case_name, cfg in CASES.items():
+        trace = zipf_trace(NUM_PAGES, NUM_REQUESTS, skew=cfg["skew"], seed=0)
+        for policy_name in SERVE_POLICIES:
+            for shards in SERVE_SHARDS:
+                rps = best_serve_rps(trace, policy_name, cfg["k"], shards, args.reps)
+                serve_rows.append(
+                    {
+                        "case": case_name,
+                        "policy": policy_name,
+                        "num_shards": shards,
+                        "serve_rps": round(rps),
+                    }
+                )
+                print(
+                    f"serve {case_name:5s} {policy_name:14s} "
+                    f"shards={shards} rps={rps / 1e3:8.0f}k"
+                )
+    report["serving"] = {
+        "benchmark": "repro.serve end-to-end throughput (requests/sec, batch=256)",
+        "acceptance_bar_rps": SERVE_BAR_RPS,
+        "bar_case": {"case": "hot", "num_shards": 4},
+        "rows": serve_rows,
+    }
+    bar = [
+        r
+        for r in serve_rows
+        if r["case"] == "hot" and r["num_shards"] == 4
+    ]
+    assert all(r["serve_rps"] >= SERVE_BAR_RPS for r in bar), bar
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

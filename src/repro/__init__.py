@@ -21,7 +21,17 @@ Quickstart::
     print(result.misses, result.cost(costs))
 """
 
-from repro import analysis, core, experiments, multipool, policies, sim, util, workloads
+from repro import (
+    analysis,
+    core,
+    experiments,
+    multipool,
+    policies,
+    serve,
+    sim,
+    util,
+    workloads,
+)
 from repro.core import (
     AlgContinuous,
     AlgDiscrete,
@@ -54,6 +64,7 @@ __all__ = [
     "analysis",
     "experiments",
     "multipool",
+    "serve",
     "util",
     # most-used names re-exported at top level
     "AlgDiscrete",

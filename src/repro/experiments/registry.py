@@ -17,6 +17,7 @@ from repro.experiments import (
     e13_randomization,
     e14_scaling,
     e15_fractional_bbn,
+    e16_serving,
     e2_invariants,
     e3_bicriteria,
     e4_lower_bound,
@@ -44,6 +45,7 @@ _MODULES = (
     e13_randomization,
     e14_scaling,
     e15_fractional_bbn,
+    e16_serving,
 )
 
 EXPERIMENTS: Dict[str, Tuple[Callable[..., ExperimentOutput], str]] = {

@@ -1,0 +1,111 @@
+"""Command-line entry point: ``python -m repro.serve``.
+
+Two subcommands::
+
+    # Serve a TCP cache (line-delimited JSON protocol) until killed:
+    python -m repro.serve serve --policy alg-discrete --k 256 \\
+        --tenants 4 --pages-per-tenant 500 --beta 2 --port 9731
+
+    # Replay a CSV trace (.gz accepted) against a running server:
+    python -m repro.serve replay --host 127.0.0.1 --port 9731 trace.csv.gz
+
+The ``serve`` universe is ``tenants * pages-per-tenant`` pages owned in
+contiguous blocks, each tenant billed :math:`f_i(m) = m^\\beta`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.cost_functions import MonomialCost
+from repro.serve.client import load_trace_file, replay_tcp
+from repro.serve.server import CacheServer
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    owners = np.repeat(
+        np.arange(args.tenants, dtype=np.int64), args.pages_per_tenant
+    )
+    costs = [MonomialCost(args.beta) for _ in range(args.tenants)]
+    server = CacheServer(
+        args.policy,
+        args.k,
+        owners,
+        costs,
+        num_shards=args.shards,
+        queue_limit=args.queue_limit,
+        tenant_inflight=args.tenant_inflight,
+        window=args.window,
+        policy_seed=args.seed,
+        horizon=args.horizon,
+    )
+    await server.start()
+    host, port = await server.start_tcp(args.host, args.port)
+    print(
+        f"serving policy={args.policy} k={args.k} shards={args.shards} "
+        f"on {host}:{port} (ctrl-c to stop)",
+        flush=True,
+    )
+    try:
+        await asyncio.Event().wait()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await server.stop()
+        print(json.dumps(server.stats(), indent=2))
+    return 0
+
+
+async def _replay(args: argparse.Namespace) -> int:
+    trace = load_trace_file(args.trace)
+    stats = await replay_tcp(args.host, args.port, trace, batch=args.batch)
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = sub.add_parser("serve", help="run a TCP cache server")
+    serve_p.add_argument("--policy", default="alg-discrete")
+    serve_p.add_argument("--k", type=int, default=256)
+    serve_p.add_argument("--shards", type=int, default=1)
+    serve_p.add_argument("--tenants", type=int, default=4)
+    serve_p.add_argument("--pages-per-tenant", type=int, default=500)
+    serve_p.add_argument("--beta", type=int, default=2, help="cost exponent")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0)
+    serve_p.add_argument("--queue-limit", type=int, default=1024)
+    serve_p.add_argument("--tenant-inflight", type=int, default=None)
+    serve_p.add_argument("--window", type=int, default=None)
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument(
+        "--horizon", type=int, default=10_000_000,
+        help="max requests served (sizes ALG-CONT's ledger)",
+    )
+
+    replay_p = sub.add_parser("replay", help="replay a CSV trace over TCP")
+    replay_p.add_argument("trace", help="page,tenant CSV path (.gz accepted)")
+    replay_p.add_argument("--host", default="127.0.0.1")
+    replay_p.add_argument("--port", type=int, required=True)
+    replay_p.add_argument("--batch", type=int, default=256)
+
+    args = parser.parse_args(argv)
+    runner = _serve if args.command == "serve" else _replay
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

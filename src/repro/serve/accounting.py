@@ -1,0 +1,198 @@
+"""Live per-tenant cost accounting for the serving subsystem.
+
+The offline pipeline computes costs *after* a run from
+:class:`~repro.sim.engine.SimResult`; a server must answer "what does
+tenant *i* owe right now" and "what would their next miss cost" while
+requests are still arriving.  :class:`CostLedger` keeps the running
+per-tenant hit/miss counters, evaluates :math:`f_i(m_i)` on demand
+through the same :class:`~repro.core.cost_functions.CostFunction`
+objects the algorithms use, and quotes the paper's fresh-budget
+marginal :math:`f_i'(m_i + 1)` — the price ALG-DISCRETE would assign
+the tenant's next fetched page.
+
+Windowed accounting mirrors :func:`repro.sim.metrics.windowed_miss_
+counts` exactly (same window edges over the global request index,
+including a trailing partial window), so a live ledger's window rows
+are bit-identical to the offline recomputation from a recorded miss
+curve — enforced by ``tests/test_serve_accounting.py``.  This is the
+SLA shape from the paper's motivation: "up to ~M misses per window".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.util.validation import check_positive_int
+
+
+class CostLedger:
+    """Running hit/miss/cost state for ``n`` tenants.
+
+    Parameters
+    ----------
+    num_users:
+        Tenant count ``n``.
+    costs:
+        Per-tenant cost functions.  Optional: without them the ledger
+        still counts, but cost/quote accessors raise.
+    window:
+        Optional window length (in requests, over the *global* request
+        index) for SLA-style per-window miss rows.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        costs: Optional[Sequence[CostFunction]] = None,
+        window: Optional[int] = None,
+    ) -> None:
+        self.num_users = check_positive_int(num_users, "num_users")
+        if costs is not None and len(costs) < num_users:
+            raise ValueError(f"need {num_users} cost functions, got {len(costs)}")
+        self.costs = costs
+        self.window = None if window is None else check_positive_int(window, "window")
+        # Plain-int lists: the record() path runs once per served
+        # request, and list indexing beats numpy scalar updates ~5x.
+        self._hits: List[int] = [0] * num_users
+        self._misses: List[int] = [0] * num_users
+        self._t = 0
+        self._window_rows: List[List[int]] = []
+        self._current_window: List[int] = [0] * num_users
+
+    # ------------------------------------------------------------------
+    # Recording (the server's per-request hot path)
+    # ------------------------------------------------------------------
+    def record(self, tenant: int, hit: bool) -> None:
+        """Account one served request for *tenant*."""
+        if hit:
+            self._hits[tenant] += 1
+        else:
+            self._misses[tenant] += 1
+            if self.window is not None:
+                self._current_window[tenant] += 1
+        self._t += 1
+        if self.window is not None and self._t % self.window == 0:
+            self._window_rows.append(self._current_window)
+            self._current_window = [0] * self.num_users
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return self._t
+
+    @property
+    def hits(self) -> int:
+        return sum(self._hits)
+
+    @property
+    def misses(self) -> int:
+        return sum(self._misses)
+
+    def hits_by_user(self) -> np.ndarray:
+        return np.asarray(self._hits, dtype=np.int64)
+
+    def misses_by_user(self) -> np.ndarray:
+        """The running :math:`m_i` vector (the paper's :math:`a_i`)."""
+        return np.asarray(self._misses, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Cost accessors
+    # ------------------------------------------------------------------
+    def _cost_fn(self, tenant: int) -> CostFunction:
+        if self.costs is None:
+            raise ValueError("this ledger has no cost functions")
+        return self.costs[tenant]
+
+    def cost_of(self, tenant: int) -> float:
+        """Running :math:`f_i(m_i)` for *tenant*."""
+        return float(self._cost_fn(tenant).value(self._misses[tenant]))
+
+    def costs_by_user(self) -> np.ndarray:
+        return np.array(
+            [self.cost_of(i) for i in range(self.num_users)], dtype=float
+        )
+
+    def total_cost(self) -> float:
+        """The paper's objective :math:`\\sum_i f_i(m_i)`, so far."""
+        return float(self.costs_by_user().sum())
+
+    def marginal_quote(self, tenant: int) -> float:
+        """:math:`f_i'(m_i + 1)` — the marginal price of *tenant*'s next
+        miss: the same fresh-budget rule ALG-DISCRETE applies, evaluated
+        on served misses (the paper's fetch count :math:`a_i`, which
+        exceeds the algorithm's internal eviction count by the cold
+        misses)."""
+        return float(self._cost_fn(tenant).derivative(self._misses[tenant] + 1))
+
+    # ------------------------------------------------------------------
+    # Windowed / SLA accounting
+    # ------------------------------------------------------------------
+    def windowed_miss_counts(self) -> np.ndarray:
+        """Per-tenant misses per window, shape ``(W, n)``.
+
+        Matches :func:`repro.sim.metrics.windowed_miss_counts` on the
+        equivalent offline run: full windows in order, plus the current
+        partial window when the request count is not a multiple of the
+        window length.
+        """
+        if self.window is None:
+            raise ValueError("ledger was created without a window")
+        rows = list(self._window_rows)
+        if self._t % self.window != 0:
+            rows.append(self._current_window)
+        if not rows:
+            return np.zeros((0, self.num_users), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    def windowed_cost(self) -> float:
+        """:math:`\\sum_w \\sum_i f_i(\\text{misses}_i\\text{ in }w)`."""
+        per_window = self.windowed_miss_counts()
+        total = 0.0
+        for row in per_window:
+            total += sum(
+                float(self._cost_fn(i).value(int(m))) for i, m in enumerate(row)
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able state for the ``/stats`` command."""
+        tenants = []
+        for i in range(self.num_users):
+            row: Dict[str, object] = {
+                "tenant": i,
+                "hits": self._hits[i],
+                "misses": self._misses[i],
+            }
+            if self.costs is not None:
+                row["cost"] = self.cost_of(i)
+                row["marginal_quote"] = self.marginal_quote(i)
+            tenants.append(row)
+        snap: Dict[str, object] = {
+            "requests": self._t,
+            "hits": self.hits,
+            "misses": self.misses,
+            "tenants": tenants,
+        }
+        if self.costs is not None:
+            snap["total_cost"] = self.total_cost()
+        if self.window is not None:
+            snap["window"] = self.window
+            snap["windowed_misses"] = self.windowed_miss_counts().tolist()
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostLedger(n={self.num_users}, requests={self._t}, "
+            f"misses={self.misses})"
+        )
+
+
+__all__ = ["CostLedger"]

@@ -1,0 +1,324 @@
+"""Replay and load-generation clients for the serving subsystem.
+
+Three feeding modes, all preserving request order (submission order is
+serving order — the server's single consumer guarantees it):
+
+* :func:`replay` — push a :class:`~repro.sim.trace.Trace` through a
+  running :class:`~repro.serve.server.CacheServer`, either **closed
+  loop** (``rate=None``: keep ``pipeline`` batches in flight, as fast
+  as the server absorbs them — the benchmarking mode) or **open loop**
+  (``rate=r``: pace submissions to *r* requests/second, modelling a
+  fixed-rate arrival process).
+* :func:`replay_stream` — generate requests *live* from any
+  :class:`~repro.workloads.streams.PageStream` instead of a
+  pre-materialized trace: the online setting proper, with no horizon
+  materialised anywhere.
+* :func:`replay_tcp` — the same replay over the line-delimited JSON
+  TCP front end (used by the CI smoke job).
+
+CSV traces — including ``.gz``-compressed ones — replay via
+:func:`load_trace_file`, which routes through
+:mod:`repro.sim.trace_io`.
+
+:func:`serve_trace` is the one-call convenience wrapped in
+``asyncio.run``: build a server, replay a trace, stop, return the
+:class:`ReplayReport`.  With ``num_shards=1`` its report is
+request-for-request identical to :func:`repro.sim.engine.simulate`
+(hits, misses, per-user misses) for every registered policy — the
+serve↔simulate equivalence enforced by
+``tests/test_serve_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.serve.server import CacheServer
+from repro.serve.shard import PolicySpec
+from repro.sim.trace import Trace
+from repro.sim.trace_io import load_csv
+from repro.util.rng import RandomSource, ensure_rng
+from repro.util.validation import check_positive, check_positive_int
+from repro.workloads.streams import PageStream
+
+
+@dataclass
+class ReplayReport:
+    """Client-side accounting of one replay.
+
+    ``user_misses`` is rebuilt from per-request hit flags and the
+    trace's ownership map — deliberately *not* read back from the
+    server, so equivalence tests compare two independent accountings.
+    """
+
+    trace_name: str
+    policy: str
+    num_shards: int
+    requests: int
+    hits: int
+    misses: int
+    user_misses: np.ndarray
+    elapsed: float
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.requests if self.requests else 0.0
+
+    def cost(self, costs: Sequence[CostFunction]) -> float:
+        """The paper's objective :math:`\\sum_i f_i(a_i)` of this replay."""
+        return float(
+            sum(f.value(int(m)) for f, m in zip(costs, self.user_misses))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplayReport(policy={self.policy!r}, trace={self.trace_name!r}, "
+            f"misses={self.misses}/{self.requests}, "
+            f"rps={self.requests_per_sec:.0f})"
+        )
+
+
+async def replay(
+    server: CacheServer,
+    trace: Trace,
+    *,
+    batch: int = 256,
+    rate: Optional[float] = None,
+    pipeline: int = 4,
+) -> ReplayReport:
+    """Feed *trace* through a started *server*, in order.
+
+    Parameters
+    ----------
+    batch:
+        Requests per submission (amortises queue/future overhead; the
+        server still applies them one by one).
+    rate:
+        Target requests/second (open loop); ``None`` = closed loop.
+    pipeline:
+        Closed-loop max batches in flight (submission stays ordered;
+        this only overlaps client bookkeeping with serving).
+    """
+    batch = check_positive_int(batch, "batch")
+    pipeline = check_positive_int(pipeline, "pipeline")
+    if rate is not None:
+        rate = check_positive(rate, "rate")
+    requests = trace.requests
+    owners = trace.owners
+    T = requests.size
+    user_misses = np.zeros(max(trace.num_users, 1), dtype=np.int64)
+    hits = 0
+
+    def account(pages: np.ndarray, flags: List[bool]) -> int:
+        missed = pages[~np.asarray(flags, dtype=bool)]
+        if missed.size:
+            np.add.at(user_misses, owners[missed], 1)
+        return len(flags) - int(missed.size)
+
+    start = time.perf_counter()
+    inflight: List[tuple] = []  # (future, pages) in submission order
+    sent = 0
+    for lo in range(0, T, batch):
+        pages = requests[lo : lo + batch]
+        if rate is not None:
+            target = start + sent / rate
+            delay = target - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        fut = await server.submit_many(pages.tolist())
+        inflight.append((fut, pages))
+        sent += int(pages.size)
+        if len(inflight) >= pipeline:
+            done_fut, done_pages = inflight.pop(0)
+            outcome = await done_fut
+            hits += account(done_pages, outcome.hit_flags)
+    for fut, pages in inflight:
+        outcome = await fut
+        hits += account(pages, outcome.hit_flags)
+    elapsed = time.perf_counter() - start
+
+    return ReplayReport(
+        trace_name=trace.name,
+        policy=server.shards.policy_name,
+        num_shards=server.shards.num_shards,
+        requests=T,
+        hits=hits,
+        misses=int(user_misses.sum()),
+        user_misses=user_misses,
+        elapsed=elapsed,
+        stats=server.stats(),
+    )
+
+
+async def replay_stream(
+    server: CacheServer,
+    stream: PageStream,
+    length: int,
+    *,
+    seed: RandomSource = None,
+    batch: int = 256,
+    rate: Optional[float] = None,
+) -> ReplayReport:
+    """Generate *length* requests live from *stream* and serve them.
+
+    The stream draws pages in the server's global page space (build the
+    server with ``owners`` covering ``stream.num_pages``).  Unlike
+    :func:`replay` nothing is materialized up front — each batch is
+    drawn only once the previous one has been accepted.
+    """
+    length = check_positive_int(length, "length")
+    batch = check_positive_int(batch, "batch")
+    if rate is not None:
+        rate = check_positive(rate, "rate")
+    if stream.num_pages > server.shards.num_pages:
+        raise ValueError(
+            f"stream pages ({stream.num_pages}) exceed the server universe "
+            f"({server.shards.num_pages})"
+        )
+    rng = ensure_rng(seed)
+    owners = server.owners
+    user_misses = np.zeros(max(server.shards.num_users, 1), dtype=np.int64)
+    hits = 0
+    sent = 0
+    start = time.perf_counter()
+    while sent < length:
+        n = min(batch, length - sent)
+        pages = stream.sample(rng, n)
+        if rate is not None:
+            target = start + sent / rate
+            delay = target - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        outcome = await server.request_many(pages.tolist())
+        missed = pages[~np.asarray(outcome.hit_flags, dtype=bool)]
+        if missed.size:
+            np.add.at(user_misses, owners[missed], 1)
+        hits += outcome.hits
+        sent += n
+    elapsed = time.perf_counter() - start
+    return ReplayReport(
+        trace_name=f"{type(stream).__name__.lower()}[live]",
+        policy=server.shards.policy_name,
+        num_shards=server.shards.num_shards,
+        requests=length,
+        hits=hits,
+        misses=int(user_misses.sum()),
+        user_misses=user_misses,
+        elapsed=elapsed,
+        stats=server.stats(),
+    )
+
+
+async def replay_tcp(
+    host: str,
+    port: int,
+    trace: Trace,
+    *,
+    batch: int = 256,
+) -> Dict[str, object]:
+    """Replay *trace* over the TCP front end; returns the final
+    ``/stats`` document plus client-side ``client_hits`` /
+    ``client_misses`` totals (summed from batch responses)."""
+    batch = check_positive_int(batch, "batch")
+    reader, writer = await asyncio.open_connection(host, port)
+    hits = misses = 0
+    try:
+        requests = trace.requests
+        for lo in range(0, requests.size, batch):
+            pages = requests[lo : lo + batch].tolist()
+            writer.write(
+                json.dumps({"op": "batch", "pages": pages}).encode() + b"\n"
+            )
+            await writer.drain()
+            resp = json.loads(await reader.readline())
+            if not resp.get("ok"):
+                raise RuntimeError(f"server error: {resp.get('error')}")
+            hits += resp["hits"]
+            misses += resp["misses"]
+        writer.write(json.dumps({"op": "stats"}).encode() + b"\n")
+        await writer.drain()
+        stats_resp = json.loads(await reader.readline())
+        if not stats_resp.get("ok"):
+            raise RuntimeError(f"server error: {stats_resp.get('error')}")
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    stats = stats_resp["stats"]
+    stats["client_hits"] = hits
+    stats["client_misses"] = misses
+    return stats
+
+
+def load_trace_file(path: str, name: Optional[str] = None) -> Trace:
+    """Load a replayable trace from a ``page,tenant`` CSV (``.gz`` ok)."""
+    return load_csv(path, name=name or path).trace
+
+
+def serve_trace(
+    trace: Union[Trace, str],
+    policy: PolicySpec,
+    k: int,
+    costs: Optional[Sequence[CostFunction]] = None,
+    *,
+    num_shards: int = 1,
+    batch: int = 256,
+    rate: Optional[float] = None,
+    pipeline: int = 4,
+    queue_limit: int = 1024,
+    tenant_inflight: Optional[int] = None,
+    window: Optional[int] = None,
+    policy_seed: Optional[int] = None,
+    validate: bool = True,
+) -> ReplayReport:
+    """Build a server, replay *trace* (a :class:`Trace` or a CSV path)
+    through it, stop it, and return the :class:`ReplayReport` — the
+    serving counterpart of :func:`repro.sim.engine.simulate`."""
+    if isinstance(trace, str):
+        trace = load_trace_file(trace)
+
+    async def _run() -> ReplayReport:
+        server = CacheServer(
+            policy,
+            k,
+            trace.owners,
+            costs,
+            num_shards=num_shards,
+            queue_limit=queue_limit,
+            tenant_inflight=tenant_inflight,
+            window=window,
+            policy_seed=policy_seed,
+            trace=trace,
+            horizon=trace.length,
+            validate=validate,
+        )
+        await server.start()
+        try:
+            return await replay(
+                server, trace, batch=batch, rate=rate, pipeline=pipeline
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(_run())
+
+
+__all__ = [
+    "ReplayReport",
+    "replay",
+    "replay_stream",
+    "replay_tcp",
+    "load_trace_file",
+    "serve_trace",
+]

@@ -1,0 +1,505 @@
+"""The asyncio cache server.
+
+:class:`CacheServer` turns any registered eviction policy into a live
+multi-tenant serving process: requests arrive through an in-process
+async API or a line-delimited-JSON TCP front end, flow through one
+bounded ingress queue, and are applied to the shard set in strict
+arrival order by a single consumer task (cache mutations stay
+sequential, exactly like the engine, so results are reproducible and
+policies need no locking).
+
+Flow control is two-level:
+
+* **global** — the ingress queue is bounded (``queue_limit`` batches);
+  producers block in ``await`` when the consumer falls behind;
+* **per tenant** — a :class:`TenantGate` caps each tenant's queued
+  requests (``tenant_inflight``), so one flooding tenant saturates its
+  own gate instead of the shared queue (cf. the per-tenant guarantees
+  that motivate *Caching with Reserves*-style systems).
+
+Shutdown semantics: :meth:`CacheServer.stop` closes the ingress (new
+submissions raise :class:`ServerClosed`), lets the consumer drain
+everything already accepted, then stops.  The same guarantee holds
+under fault injection — if the consumer task is *cancelled* mid-stream
+it synchronously drains the queue before honouring the cancellation —
+so an accepted request is always answered.  Enforced by
+``tests/test_serve_server.py``.
+
+The ``/stats`` snapshot (:meth:`CacheServer.stats`) is a plain dict:
+totals, per-tenant hits/misses/cost/marginal quote, queue depth, and
+per-shard occupancy — the same document over TCP ``{"op": "stats"}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.serve.accounting import CostLedger
+from repro.serve.shard import PolicySpec, ShardManager
+from repro.sim.trace import Trace
+from repro.util.validation import check_positive_int
+
+
+class ServerClosed(RuntimeError):
+    """Raised when submitting to a server that is stopping/stopped."""
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Answer to one served request."""
+
+    page: int
+    tenant: int
+    hit: bool
+    t: int
+    shard: int
+    victim: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Answer to one pipelined batch; ``hit_flags[i]`` covers
+    ``pages[i]`` in submission order."""
+
+    t0: int
+    hits: int
+    misses: int
+    hit_flags: List[bool]
+
+
+class TenantGate:
+    """A counting gate: at most *capacity* queued requests per tenant.
+
+    ``asyncio.Semaphore`` with n-credit acquire; batch submissions
+    charge ``min(n, capacity)`` credits so a batch larger than the gate
+    cannot deadlock itself (it still throttles: the next batch waits
+    until those credits return).
+    """
+
+    __slots__ = ("capacity", "_available", "_waiters")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = check_positive_int(capacity, "capacity")
+        self._available = capacity
+        self._waiters: Deque[Tuple[int, asyncio.Future]] = deque()
+
+    async def acquire(self, n: int = 1) -> int:
+        """Take ``min(n, capacity)`` credits, waiting if necessary;
+        returns the number actually taken (to hand to :meth:`release`)."""
+        n = min(n, self.capacity)
+        if self._available >= n and not self._waiters:
+            self._available -= n
+            return n
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters.append((n, fut))
+        try:
+            await fut
+        except asyncio.CancelledError:
+            if fut.done() and not fut.cancelled():
+                # Credits were granted after the cancellation raced in;
+                # hand them back.
+                self.release(n)
+            else:
+                try:
+                    self._waiters.remove((n, fut))
+                except ValueError:
+                    pass  # release() already discarded the cancelled entry
+            raise
+        return n
+
+    def release(self, n: int) -> None:
+        """Return *n* credits and wake whoever now fits (FIFO)."""
+        self._available += n
+        while self._waiters:
+            need, fut = self._waiters[0]
+            if fut.cancelled():
+                self._waiters.popleft()
+                continue
+            if self._available < need:
+                break
+            self._waiters.popleft()
+            self._available -= need
+            fut.set_result(None)
+
+    @property
+    def queued(self) -> int:
+        """Requests currently holding credits."""
+        return self.capacity - self._available
+
+
+#: Queue items: (pages, future, detail, per-tenant credits to release).
+_Item = Tuple[Sequence[int], "asyncio.Future", bool, Optional[List[Tuple[int, int]]]]
+
+
+class CacheServer:
+    """Serve live per-tenant request streams against a sharded cache.
+
+    Parameters
+    ----------
+    policy:
+        Registry name, factory, or (``num_shards=1`` only) instance.
+    k:
+        Total cache capacity across shards.
+    owners:
+        Page-ownership array defining the page universe.
+    costs:
+        Per-tenant cost functions (required for cost-aware policies,
+        and for cost/quote fields in ``/stats``).
+    num_shards:
+        Independent policy shards (see :class:`ShardManager`).
+    queue_limit:
+        Ingress queue bound, in *submissions* (single requests or
+        batches).
+    tenant_inflight:
+        Per-tenant queued-request cap; ``None`` disables the gates.
+    window:
+        Optional request-count window for SLA accounting.
+    policy_seed, trace, horizon, validate:
+        Passed through to :class:`ShardManager`.
+    """
+
+    def __init__(
+        self,
+        policy: PolicySpec,
+        k: int,
+        owners: np.ndarray,
+        costs: Optional[Sequence[CostFunction]] = None,
+        *,
+        num_shards: int = 1,
+        queue_limit: int = 1024,
+        tenant_inflight: Optional[int] = None,
+        window: Optional[int] = None,
+        policy_seed: Optional[int] = None,
+        trace: Optional[Trace] = None,
+        horizon: int = 0,
+        validate: bool = True,
+        name: str = "serve",
+    ) -> None:
+        self.name = name
+        self.shards = ShardManager(
+            policy,
+            num_shards,
+            k,
+            owners,
+            costs,
+            policy_seed=policy_seed,
+            trace=trace,
+            horizon=horizon,
+            validate=validate,
+        )
+        self.ledger = CostLedger(self.shards.num_users, costs, window=window)
+        self.owners = self.shards.owners
+        self._owners_list: List[int] = self.owners.tolist()
+        self._queue_limit = check_positive_int(queue_limit, "queue_limit")
+        self._tenant_inflight = (
+            None
+            if tenant_inflight is None
+            else check_positive_int(tenant_inflight, "tenant_inflight")
+        )
+        self._gates: Optional[List[TenantGate]] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._consumer: Optional[asyncio.Task] = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._t = 0
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "CacheServer":
+        """Create the ingress queue and start the consumer task."""
+        if self._consumer is not None and not self._consumer.done():
+            raise RuntimeError("server already started")
+        self._queue = asyncio.Queue(maxsize=self._queue_limit)
+        if self._tenant_inflight is not None:
+            self._gates = [
+                TenantGate(self._tenant_inflight)
+                for _ in range(self.shards.num_users)
+            ]
+        self._closed = False
+        self._consumer = asyncio.create_task(self._run(), name=f"{self.name}-consumer")
+        return self
+
+    async def stop(self) -> None:
+        """Close the ingress, drain every accepted request, stop."""
+        if self._queue is None:
+            return
+        self._closed = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        if self._consumer is not None and not self._consumer.done():
+            await self._queue.put(None)  # drain sentinel
+            await self._consumer
+        self._consumer = None
+
+    async def drain(self) -> None:
+        """Wait until everything currently queued has been served."""
+        if self._queue is not None:
+            await self._queue.join()
+
+    @property
+    def time(self) -> int:
+        """Requests served so far (the global clock handed to policies)."""
+        return self._t
+
+    @property
+    def queue_depth(self) -> int:
+        """Submissions currently queued (requests + batches)."""
+        return 0 if self._queue is None else self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def _check_pages(self, pages: Sequence[int]) -> None:
+        num_pages = self.shards.num_pages
+        for page in pages:
+            if not 0 <= page < num_pages:
+                raise ValueError(
+                    f"page {page} outside the universe [0, {num_pages})"
+                )
+
+    async def _submit(self, pages: Sequence[int], detail: bool) -> asyncio.Future:
+        if self._closed or self._queue is None:
+            raise ServerClosed(f"server {self.name!r} is not accepting requests")
+        self._check_pages(pages)
+        credits: Optional[List[Tuple[int, int]]] = None
+        if self._gates is not None:
+            per_tenant: Dict[int, int] = {}
+            for page in pages:
+                tenant = self._owners_list[page]
+                per_tenant[tenant] = per_tenant.get(tenant, 0) + 1
+            credits = []
+            for tenant, n in per_tenant.items():
+                taken = await self._gates[tenant].acquire(n)
+                credits.append((tenant, taken))
+        fut = asyncio.get_running_loop().create_future()
+        await self._queue.put((pages, fut, detail, credits))
+        return fut
+
+    async def request(self, page: int) -> RequestOutcome:
+        """Serve one page request; resolves once it has been applied."""
+        fut = await self._submit((page,), detail=True)
+        return (await fut)[0]
+
+    async def submit_many(self, pages: Sequence[int]) -> asyncio.Future:
+        """Enqueue a batch, returning the future of its
+        :class:`BatchOutcome` — the pipelining primitive: submission
+        order is serving order, so callers may keep several batches in
+        flight and await the futures later."""
+        return await self._submit(pages, detail=False)
+
+    async def request_many(self, pages: Sequence[int]) -> BatchOutcome:
+        """Serve a batch and wait for its outcome."""
+        fut = await self.submit_many(pages)
+        return await fut
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        queue = self._queue
+        assert queue is not None
+        try:
+            while True:
+                item = await queue.get()
+                try:
+                    if item is None:
+                        return
+                    self._process(item)
+                finally:
+                    queue.task_done()
+        except asyncio.CancelledError:
+            # Fault injection / hard shutdown: an accepted request is
+            # still answered.  Processing is synchronous, so the cancel
+            # can only land on the queue.get above — drain what was
+            # accepted, then honour the cancellation.
+            self._closed = True
+            self._drain_sync()
+            raise
+
+    def _drain_sync(self) -> None:
+        queue = self._queue
+        assert queue is not None
+        while True:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            try:
+                if item is not None:
+                    self._process(item)
+            finally:
+                queue.task_done()
+
+    def _process(self, item: _Item) -> None:
+        pages, fut, detail, credits = item
+        serve = self.shards.serve
+        record = self.ledger.record
+        owners = self._owners_list
+        t = self._t
+        result: object
+        if detail:
+            outcomes = []
+            for page in pages:
+                hit, victim, sid = serve(page, t)
+                tenant = owners[page]
+                record(tenant, hit)
+                outcomes.append(
+                    RequestOutcome(
+                        page=page, tenant=tenant, hit=hit, t=t, shard=sid,
+                        victim=victim,
+                    )
+                )
+                t += 1
+            result = outcomes
+        else:
+            hit_flags = []
+            append = hit_flags.append
+            hits = 0
+            for page in pages:
+                hit, _victim, _sid = serve(page, t)
+                record(owners[page], hit)
+                append(hit)
+                hits += hit
+                t += 1
+            result = BatchOutcome(
+                t0=self._t,
+                hits=hits,
+                misses=len(hit_flags) - hits,
+                hit_flags=hit_flags,
+            )
+        self._t = t
+        if credits is not None and self._gates is not None:
+            for tenant, n in credits:
+                self._gates[tenant].release(n)
+        if not fut.cancelled():
+            fut.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` snapshot (JSON-able)."""
+        snap = self.ledger.snapshot()
+        snap.update(
+            {
+                "server": self.name,
+                "policy": self.shards.policy_name,
+                "k": self.shards.k,
+                "num_shards": self.shards.num_shards,
+                "time": self._t,
+                "queue_depth": self.queue_depth,
+                "shards": [
+                    {"shard": sid, "occupancy": occ, "slots": slots}
+                    for sid, (occ, slots) in enumerate(
+                        zip(self.shards.occupancy(), self.shards.capacities())
+                    )
+                ],
+            }
+        )
+        if self._gates is not None:
+            snap["tenant_queued"] = [g.queued for g in self._gates]
+        return snap
+
+    # ------------------------------------------------------------------
+    # TCP front end (line-delimited JSON)
+    # ------------------------------------------------------------------
+    async def start_tcp(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Expose the server over TCP; returns the bound ``(host, port)``
+        (pass ``port=0`` for an ephemeral port)."""
+        if self._queue is None or self._closed:
+            raise RuntimeError("start() the server before start_tcp()")
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sock_host, sock_port = self._tcp_server.sockets[0].getsockname()[:2]
+        return sock_host, sock_port
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> Dict[str, object]:
+        try:
+            msg = json.loads(line)
+            op = msg.get("op")
+            if op == "request":
+                out = await self.request(int(msg["page"]))
+                return {
+                    "ok": True,
+                    "hit": out.hit,
+                    "tenant": out.tenant,
+                    "t": out.t,
+                    "shard": out.shard,
+                }
+            if op == "batch":
+                pages = [int(p) for p in msg["pages"]]
+                out = await self.request_many(pages)
+                resp: Dict[str, object] = {
+                    "ok": True,
+                    "hits": out.hits,
+                    "misses": out.misses,
+                    "t0": out.t0,
+                }
+                if msg.get("detail"):
+                    resp["hit_flags"] = out.hit_flags
+                return resp
+            if op == "stats":
+                return {"ok": True, "stats": self.stats()}
+            if op == "quote":
+                tenant = int(msg["tenant"])
+                return {
+                    "ok": True,
+                    "tenant": tenant,
+                    "marginal_quote": self.ledger.marginal_quote(tenant),
+                    "cost": self.ledger.cost_of(tenant),
+                }
+            if op == "ping":
+                return {"ok": True, "time": self._t}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except ServerClosed as exc:
+            return {"ok": False, "error": str(exc)}
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheServer(name={self.name!r}, policy={self.shards.policy_name!r}, "
+            f"k={self.shards.k}, S={self.shards.num_shards}, served={self._t})"
+        )
+
+
+__all__ = [
+    "BatchOutcome",
+    "CacheServer",
+    "RequestOutcome",
+    "ServerClosed",
+    "TenantGate",
+]

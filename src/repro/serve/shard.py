@@ -1,0 +1,316 @@
+"""Shard management for the serving subsystem.
+
+A :class:`CacheShard` is a *stepwise* cache: the reference engine's
+miss mechanics (:func:`repro.sim.engine._simulate_reference`) unrolled
+into a ``serve(page, t)`` call so requests can arrive one at a time
+from a live stream instead of a pre-materialized
+:class:`~repro.sim.trace.Trace`.  A :class:`ShardManager` hash-
+partitions the page universe across ``S`` independent shards, each
+owning a private policy instance and ``k/S`` slots, so victim choices
+never cross shard boundaries and per-shard state stays small.
+
+Determinism contract (enforced by ``tests/test_serve_equivalence.py``):
+with ``num_shards=1`` the manager IS the reference engine — same
+victim choices, same per-tenant miss counts, request for request — for
+every registered policy, because the single shard sees the identical
+``(page, t)`` sequence under an identical :class:`~repro.sim.policy.
+SimContext`.  Stochastic policies are seeded per shard as
+``policy_seed + shard_id`` so shard 0 reproduces a
+``factory(rng=policy_seed)`` run exactly.
+
+Pages are assigned to shards by a splitmix64-style integer hash (not
+``page % S``): workload builders allocate tenants contiguous page
+ranges, and a modulo split would alias tenant locality into shard
+imbalance.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.sim.policy import EvictionPolicy, SimContext
+from repro.sim.trace import Trace
+from repro.util.validation import check_positive_int
+
+_MASK64 = (1 << 64) - 1
+
+PolicySpec = Union[str, EvictionPolicy, Callable[..., EvictionPolicy]]
+
+
+def page_hash(page: int) -> int:
+    """Splitmix64 finalizer — the shard-placement hash.
+
+    Stable across processes and Python versions (unlike builtin
+    ``hash``), so a trace replays onto the same shard layout anywhere.
+    """
+    x = (page + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def make_policy_instance(
+    factory: Callable[..., EvictionPolicy], seed: Optional[int]
+) -> EvictionPolicy:
+    """Instantiate *factory*, passing ``rng=seed`` when it accepts one.
+
+    The same convention as the engine-equivalence suite and
+    ``sim.driver``: deterministic policies ignore the seed, stochastic
+    ones (random, rand-marking) draw their stream from it.
+    """
+    if seed is not None:
+        try:
+            params = inspect.signature(factory).parameters
+        except (TypeError, ValueError):
+            params = {}
+        if "rng" in params:
+            return factory(rng=seed)
+    return factory()
+
+
+class CacheShard:
+    """One policy instance plus the engine's miss mechanics, stepwise.
+
+    The shard owns residency (a ``set``) and capacity enforcement;
+    the policy only picks victims — exactly the engine/policy split of
+    :mod:`repro.sim.engine`, so any registered policy serves unchanged.
+    """
+
+    __slots__ = ("shard_id", "policy", "slots", "cache", "_ctx", "_validate")
+
+    def __init__(
+        self,
+        shard_id: int,
+        policy: EvictionPolicy,
+        slots: int,
+        ctx: SimContext,
+        validate: bool = True,
+    ) -> None:
+        self.shard_id = shard_id
+        self.policy = policy
+        self.slots = check_positive_int(slots, "slots")
+        self.cache: set[int] = set()
+        self._ctx = ctx
+        self._validate = validate
+        policy.reset(ctx)
+
+    def reset(self) -> None:
+        """Empty the shard and return the policy to its initial state."""
+        self.cache.clear()
+        self.policy.reset(self._ctx)
+
+    def serve(self, page: int, t: int) -> Tuple[bool, Optional[int]]:
+        """Serve one request at (global) time *t*.
+
+        Returns ``(hit, victim)`` where *victim* is the page evicted to
+        admit *page* (``None`` on hits and on misses with free slots).
+        Mechanics mirror the reference engine loop line for line.
+        """
+        cache = self.cache
+        policy = self.policy
+        if page in cache:
+            policy.on_hit(page, t)
+            return True, None
+        if len(cache) < self.slots:
+            cache.add(page)
+            policy.on_insert(page, t)
+            return False, None
+        victim = policy.choose_victim(page, t)
+        if self._validate:
+            if victim not in cache:
+                raise RuntimeError(
+                    f"{policy.name} evicted non-resident page {victim} at t={t}"
+                )
+            if victim == page:
+                raise RuntimeError(
+                    f"{policy.name} evicted the requested page {page} at t={t}"
+                )
+        cache.remove(victim)
+        policy.on_evict(victim, t)
+        cache.add(page)
+        policy.on_insert(page, t)
+        return False, victim
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheShard(id={self.shard_id}, policy={self.policy.name!r}, "
+            f"{len(self.cache)}/{self.slots})"
+        )
+
+
+class ShardManager:
+    """Hash-partition pages across ``S`` independent policy shards.
+
+    Parameters
+    ----------
+    policy:
+        A registry name (``"lru"``), a policy factory, or — only with
+        ``num_shards=1`` — an already-built :class:`EvictionPolicy`
+        instance.
+    num_shards:
+        ``S >= 1``; requires ``k >= S`` so every shard has a slot.
+    k:
+        Total cache capacity; shard *i* gets ``k//S`` slots plus one of
+        the ``k % S`` remainder slots (low shard ids first).
+    owners:
+        Page-ownership array (the trace's ``owners``), defining the
+        page universe and tenant count.
+    costs:
+        Per-tenant cost functions; required by ``requires_costs``
+        policies, optional otherwise.
+    policy_seed:
+        Base seed for stochastic policies: shard *i*'s instance is
+        built with ``rng=policy_seed + i``.
+    trace:
+        Full trace, needed only by ``requires_future`` policies
+        (Belady) — and those are restricted to ``num_shards=1``, since
+        shard-local victim choices against global request times are
+        only coherent when the shard sees the whole sequence.
+    horizon:
+        Upper bound on requests served (sizes ALG-CONT's dual ledger);
+        pass the trace length when replaying.
+    validate:
+        Check victims are resident (disable in throughput benchmarks).
+    """
+
+    def __init__(
+        self,
+        policy: PolicySpec,
+        num_shards: int,
+        k: int,
+        owners: np.ndarray,
+        costs: Optional[Sequence[CostFunction]] = None,
+        *,
+        policy_seed: Optional[int] = None,
+        trace: Optional[Trace] = None,
+        horizon: int = 0,
+        validate: bool = True,
+    ) -> None:
+        self.num_shards = check_positive_int(num_shards, "num_shards")
+        self.k = check_positive_int(k, "k")
+        if self.k < self.num_shards:
+            raise ValueError(
+                f"k={k} cannot fill {num_shards} shards (need k >= num_shards)"
+            )
+        owners = np.ascontiguousarray(np.asarray(owners, dtype=np.int64))
+        if owners.ndim != 1 or owners.size == 0:
+            raise ValueError("owners must be a non-empty 1-D array")
+        self.owners = owners
+        self.num_pages = int(owners.size)
+        self.num_users = int(owners.max()) + 1
+        self.costs = costs
+
+        instances = self._build_instances(policy, policy_seed)
+        self.policy_name = instances[0].name
+        if instances[0].requires_costs and costs is None:
+            raise ValueError(f"{self.policy_name} requires cost functions")
+        if costs is not None and len(costs) < self.num_users:
+            raise ValueError(
+                f"need {self.num_users} cost functions, got {len(costs)}"
+            )
+        if instances[0].requires_future:
+            if trace is None:
+                raise ValueError(
+                    f"{self.policy_name} requires the full trace (offline policy)"
+                )
+            if self.num_shards != 1:
+                raise ValueError(
+                    "offline (requires_future) policies only serve with num_shards=1"
+                )
+
+        base, extra = divmod(self.k, self.num_shards)
+        self.shards: List[CacheShard] = []
+        for sid, inst in enumerate(instances):
+            ctx = SimContext(
+                k=base + (1 if sid < extra else 0),
+                owners=owners,
+                num_users=self.num_users,
+                costs=costs,
+                trace=trace if inst.requires_future else None,
+                num_pages=self.num_pages,
+                horizon=horizon,
+            )
+            self.shards.append(
+                CacheShard(sid, inst, ctx.k, ctx, validate=validate)
+            )
+
+    def _build_instances(
+        self, policy: PolicySpec, policy_seed: Optional[int]
+    ) -> List[EvictionPolicy]:
+        if isinstance(policy, EvictionPolicy):
+            if self.num_shards != 1:
+                raise ValueError(
+                    "a pre-built policy instance cannot be shared across shards; "
+                    "pass a name or factory for num_shards > 1"
+                )
+            return [policy]
+        if isinstance(policy, str):
+            from repro.policies import POLICY_REGISTRY
+
+            try:
+                factory: Callable[..., EvictionPolicy] = POLICY_REGISTRY[policy]
+            except KeyError:
+                known = ", ".join(sorted(POLICY_REGISTRY))
+                raise KeyError(
+                    f"unknown policy {policy!r}; known: {known}"
+                ) from None
+        else:
+            factory = policy
+        return [
+            make_policy_instance(
+                factory, None if policy_seed is None else policy_seed + sid
+            )
+            for sid in range(self.num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def shard_of(self, page: int) -> int:
+        """Shard id owning *page* (stable splitmix64 hash)."""
+        if self.num_shards == 1:
+            return 0
+        return page_hash(page) % self.num_shards
+
+    def serve(self, page: int, t: int) -> Tuple[bool, Optional[int], int]:
+        """Route one request; returns ``(hit, victim, shard_id)``."""
+        sid = self.shard_of(page)
+        hit, victim = self.shards[sid].serve(page, t)
+        return hit, victim, sid
+
+    def reset(self) -> None:
+        for shard in self.shards:
+            shard.reset()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def occupancy(self) -> List[int]:
+        """Resident pages per shard."""
+        return [shard.occupancy for shard in self.shards]
+
+    def capacities(self) -> List[int]:
+        """Slot allocation per shard (sums to ``k``)."""
+        return [shard.slots for shard in self.shards]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardManager(policy={self.policy_name!r}, S={self.num_shards}, "
+            f"k={self.k}, pages={self.num_pages})"
+        )
+
+
+__all__ = [
+    "CacheShard",
+    "ShardManager",
+    "page_hash",
+    "make_policy_instance",
+]

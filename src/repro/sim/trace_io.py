@@ -15,11 +15,16 @@ Format: a header line then one request per row::
 
 (An optional leading ``t`` column with the request index is accepted on
 load — rows are used in file order regardless — and written on save.)
+
+Paths ending in ``.gz`` are read and written gzip-compressed
+transparently, so large replay traces (the serving subsystem's
+:func:`repro.serve.client.load_trace_file`) ship compressed.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
 import io
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TextIO, Union
@@ -27,6 +32,13 @@ from typing import Dict, List, Optional, Sequence, TextIO, Union
 import numpy as np
 
 from repro.sim.trace import Trace
+
+
+def _open_text(path: str, mode: str) -> TextIO:
+    """Open *path* for text I/O, gzip-compressed when it ends ``.gz``."""
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8", newline="")
+    return open(path, mode, encoding="utf-8", newline="")
 
 
 @dataclass
@@ -49,11 +61,12 @@ def load_csv(source: Union[str, TextIO], name: str = "csv-trace") -> LoadedTrace
 
     Pages and tenants are densified in first-appearance order.  A page
     appearing under two different tenants is an error (the model's
-    ownership map is per page).
+    ownership map is per page).  A path ending ``.gz`` is decompressed
+    transparently.
     """
     close = False
     if isinstance(source, str):
-        fh: TextIO = open(source, "r", encoding="utf-8", newline="")
+        fh: TextIO = _open_text(source, "r")
         close = True
     else:
         fh = source
@@ -107,7 +120,8 @@ def save_csv(
     """Write a trace as ``t,page,tenant`` rows.
 
     Labels default to ``p<id>`` / ``tenant<id>``; pass the mappings from
-    :class:`LoadedTrace` to round-trip external vocabulary.
+    :class:`LoadedTrace` to round-trip external vocabulary.  A path
+    ending ``.gz`` is gzip-compressed transparently.
     """
     if page_labels is not None and len(page_labels) < trace.num_pages:
         raise ValueError(f"need {trace.num_pages} page labels")
@@ -115,7 +129,7 @@ def save_csv(
         raise ValueError(f"need {trace.num_users} tenant labels")
     close = False
     if isinstance(target, str):
-        fh: TextIO = open(target, "w", encoding="utf-8", newline="")
+        fh: TextIO = _open_text(target, "w")
         close = True
     else:
         fh = target

@@ -13,7 +13,7 @@ from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 
 class TestRegistry:
     def test_all_nine_registered(self):
-        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 16))
+        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 17))
 
     def test_titles_nonempty(self):
         for _fn, title in EXPERIMENTS.values():

@@ -1,0 +1,128 @@
+"""The live cost ledger: counters, quotes, and the window-equivalence
+contract — a live ledger's window rows must equal the offline
+recomputation from a recorded miss curve
+(:func:`repro.sim.metrics.windowed_miss_counts`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.alg_discrete import AlgDiscrete
+from repro.core.cost_functions import LinearCost, MonomialCost, PiecewiseLinearCost
+from repro.policies import POLICY_REGISTRY
+from repro.serve import CostLedger, serve_trace
+from repro.sim import simulate, windowed_miss_counts
+from repro.sim.metrics import windowed_cost
+from repro.workloads.builders import random_multi_tenant_trace
+
+
+def test_counters_and_costs():
+    costs = [MonomialCost(2), LinearCost(3.0)]
+    ledger = CostLedger(2, costs)
+    for tenant, hit in ((0, False), (0, False), (1, False), (0, True), (1, True)):
+        ledger.record(tenant, hit)
+    assert ledger.total_requests == 5
+    assert ledger.hits == 2 and ledger.misses == 3
+    assert ledger.hits_by_user().tolist() == [1, 1]
+    assert ledger.misses_by_user().tolist() == [2, 1]
+    assert ledger.cost_of(0) == pytest.approx(4.0)  # 2^2
+    assert ledger.cost_of(1) == pytest.approx(3.0)  # 3*1
+    assert ledger.total_cost() == pytest.approx(7.0)
+    assert ledger.costs_by_user().tolist() == pytest.approx([4.0, 3.0])
+
+
+def test_marginal_quote_is_the_fresh_budget():
+    """quote(i) = f_i'(m_i + 1): fed ALG-DISCRETE's eviction counts it
+    reproduces the algorithm's fresh budget exactly.  (The server's own
+    ledger counts *fetches*, the paper's a_i, which exceed evictions by
+    the cold misses.)"""
+    trace = random_multi_tenant_trace(3, 20, 800, seed=4)
+    costs = [MonomialCost(2)] * trace.num_users
+    policy = AlgDiscrete()
+    simulate(trace, policy, 16, costs=costs)
+    ledger = CostLedger(trace.num_users, costs)
+    for tenant, m in enumerate(policy.evictions_by_user):
+        for _ in range(int(m)):
+            ledger.record(tenant, hit=False)
+    for tenant in range(trace.num_users):
+        assert ledger.marginal_quote(tenant) == pytest.approx(
+            policy.fresh_budget(tenant)
+        )
+
+
+def test_no_costs_ledger_counts_but_refuses_quotes():
+    ledger = CostLedger(2)
+    ledger.record(0, hit=False)
+    assert ledger.misses == 1
+    with pytest.raises(ValueError, match="no cost functions"):
+        ledger.cost_of(0)
+    snap = ledger.snapshot()
+    assert "total_cost" not in snap
+    assert "cost" not in snap["tenants"][0]
+
+
+def test_windowed_counts_match_offline_recomputation():
+    trace = random_multi_tenant_trace(3, 30, 1000, seed=9)
+    costs = [MonomialCost(2)] * trace.num_users
+    for window in (64, 100, 1000, 7):  # incl. non-divisors and one-window
+        sim = simulate(
+            trace, POLICY_REGISTRY["lru"](), 32, costs=costs, record_curve=True
+        )
+        offline = windowed_miss_counts(sim, window)
+        report = serve_trace(trace, "lru", 32, costs, window=window)
+        live = np.asarray(report.stats["windowed_misses"], dtype=np.int64)
+        assert live.shape == offline.shape, window
+        assert np.array_equal(live, offline), window
+
+
+def test_windowed_cost_matches_metrics():
+    trace = random_multi_tenant_trace(2, 25, 600, seed=2)
+    costs = [PiecewiseLinearCost([0.0, 5.0], [0.0, 1.0]), MonomialCost(2)]
+    window = 50
+    sim = simulate(
+        trace, POLICY_REGISTRY["lru"](), 16, costs=costs, record_curve=True
+    )
+    report = serve_trace(trace, "lru", 16, costs, window=window)
+    rows = np.asarray(report.stats["windowed_misses"], dtype=np.int64)
+    total = sum(
+        float(costs[i].value(int(m))) for row in rows for i, m in enumerate(row)
+    )
+    assert total == pytest.approx(windowed_cost(sim, costs, window))
+
+
+def test_window_edge_cases():
+    ledger = CostLedger(2, [MonomialCost(2)] * 2, window=4)
+    assert ledger.windowed_miss_counts().shape == (0, 2)
+    for _ in range(4):
+        ledger.record(0, hit=False)
+    assert ledger.windowed_miss_counts().tolist() == [[4, 0]]  # exactly full
+    ledger.record(1, hit=False)
+    assert ledger.windowed_miss_counts().tolist() == [[4, 0], [0, 1]]  # partial
+    assert ledger.windowed_cost() == pytest.approx(16.0 + 1.0)
+    windowless = CostLedger(2, [MonomialCost(2)] * 2)
+    with pytest.raises(ValueError, match="window"):
+        windowless.windowed_miss_counts()
+
+
+def test_snapshot_is_jsonable_and_complete():
+    ledger = CostLedger(2, [MonomialCost(2)] * 2, window=3)
+    for tenant, hit in ((0, False), (1, True), (0, False), (1, False)):
+        ledger.record(tenant, hit)
+    snap = ledger.snapshot()
+    json.dumps(snap)
+    assert snap["requests"] == 4
+    assert snap["hits"] == 1 and snap["misses"] == 3
+    assert snap["window"] == 3
+    assert snap["tenants"][0]["marginal_quote"] == pytest.approx(6.0)  # f'(3)=2*3
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="cost functions"):
+        CostLedger(3, [MonomialCost(2)])
+    with pytest.raises(ValueError):
+        CostLedger(0)
+    with pytest.raises(ValueError):
+        CostLedger(2, window=0)

@@ -1,0 +1,313 @@
+"""Server mechanics: sharding, flow control, drain/shutdown, TCP.
+
+The drain guarantee under test is the subsystem's core contract: an
+accepted request is always answered — through a graceful ``stop()``,
+and under fault injection that cancels the consumer task mid-stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cost_functions import MonomialCost
+from repro.policies import POLICY_REGISTRY
+from repro.policies.lru import LRUPolicy
+from repro.serve import (
+    CacheServer,
+    ServerClosed,
+    ShardManager,
+    TenantGate,
+    page_hash,
+    replay_tcp,
+)
+from repro.sim import simulate
+from repro.workloads.builders import random_multi_tenant_trace, zipf_trace
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def mt_owners(num_users=3, pages_per_user=10):
+    return np.repeat(np.arange(num_users, dtype=np.int64), pages_per_user)
+
+
+class TestShardManager:
+    def test_slot_split_sums_to_k(self):
+        mgr = ShardManager("lru", 3, 10, mt_owners())
+        assert mgr.capacities() == [4, 3, 3]
+        assert sum(mgr.capacities()) == 10
+
+    def test_k_smaller_than_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardManager("lru", 4, 3, mt_owners())
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            ShardManager("nope", 1, 4, mt_owners())
+
+    def test_page_hash_is_stable_and_partition_total(self):
+        assert page_hash(0) == page_hash(0)
+        mgr = ShardManager("lru", 4, 8, mt_owners(4, 100))
+        sids = [mgr.shard_of(p) for p in range(400)]
+        assert set(sids) <= {0, 1, 2, 3}
+        # splitmix spreads contiguous tenant ranges across all shards
+        assert len(set(sids[:100])) == 4
+
+    def test_instance_policy_requires_single_shard(self):
+        ShardManager(LRUPolicy(), 1, 4, mt_owners())
+        with pytest.raises(ValueError, match="pre-built"):
+            ShardManager(LRUPolicy(), 2, 4, mt_owners())
+
+    def test_offline_policy_requires_trace_and_single_shard(self):
+        trace = zipf_trace(30, 100, seed=0)
+        with pytest.raises(ValueError, match="full trace"):
+            ShardManager("belady", 1, 4, trace.owners)
+        with pytest.raises(ValueError, match="num_shards=1"):
+            ShardManager("belady", 2, 4, trace.owners, trace=trace)
+        ShardManager("belady", 1, 4, trace.owners, trace=trace)
+
+    def test_cost_policy_requires_costs(self):
+        with pytest.raises(ValueError, match="requires cost"):
+            ShardManager("alg-discrete", 1, 4, mt_owners())
+
+    def test_per_shard_seeding_offsets(self):
+        mgr = ShardManager("random", 2, 4, mt_owners(), policy_seed=5)
+        solo = POLICY_REGISTRY["random"](rng=5)
+        # Shard 0's stream must equal a factory(rng=seed) instance's.
+        assert (
+            mgr.shards[0].policy._rng.integers(1 << 30)
+            == solo._rng.integers(1 << 30)
+        )
+
+    def test_shard_serve_validates_victims(self):
+        class Liar(LRUPolicy):
+            def choose_victim(self, page, t):
+                return 29  # never resident: illegal
+
+        mgr = ShardManager(Liar(), 1, 2, mt_owners())
+        mgr.serve(0, 0)
+        mgr.serve(1, 1)
+        with pytest.raises(RuntimeError, match="non-resident"):
+            mgr.serve(2, 2)
+
+
+class TestTenantGate:
+    def test_acquire_release_and_oversized_batch_cap(self):
+        async def scenario():
+            gate = TenantGate(4)
+            taken = await gate.acquire(10)  # capped at capacity
+            assert taken == 4 and gate.queued == 4
+            waiter = asyncio.ensure_future(gate.acquire(2))
+            await asyncio.sleep(0)
+            assert not waiter.done()  # gate full: waits
+            gate.release(4)
+            assert await waiter == 2
+            gate.release(2)
+            assert gate.queued == 0
+
+        run(scenario())
+
+    def test_fifo_wakeups(self):
+        async def scenario():
+            gate = TenantGate(1)
+            await gate.acquire(1)
+            order = []
+
+            async def waiter(tag):
+                await gate.acquire(1)
+                order.append(tag)
+                gate.release(1)
+
+            tasks = [asyncio.ensure_future(waiter(i)) for i in range(3)]
+            await asyncio.sleep(0)
+            gate.release(1)
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2]
+
+        run(scenario())
+
+
+class TestServerLifecycle:
+    def test_request_before_start_or_after_stop_raises(self):
+        async def scenario():
+            server = CacheServer("lru", 4, mt_owners())
+            with pytest.raises(ServerClosed):
+                await server.request(0)
+            await server.start()
+            out = await server.request(0)
+            assert not out.hit and out.t == 0 and out.victim is None
+            await server.stop()
+            with pytest.raises(ServerClosed):
+                await server.request(0)
+
+        run(scenario())
+
+    def test_stop_drains_pending_requests(self):
+        async def scenario():
+            server = CacheServer("lru", 4, mt_owners(), queue_limit=64)
+            await server.start()
+            futs = [await server.submit_many([p % 30]) for p in range(50)]
+            await server.stop()
+            outcomes = [await f for f in futs]
+            assert sum(o.hits + o.misses for o in outcomes) == 50
+            assert server.time == 50
+
+        run(scenario())
+
+    def test_cancel_mid_stream_answers_every_accepted_request(self):
+        """Fault injection: cancel the consumer task outright while the
+        queue is full; every accepted future must still resolve."""
+
+        async def scenario():
+            server = CacheServer("lru", 8, mt_owners(), queue_limit=128)
+            await server.start()
+            futs = [await server.submit_many([p % 30, (p + 1) % 30]) for p in range(60)]
+            # Let the consumer make partial progress, then kill it.
+            await asyncio.sleep(0)
+            server._consumer.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await server._consumer
+            outcomes = await asyncio.gather(*futs)
+            assert sum(o.hits + o.misses for o in outcomes) == 120
+            assert server.time == 120
+            assert server.stats()["queue_depth"] == 0
+            with pytest.raises(ServerClosed):
+                await server.request(0)
+
+        run(scenario())
+
+    def test_bounded_queue_backpressure(self):
+        async def scenario():
+            server = CacheServer("lru", 4, mt_owners(), queue_limit=2)
+            # No consumer started manually: fill the queue directly.
+            server._queue = asyncio.Queue(maxsize=2)
+            server._closed = False
+            await server.submit_many([0])
+            await server.submit_many([1])
+            blocked = asyncio.ensure_future(server.submit_many([2]))
+            await asyncio.sleep(0)
+            assert not blocked.done()  # producer is backpressured
+            server._queue.get_nowait()
+            server._queue.task_done()
+            await blocked
+
+        run(scenario())
+
+    def test_tenant_gate_blocks_flooding_tenant_only(self):
+        async def scenario():
+            server = CacheServer(
+                "lru", 8, mt_owners(3, 10), queue_limit=1024, tenant_inflight=2
+            )
+            await server.start()
+            # Stall the consumer so credits are not returned.
+            server._consumer.cancel()
+            try:
+                await server._consumer
+            except asyncio.CancelledError:
+                pass
+            server._closed = False
+            await server.submit_many([0, 1])  # tenant 0: gate now full
+            flood = asyncio.ensure_future(server.submit_many([2]))
+            await asyncio.sleep(0)
+            assert not flood.done()  # tenant 0 is throttled...
+            other = await asyncio.wait_for(
+                server.submit_many([10]), timeout=1.0
+            )  # ...tenant 1 is not
+            assert not other.done()
+            flood.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await flood
+
+        run(scenario())
+
+    def test_page_out_of_range_rejected(self):
+        async def scenario():
+            server = CacheServer("lru", 4, mt_owners())
+            await server.start()
+            try:
+                with pytest.raises(ValueError, match="universe"):
+                    await server.request(999)
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestStats:
+    def test_snapshot_schema_and_json(self):
+        async def scenario():
+            costs = [MonomialCost(2)] * 3
+            server = CacheServer(
+                "alg-discrete", 6, mt_owners(), costs,
+                num_shards=2, window=8, tenant_inflight=4,
+            )
+            await server.start()
+            for p in range(20):
+                await server.request(p % 25)
+            stats = server.stats()
+            await server.stop()
+            return stats
+
+        stats = run(scenario())
+        json.dumps(stats)  # must be serialisable as-is
+        for key in (
+            "server", "policy", "k", "num_shards", "time", "queue_depth",
+            "hits", "misses", "requests", "tenants", "shards",
+            "total_cost", "window", "windowed_misses", "tenant_queued",
+        ):
+            assert key in stats, key
+        assert stats["requests"] == 20
+        assert stats["hits"] + stats["misses"] == 20
+        assert len(stats["shards"]) == 2
+        for row in stats["tenants"]:
+            assert {"tenant", "hits", "misses", "cost", "marginal_quote"} <= set(row)
+
+
+class TestTcpFrontEnd:
+    def test_replay_and_ops_roundtrip(self):
+        trace = random_multi_tenant_trace(3, 40, 2000, seed=2)
+        costs = [MonomialCost(2)] * trace.num_users
+
+        async def scenario():
+            server = CacheServer("lru", 48, trace.owners, costs)
+            await server.start()
+            host, port = await server.start_tcp()
+            stats = await replay_tcp(host, port, trace, batch=100)
+
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def ask(msg):
+                writer.write(json.dumps(msg).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            single = await ask({"op": "request", "page": 0})
+            quote = await ask({"op": "quote", "tenant": 1})
+            ping = await ask({"op": "ping"})
+            bad_op = await ask({"op": "warp"})
+            bad_page = await ask({"op": "request", "page": 10**9})
+            batch_detail = await ask(
+                {"op": "batch", "pages": [0, 1, 0], "detail": True}
+            )
+            writer.close()
+            await writer.wait_closed()
+            await server.stop()
+            return stats, single, quote, ping, bad_op, bad_page, batch_detail
+
+        stats, single, quote, ping, bad_op, bad_page, batch_detail = run(
+            scenario()
+        )
+        sim = simulate(trace, POLICY_REGISTRY["lru"](), 48, costs=costs)
+        assert stats["hits"] == sim.hits and stats["misses"] == sim.misses
+        assert stats["client_hits"] == sim.hits
+        assert single["ok"] and single["tenant"] == 0
+        assert quote["ok"] and quote["marginal_quote"] > 0
+        assert ping["ok"] and ping["time"] > trace.length
+        assert not bad_op["ok"] and "unknown op" in bad_op["error"]
+        assert not bad_page["ok"]
+        assert batch_detail["ok"] and len(batch_detail["hit_flags"]) == 3

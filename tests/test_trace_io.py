@@ -67,6 +67,34 @@ class TestSaveCsv:
             save_csv(tiny_trace, str(tmp_path / "x.csv"), page_labels=["only-one"])
 
 
+class TestGzip:
+    def test_gz_round_trip(self, tiny_trace, tmp_path):
+        path = str(tmp_path / "trace.csv.gz")
+        save_csv(tiny_trace, path)
+        loaded = load_csv(path)
+        assert np.array_equal(loaded.trace.requests, tiny_trace.requests)
+        assert np.array_equal(loaded.trace.owners, tiny_trace.owners)
+
+    def test_gz_file_is_actually_compressed(self, tiny_trace, tmp_path):
+        import gzip
+
+        path = tmp_path / "trace.csv.gz"
+        save_csv(tiny_trace, str(path))
+        # Real gzip container (magic bytes), decompressable, same header.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            assert fh.readline().strip() == "t,page,tenant"
+
+    def test_gz_matches_plain_csv(self, tiny_trace, tmp_path):
+        import gzip
+
+        plain, packed = tmp_path / "t.csv", tmp_path / "t.csv.gz"
+        save_csv(tiny_trace, str(plain))
+        save_csv(tiny_trace, str(packed))
+        with gzip.open(packed, "rt", encoding="utf-8") as fh:
+            assert fh.read() == plain.read_text()
+
+
 def _parallel_cell(a, seed):
     return {"value": a * 100 + seed % 10}
 
