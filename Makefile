@@ -5,7 +5,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 # Output file for `make bench-json`; override per PR:
 #   make bench-json OUT=BENCH_PR3.json
-OUT ?= BENCH_PR2.json
+OUT ?= BENCH_PR3.json
 
 .PHONY: test bench bench-json experiments experiments-full examples api-docs serve all
 

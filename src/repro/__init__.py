@@ -26,6 +26,7 @@ from repro import (
     core,
     experiments,
     multipool,
+    obs,
     policies,
     serve,
     sim,
@@ -64,6 +65,7 @@ __all__ = [
     "analysis",
     "experiments",
     "multipool",
+    "obs",
     "serve",
     "util",
     # most-used names re-exported at top level

@@ -18,6 +18,7 @@ from repro.experiments import (
     e14_scaling,
     e15_fractional_bbn,
     e16_serving,
+    e17_obs_overhead,
     e2_invariants,
     e3_bicriteria,
     e4_lower_bound,
@@ -46,6 +47,7 @@ _MODULES = (
     e14_scaling,
     e15_fractional_bbn,
     e16_serving,
+    e17_obs_overhead,
 )
 
 EXPERIMENTS: Dict[str, Tuple[Callable[..., ExperimentOutput], str]] = {

@@ -1,0 +1,150 @@
+"""Unified telemetry for the reproduction: metrics, traces, invariants.
+
+Real caching testbeds treat observability as the substrate every
+experiment stands on; this package gives the simulator
+(:mod:`repro.sim`) and the serving subsystem (:mod:`repro.serve`) one
+shared layer:
+
+* :mod:`repro.obs.registry` — a near-zero-overhead metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram` with
+  log-bucketed latencies and per-tenant labels) that is a true no-op
+  when disabled (``REPRO_OBS=off``);
+* :mod:`repro.obs.tracing` — span tracing with JSONL event streams
+  (serve pipeline stages, sim engine phases);
+* :mod:`repro.obs.monitor` — :class:`InvariantMonitor`, live drift
+  detection on ALG-DISCRETE's budget/KKT structure and per-tenant
+  :math:`f_i(m_i)` / marginal-quote trajectories;
+* :mod:`repro.obs.export` — Prometheus text exposition (the serve
+  ``metrics`` op) and JSONL trace aggregation.
+
+``python -m repro.obs`` tails/aggregates JSONL traces and scrapes a
+running server's metrics.
+
+The :class:`Observability` bundle is the handle instrumented code
+accepts: a registry, a tracer, and an optional monitor.  Call sites
+default to :func:`default_observability`, whose registry enablement
+follows ``REPRO_OBS`` and whose tracer is off (tracing always requires
+an explicit sink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.export import (
+    parse_prometheus,
+    read_jsonl,
+    render_prometheus,
+    sample_value,
+    summarize_spans,
+)
+from repro.obs.monitor import (
+    DriftFlag,
+    InvariantMonitor,
+    MonitoredRun,
+    MonitorSample,
+    watch_simulation,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    OBS_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricsRegistry,
+    NULL_METRIC,
+    RateWindow,
+    exponential_buckets,
+    obs_enabled_from_env,
+)
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, JsonlSink, ListSink, Span, Tracer
+
+
+@dataclass
+class Observability:
+    """The bundle instrumented subsystems accept and thread through."""
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+    monitor: Optional[InvariantMonitor] = None
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """Everything off, regardless of the environment."""
+        return cls(registry=MetricsRegistry(enabled=False), tracer=Tracer())
+
+    @classmethod
+    def enabled(
+        cls, sink: object = None, monitor: Optional[InvariantMonitor] = None
+    ) -> "Observability":
+        """Metrics on (regardless of env); tracing on iff *sink* given."""
+        return cls(
+            registry=MetricsRegistry(enabled=True),
+            tracer=Tracer(sink),
+            monitor=monitor,
+        )
+
+    @property
+    def metrics_on(self) -> bool:
+        return self.registry.enabled
+
+    @property
+    def tracing_on(self) -> bool:
+        return self.tracer.enabled
+
+
+_DEFAULT: Optional[Observability] = None
+
+
+def default_observability() -> Observability:
+    """The process-wide default bundle (env-gated registry, no tracer).
+
+    Lazily constructed once; replace with :func:`set_default_observability`
+    (tests) to redirect un-parameterized call sites.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Observability()
+    return _DEFAULT
+
+
+def set_default_observability(obs: Optional[Observability]) -> None:
+    """Override (or with ``None``, reset) the process-wide default."""
+    global _DEFAULT
+    _DEFAULT = obs
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DriftFlag",
+    "Gauge",
+    "Histogram",
+    "InvariantMonitor",
+    "JsonlSink",
+    "LabelCardinalityError",
+    "ListSink",
+    "MetricsRegistry",
+    "MonitorSample",
+    "MonitoredRun",
+    "NULL_METRIC",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "OBS_ENV",
+    "Observability",
+    "RateWindow",
+    "Span",
+    "Tracer",
+    "default_observability",
+    "exponential_buckets",
+    "obs_enabled_from_env",
+    "parse_prometheus",
+    "read_jsonl",
+    "render_prometheus",
+    "sample_value",
+    "set_default_observability",
+    "summarize_spans",
+    "watch_simulation",
+]

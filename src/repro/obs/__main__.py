@@ -1,0 +1,125 @@
+"""Command-line telemetry tooling: ``python -m repro.obs``.
+
+Three subcommands::
+
+    # Aggregate a JSONL trace into a per-span latency table:
+    python -m repro.obs summary trace.jsonl
+
+    # Print the last N events of a JSONL trace, human-readable:
+    python -m repro.obs tail trace.jsonl -n 20
+
+    # Scrape a running cache server's Prometheus metrics over TCP:
+    python -m repro.obs scrape --host 127.0.0.1 --port 9731
+
+``summary`` renders count / total / mean / p50 / p95 / max per span
+name; ``scrape`` sends ``{"op": "metrics"}`` to the serve front end and
+prints the exposition text (``--parse`` validates it and prints sorted
+samples instead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.export import parse_prometheus, read_jsonl, summarize_spans
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.analysis.report import ascii_table
+
+    events = read_jsonl(args.trace)
+    rows = summarize_spans(events)
+    if not rows:
+        print("no span events found")
+        return 1
+    print(
+        ascii_table(
+            rows,
+            title=f"{args.trace}: {len(events)} events, {len(rows)} span names",
+        )
+    )
+    return 0
+
+
+def _format_event(event: dict) -> str:
+    kind = event.get("type", "?")
+    name = event.get("name", "?")
+    attrs = event.get("attrs") or {}
+    attr_text = " ".join(f"{k}={v}" for k, v in attrs.items())
+    if kind == "span":
+        dur_us = float(event.get("dur", 0.0)) * 1e6
+        return f"span  {name:24s} {dur_us:10.1f}us  {attr_text}"
+    return f"event {name:24s} {'':>12s}  {attr_text}"
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    events = read_jsonl(args.trace)
+    for event in events[-args.n :]:
+        print(_format_event(event))
+    return 0
+
+
+async def _scrape(host: str, port: int) -> str:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps({"op": "metrics"}).encode() + b"\n")
+        await writer.drain()
+        resp = json.loads(await reader.readline())
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    if not resp.get("ok"):
+        raise RuntimeError(f"server error: {resp.get('error')}")
+    return resp["metrics"]
+
+
+def _cmd_scrape(args: argparse.Namespace) -> int:
+    text = asyncio.run(_scrape(args.host, args.port))
+    if args.parse:
+        samples = parse_prometheus(text)
+        for (name, labels), value in sorted(samples.items()):
+            label_text = ",".join(f"{k}={v}" for k, v in labels)
+            print(f"{name}{{{label_text}}} = {value}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary_p = sub.add_parser("summary", help="aggregate a JSONL span trace")
+    summary_p.add_argument("trace", help="JSONL trace path")
+
+    tail_p = sub.add_parser("tail", help="print the last N trace events")
+    tail_p.add_argument("trace", help="JSONL trace path")
+    tail_p.add_argument("-n", type=int, default=20, help="events to show")
+
+    scrape_p = sub.add_parser("scrape", help="fetch metrics from a server")
+    scrape_p.add_argument("--host", default="127.0.0.1")
+    scrape_p.add_argument("--port", type=int, required=True)
+    scrape_p.add_argument(
+        "--parse", action="store_true",
+        help="validate the exposition format and print parsed samples",
+    )
+
+    args = parser.parse_args(argv)
+    handler = {"summary": _cmd_summary, "tail": _cmd_tail, "scrape": _cmd_scrape}[
+        args.command
+    ]
+    try:
+        return handler(args)
+    except BrokenPipeError:  # e.g. `... summary trace.jsonl | head`
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

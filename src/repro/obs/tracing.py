@@ -1,0 +1,237 @@
+"""Span-based tracing with JSONL event streams.
+
+A :class:`Tracer` wraps regions of interest in :meth:`~Tracer.span`
+context managers and emits one JSON-able event dict per finished span
+(plus point :meth:`~Tracer.event` markers) into a sink:
+
+* :class:`ListSink` — in-memory, for tests and programmatic analysis;
+* :class:`JsonlSink` — one JSON object per line, the interchange format
+  tailed/aggregated by ``python -m repro.obs``.
+
+Event schema (stable, round-tripped by ``tests/test_obs_tracing.py``)::
+
+    {"type": "span",  "name": ..., "span_id": n, "parent_id": n|null,
+     "ts": wall_clock_start, "dur": seconds, "attrs": {...}}
+    {"type": "event", "name": ..., "span_id": n|null, "ts": ..., "attrs": {...}}
+
+Parent linkage uses a :class:`contextvars.ContextVar`, so spans nest
+correctly across ``await`` boundaries in the asyncio serve path — each
+task sees its own current-span chain.
+
+Like the metrics registry, a disabled tracer is free: ``span()``
+returns the shared no-op :data:`NULL_SPAN` and ``event()`` returns
+immediately.  A tracer is enabled iff it has a sink (pass
+``enabled=False`` to force-off an instrumented call site).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import time
+from typing import IO, Dict, List, Optional, Union
+
+_CURRENT_SPAN: contextvars.ContextVar[Optional[int]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class ListSink:
+    """Collect events in memory (``sink.events``)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    def write(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append events to a JSONL file (one compact object per line)."""
+
+    __slots__ = ("path", "_fh", "_owns")
+
+    def __init__(self, path_or_file: Union[str, IO[str]]) -> None:
+        if isinstance(path_or_file, str):
+            self.path: Optional[str] = path_or_file
+            self._fh: IO[str] = open(path_or_file, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self.path = getattr(path_or_file, "name", None)
+            self._fh = path_or_file
+            self._owns = False
+
+    def write(self, event: Dict[str, object]) -> None:
+        self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """Shared no-op span for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+
+#: The singleton no-op span (identity-comparable in tests).
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; finishes (and emits) on ``__exit__``."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "attrs", "_t0", "_ts", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = next(tracer._ids)
+        self.parent_id = _CURRENT_SPAN.get()
+        self.attrs = attrs
+        self._t0 = 0.0
+        self._ts = 0.0
+        self._token: Optional[contextvars.Token] = None
+
+    def set(self, **attrs: object) -> None:
+        """Attach/overwrite attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT_SPAN.set(self.span_id)
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        dur = time.perf_counter() - self._t0
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+        if exc_type is not None:
+            self.attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
+        self.tracer._emit(
+            {
+                "type": "span",
+                "name": self.name,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "ts": self._ts,
+                "dur": dur,
+                "attrs": self.attrs,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Emit span/event records into a sink.
+
+    Parameters
+    ----------
+    sink:
+        :class:`ListSink`, :class:`JsonlSink`, or anything with
+        ``write(dict)``/``close()``.  ``None`` leaves the tracer
+        disabled.
+    enabled:
+        Override auto-enablement (``sink is not None``).
+    """
+
+    __slots__ = ("sink", "enabled", "_ids", "emitted")
+
+    def __init__(self, sink: object = None, enabled: Optional[bool] = None) -> None:
+        self.sink = sink
+        self.enabled = (sink is not None) if enabled is None else bool(enabled)
+        self._ids = itertools.count(1)
+        self.emitted = 0
+
+    def span(self, name: str, **attrs: object) -> Union[Span, _NullSpan]:
+        """A context manager timing one region (no-op when disabled)."""
+        if not self.enabled or self.sink is None:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """A point-in-time marker attached to the current span."""
+        if not self.enabled or self.sink is None:
+            return
+        self._emit(
+            {
+                "type": "event",
+                "name": name,
+                "span_id": _CURRENT_SPAN.get(),
+                "ts": time.time(),
+                "attrs": attrs,
+            }
+        )
+
+    def record_span(self, name: str, dur: float, **attrs: object) -> None:
+        """Emit a span whose duration was measured externally.
+
+        For hot paths that already hold start/stop timestamps (the serve
+        consumer measures once and feeds both the latency histogram and
+        the trace), so the region is not re-timed.
+        """
+        if not self.enabled or self.sink is None:
+            return
+        self._emit(
+            {
+                "type": "span",
+                "name": name,
+                "span_id": next(self._ids),
+                "parent_id": _CURRENT_SPAN.get(),
+                "ts": time.time() - dur,
+                "dur": dur,
+                "attrs": attrs,
+            }
+        )
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        self.emitted += 1
+        self.sink.write(record)  # type: ignore[attr-defined]
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(enabled={self.enabled}, emitted={self.emitted})"
+
+
+#: A permanently-disabled tracer for default wiring.
+NULL_TRACER = Tracer()
+
+
+__all__ = [
+    "JsonlSink",
+    "ListSink",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+]

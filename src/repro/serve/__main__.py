@@ -24,6 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.cost_functions import MonomialCost
+from repro.obs import InvariantMonitor, JsonlSink, Observability
 from repro.serve.client import load_trace_file, replay_tcp
 from repro.serve.server import CacheServer
 
@@ -33,6 +34,14 @@ async def _serve(args: argparse.Namespace) -> int:
         np.arange(args.tenants, dtype=np.int64), args.pages_per_tenant
     )
     costs = [MonomialCost(args.beta) for _ in range(args.tenants)]
+    obs = Observability()
+    if args.trace_jsonl:
+        obs = Observability.enabled(
+            sink=JsonlSink(args.trace_jsonl),
+            monitor=InvariantMonitor(costs) if args.monitor else None,
+        )
+    elif args.monitor:
+        obs.monitor = InvariantMonitor(costs)
     server = CacheServer(
         args.policy,
         args.k,
@@ -44,6 +53,8 @@ async def _serve(args: argparse.Namespace) -> int:
         window=args.window,
         policy_seed=args.seed,
         horizon=args.horizon,
+        obs=obs,
+        monitor_every=args.monitor_every,
     )
     await server.start()
     host, port = await server.start_tcp(args.host, args.port)
@@ -59,6 +70,9 @@ async def _serve(args: argparse.Namespace) -> int:
     finally:
         await server.stop()
         print(json.dumps(server.stats(), indent=2))
+        if obs.monitor is not None:
+            print(f"invariant monitor: {obs.monitor.summary()}", flush=True)
+        obs.tracer.close()
     return 0
 
 
@@ -91,6 +105,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_p.add_argument(
         "--horizon", type=int, default=10_000_000,
         help="max requests served (sizes ALG-CONT's ledger)",
+    )
+    serve_p.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="write pipeline span traces to this JSONL file "
+        "(aggregate with `python -m repro.obs summary PATH`)",
+    )
+    serve_p.add_argument(
+        "--monitor", action="store_true",
+        help="attach a live InvariantMonitor (budget/KKT drift flags)",
+    )
+    serve_p.add_argument(
+        "--monitor-every", type=int, default=1024,
+        help="requests between invariant monitor samples",
     )
 
     replay_p = sub.add_parser("replay", help="replay a CSV trace over TCP")

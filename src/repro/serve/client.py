@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.cost_functions import CostFunction
+from repro.obs import Observability
 from repro.serve.server import CacheServer
 from repro.serve.shard import PolicySpec
 from repro.sim.trace import Trace
@@ -281,10 +282,14 @@ def serve_trace(
     window: Optional[int] = None,
     policy_seed: Optional[int] = None,
     validate: bool = True,
+    obs: Optional["Observability"] = None,
+    monitor_every: int = 1024,
 ) -> ReplayReport:
     """Build a server, replay *trace* (a :class:`Trace` or a CSV path)
     through it, stop it, and return the :class:`ReplayReport` — the
-    serving counterpart of :func:`repro.sim.engine.simulate`."""
+    serving counterpart of :func:`repro.sim.engine.simulate`.  Pass
+    ``obs`` to run the replay under a specific telemetry bundle (the
+    observability-overhead benchmarks do)."""
     if isinstance(trace, str):
         trace = load_trace_file(trace)
 
@@ -302,6 +307,8 @@ def serve_trace(
             trace=trace,
             horizon=trace.length,
             validate=validate,
+            obs=obs,
+            monitor_every=monitor_every,
         )
         await server.start()
         try:

@@ -36,11 +36,14 @@ import asyncio
 import json
 from collections import deque
 from dataclasses import dataclass
+from time import monotonic, perf_counter
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.cost_functions import CostFunction
+from repro.obs import Observability, RateWindow
+from repro.obs.registry import CollectedFamily
 from repro.serve.accounting import CostLedger
 from repro.serve.shard import PolicySpec, ShardManager
 from repro.sim.trace import Trace
@@ -134,8 +137,15 @@ class TenantGate:
         return self.capacity - self._available
 
 
-#: Queue items: (pages, future, detail, per-tenant credits to release).
-_Item = Tuple[Sequence[int], "asyncio.Future", bool, Optional[List[Tuple[int, int]]]]
+#: Queue items: (pages, future, detail, per-tenant credits to release,
+#: enqueue timestamp for queue-wait accounting — 0.0 when obs is off).
+_Item = Tuple[
+    Sequence[int],
+    "asyncio.Future",
+    bool,
+    Optional[List[Tuple[int, int]]],
+    float,
+]
 
 
 class CacheServer:
@@ -163,6 +173,16 @@ class CacheServer:
         Optional request-count window for SLA accounting.
     policy_seed, trace, horizon, validate:
         Passed through to :class:`ShardManager`.
+    obs:
+        Telemetry bundle (:class:`~repro.obs.Observability`).  Defaults
+        to a fresh, env-gated bundle per server so collector metric
+        names never collide across servers.  When its registry is
+        disabled (``REPRO_OBS=off``) the hot path takes a single extra
+        boolean check; the ``metrics`` op still renders ground-truth
+        counters via scrape-time collectors.
+    monitor_every:
+        When ``obs.monitor`` is set, sample the invariant monitor every
+        this many served requests (0 disables sampling).
     """
 
     def __init__(
@@ -181,6 +201,8 @@ class CacheServer:
         horizon: int = 0,
         validate: bool = True,
         name: str = "serve",
+        obs: Optional[Observability] = None,
+        monitor_every: int = 1024,
     ) -> None:
         self.name = name
         self.shards = ShardManager(
@@ -209,6 +231,41 @@ class CacheServer:
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._t = 0
         self._closed = True
+
+        # --- Telemetry --------------------------------------------------
+        self.obs = obs if obs is not None else Observability()
+        reg = self.obs.registry
+        self._metrics_on = reg.enabled
+        self._tracing_on = self.obs.tracer.enabled
+        self._obs_active = (
+            self._metrics_on
+            or self._tracing_on
+            or (self.obs.monitor is not None and monitor_every > 0)
+        )
+        # Latency histograms cover the pipeline stages: queue wait
+        # (enqueue -> consumer pickup) and apply (shard dispatch +
+        # policy decisions for one submission).  NULL_METRIC when off.
+        self._h_queue = reg.histogram(
+            "serve_queue_wait_seconds",
+            "Time a submission spends in the ingress queue",
+        )
+        self._h_apply = reg.histogram(
+            "serve_apply_seconds",
+            "Time applying one submission (request or batch) to the shards",
+        )
+        # Ground-truth counters come from scrape-time collectors (the
+        # ledger/shards are the source of truth), so the hot path never
+        # double-books and the `metrics` op stays exact under
+        # REPRO_OBS=off.
+        reg.register_collector(self._collect_metrics)
+        self._rates = RateWindow()
+        if monitor_every < 0:
+            raise ValueError(f"monitor_every must be >= 0, got {monitor_every}")
+        self._monitor_every = monitor_every
+        self._since_monitor = 0
+        if self._obs_active:
+            for shard in self.shards.shards:
+                shard.timing = [0.0, 0]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -271,18 +328,20 @@ class CacheServer:
         if self._closed or self._queue is None:
             raise ServerClosed(f"server {self.name!r} is not accepting requests")
         self._check_pages(pages)
-        credits: Optional[List[Tuple[int, int]]] = None
-        if self._gates is not None:
-            per_tenant: Dict[int, int] = {}
-            for page in pages:
-                tenant = self._owners_list[page]
-                per_tenant[tenant] = per_tenant.get(tenant, 0) + 1
-            credits = []
-            for tenant, n in per_tenant.items():
-                taken = await self._gates[tenant].acquire(n)
-                credits.append((tenant, taken))
-        fut = asyncio.get_running_loop().create_future()
-        await self._queue.put((pages, fut, detail, credits))
+        with self.obs.tracer.span("serve.ingress", n=len(pages)):
+            credits: Optional[List[Tuple[int, int]]] = None
+            if self._gates is not None:
+                per_tenant: Dict[int, int] = {}
+                for page in pages:
+                    tenant = self._owners_list[page]
+                    per_tenant[tenant] = per_tenant.get(tenant, 0) + 1
+                credits = []
+                for tenant, n in per_tenant.items():
+                    taken = await self._gates[tenant].acquire(n)
+                    credits.append((tenant, taken))
+            fut = asyncio.get_running_loop().create_future()
+            t_enq = perf_counter() if self._obs_active else 0.0
+            await self._queue.put((pages, fut, detail, credits, t_enq))
         return fut
 
     async def request(self, page: int) -> RequestOutcome:
@@ -341,7 +400,10 @@ class CacheServer:
                 queue.task_done()
 
     def _process(self, item: _Item) -> None:
-        pages, fut, detail, credits = item
+        pages, fut, detail, credits, t_enq = item
+        obs_on = self._obs_active
+        if obs_on:
+            t_start = perf_counter()
         serve = self.shards.serve
         record = self.ledger.record
         owners = self._owners_list
@@ -378,11 +440,189 @@ class CacheServer:
                 hit_flags=hit_flags,
             )
         self._t = t
+        if obs_on:
+            self._account(pages, t_enq, t_start)
         if credits is not None and self._gates is not None:
             for tenant, n in credits:
                 self._gates[tenant].release(n)
         if not fut.cancelled():
             fut.set_result(result)
+
+    def _account(self, pages: Sequence[int], t_enq: float, t_start: float) -> None:
+        """Post-apply telemetry for one submission (obs-active only)."""
+        dur = perf_counter() - t_start
+        queue_wait = (t_start - t_enq) if t_enq else 0.0
+        n = len(pages)
+        if self._metrics_on:
+            self._h_apply.observe(dur)
+            self._h_queue.observe(queue_wait)
+        if self._tracing_on:
+            tracer = self.obs.tracer
+            tracer.record_span("serve.queue_wait", queue_wait, n=n)
+            tracer.record_span("serve.apply", dur, n=n, t=self._t)
+        monitor = self.obs.monitor
+        if monitor is not None and self._monitor_every:
+            self._since_monitor += n
+            if self._since_monitor >= self._monitor_every:
+                self._since_monitor = 0
+                monitor.sample(
+                    self._t,
+                    self.ledger.misses_by_user(),
+                    policies=[s.policy for s in self.shards.shards],
+                )
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _collect_metrics(self) -> List[CollectedFamily]:
+        """Scrape-time export of ground-truth serve state.
+
+        Reads the ledger and shards directly, so per-tenant hit/miss
+        counters are *exact* — bit-identical to an offline
+        ``simulate()`` of the same request sequence (test-enforced) —
+        and available even when the hot-path registry is disabled.
+        """
+        ledger = self.ledger
+        hits = ledger.hits_by_user()
+        misses = ledger.misses_by_user()
+        tenant_hits = [
+            ({"tenant": str(i)}, float(h)) for i, h in enumerate(hits)
+        ]
+        tenant_misses = [
+            ({"tenant": str(i)}, float(m)) for i, m in enumerate(misses)
+        ]
+        out: List[CollectedFamily] = [
+            (
+                "serve_requests_total",
+                "counter",
+                "Requests served",
+                [({}, float(self._t))],
+            ),
+            (
+                "serve_hits_total",
+                "counter",
+                "Cache hits served",
+                [({}, float(hits.sum()))],
+            ),
+            (
+                "serve_misses_total",
+                "counter",
+                "Cache misses served",
+                [({}, float(misses.sum()))],
+            ),
+            (
+                "serve_tenant_hits_total",
+                "counter",
+                "Cache hits per tenant",
+                tenant_hits,
+            ),
+            (
+                "serve_tenant_misses_total",
+                "counter",
+                "Cache misses per tenant (the paper's fetch count a_i)",
+                tenant_misses,
+            ),
+            (
+                "serve_queue_depth",
+                "gauge",
+                "Submissions currently queued",
+                [({}, float(self.queue_depth))],
+            ),
+        ]
+        if ledger.costs is not None:
+            out.append(
+                (
+                    "serve_tenant_cost",
+                    "gauge",
+                    "Running objective term f_i(m_i) per tenant",
+                    [
+                        ({"tenant": str(i)}, ledger.cost_of(i))
+                        for i in range(ledger.num_users)
+                    ],
+                )
+            )
+            out.append(
+                (
+                    "serve_tenant_marginal_quote",
+                    "gauge",
+                    "Fresh-budget marginal f_i'(m_i + 1) per tenant",
+                    [
+                        ({"tenant": str(i)}, ledger.marginal_quote(i))
+                        for i in range(ledger.num_users)
+                    ],
+                )
+            )
+        shard_rows = [
+            ({"shard": str(s.shard_id)}, float(s.occupancy))
+            for s in self.shards.shards
+        ]
+        slot_rows = [
+            ({"shard": str(s.shard_id)}, float(s.slots))
+            for s in self.shards.shards
+        ]
+        evict_rows = [
+            ({"shard": str(s.shard_id)}, float(s.evictions))
+            for s in self.shards.shards
+        ]
+        out.extend(
+            [
+                ("serve_shard_occupancy", "gauge", "Resident pages per shard", shard_rows),
+                ("serve_shard_slots", "gauge", "Slot allocation per shard", slot_rows),
+                (
+                    "serve_shard_evictions_total",
+                    "counter",
+                    "Evictions per shard",
+                    evict_rows,
+                ),
+            ]
+        )
+        timed = [s for s in self.shards.shards if s.timing is not None]
+        if timed:
+            out.append(
+                (
+                    "serve_policy_decision_seconds_total",
+                    "counter",
+                    "Cumulative choose_victim time per shard",
+                    [
+                        ({"shard": str(s.shard_id)}, float(s.timing[0]))
+                        for s in timed
+                    ],
+                )
+            )
+            out.append(
+                (
+                    "serve_policy_decisions_total",
+                    "counter",
+                    "choose_victim calls per shard",
+                    [
+                        ({"shard": str(s.shard_id)}, float(s.timing[1]))
+                        for s in timed
+                    ],
+                )
+            )
+        monitor = self.obs.monitor
+        if monitor is not None:
+            out.append(
+                (
+                    "serve_invariant_drift_flags_total",
+                    "counter",
+                    "Invariant drift flags raised by the live monitor",
+                    [({}, float(len(monitor.flags)))],
+                )
+            )
+            out.append(
+                (
+                    "serve_invariant_samples_total",
+                    "counter",
+                    "Invariant monitor sampling instants",
+                    [({}, float(len(monitor.samples)))],
+                )
+            )
+        return out
+
+    def prometheus_metrics(self) -> str:
+        """Prometheus text exposition (the TCP ``metrics`` op)."""
+        return self.obs.registry.render()
 
     # ------------------------------------------------------------------
     # Stats
@@ -408,6 +648,18 @@ class CacheServer:
         )
         if self._gates is not None:
             snap["tenant_queued"] = [g.queued for g in self._gates]
+        # Windowed rates: totals are snapshotted at stats() time, so the
+        # hot path pays nothing; rates warm up on the second call and
+        # then cover up to the RateWindow horizon (~10 s).
+        totals: Dict[str, float] = {
+            "requests": float(self._t),
+            "hits": float(self.ledger.hits),
+            "misses": float(self.ledger.misses),
+        }
+        if self.ledger.costs is not None:
+            totals["cost"] = self.ledger.total_cost()
+        self._rates.push(monotonic(), **totals)
+        snap["rates"] = self._rates.rates()
         return snap
 
     # ------------------------------------------------------------------
@@ -435,8 +687,17 @@ class CacheServer:
                 if not line:
                     break
                 response = await self._dispatch_line(line)
-                writer.write(json.dumps(response).encode("utf-8") + b"\n")
-                await writer.drain()
+                payload = json.dumps(response).encode("utf-8") + b"\n"
+                if self._tracing_on:
+                    t0 = perf_counter()
+                    writer.write(payload)
+                    await writer.drain()
+                    self.obs.tracer.record_span(
+                        "serve.reply", perf_counter() - t0, bytes=len(payload)
+                    )
+                else:
+                    writer.write(payload)
+                    await writer.drain()
         except (ConnectionResetError, asyncio.CancelledError):
             pass
         finally:
@@ -473,6 +734,8 @@ class CacheServer:
                 return resp
             if op == "stats":
                 return {"ok": True, "stats": self.stats()}
+            if op == "metrics":
+                return {"ok": True, "metrics": self.prometheus_metrics()}
             if op == "quote":
                 tenant = int(msg["tenant"])
                 return {

@@ -27,6 +27,7 @@ imbalance.
 from __future__ import annotations
 
 import inspect
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -80,7 +81,16 @@ class CacheShard:
     :mod:`repro.sim.engine`, so any registered policy serves unchanged.
     """
 
-    __slots__ = ("shard_id", "policy", "slots", "cache", "_ctx", "_validate")
+    __slots__ = (
+        "shard_id",
+        "policy",
+        "slots",
+        "cache",
+        "_ctx",
+        "_validate",
+        "evictions",
+        "timing",
+    )
 
     def __init__(
         self,
@@ -96,11 +106,22 @@ class CacheShard:
         self.cache: set[int] = set()
         self._ctx = ctx
         self._validate = validate
+        #: Lifetime evictions (observability counter; never read by the
+        #: policy, so equivalence with the engine is untouched).
+        self.evictions = 0
+        #: ``[seconds, calls]`` accumulator for ``choose_victim`` when a
+        #: server enables decision timing; ``None`` keeps the hot path
+        #: branch-free beyond one identity check.
+        self.timing: Optional[List[float]] = None
         policy.reset(ctx)
 
     def reset(self) -> None:
         """Empty the shard and return the policy to its initial state."""
         self.cache.clear()
+        self.evictions = 0
+        if self.timing is not None:
+            self.timing[0] = 0.0
+            self.timing[1] = 0
         self.policy.reset(self._ctx)
 
     def serve(self, page: int, t: int) -> Tuple[bool, Optional[int]]:
@@ -119,7 +140,14 @@ class CacheShard:
             cache.add(page)
             policy.on_insert(page, t)
             return False, None
-        victim = policy.choose_victim(page, t)
+        timing = self.timing
+        if timing is None:
+            victim = policy.choose_victim(page, t)
+        else:
+            t0 = perf_counter()
+            victim = policy.choose_victim(page, t)
+            timing[0] += perf_counter() - t0
+            timing[1] += 1
         if self._validate:
             if victim not in cache:
                 raise RuntimeError(
@@ -133,6 +161,7 @@ class CacheShard:
         policy.on_evict(victim, t)
         cache.add(page)
         policy.on_insert(page, t)
+        self.evictions += 1
         return False, victim
 
     @property

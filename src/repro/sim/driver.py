@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import Observability, default_observability
 from repro.sim.engine import SimResult, simulate
 from repro.sim.policy import EvictionPolicy
 from repro.sim.trace import Trace
@@ -106,6 +107,7 @@ def simulate_many(
     record_events: bool = False,
     record_curve: bool = False,
     workers: Optional[int] = None,
+    obs: Optional["Observability"] = None,
 ) -> List[GridRun]:
     """Run every (policy, k, trace) combination, optionally in parallel.
 
@@ -135,6 +137,12 @@ def simulate_many(
         ``ProcessPoolExecutor`` with that many workers; results are
         bit-identical to the serial run and come back in the same
         order.
+    obs:
+        Telemetry bundle for the *grid* level: one ``sim.grid`` span
+        around the whole product, a ``sim.cell`` event per completed
+        cell, and a ``sim_grid_cells_total`` counter.  Per-run engine
+        telemetry stays with the engine's own default bundle (worker
+        processes do not share this one).
 
     Returns
     -------
@@ -176,14 +184,41 @@ def simulate_many(
             )
         )
 
-    if workers is None:
-        outputs = [_run_cell(job) for job in jobs]
-    else:
-        workers = check_positive_int(workers, "workers")
-        from concurrent.futures import ProcessPoolExecutor
+    if obs is None:
+        obs = default_observability()
+    with obs.tracer.span(
+        "sim.grid",
+        cells=len(jobs),
+        policies=len(policies),
+        ks=len(ks),
+        traces=len(traces),
+        workers=workers or 0,
+    ):
+        if workers is None:
+            outputs = [_run_cell(job) for job in jobs]
+        else:
+            workers = check_positive_int(workers, "workers")
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outputs = list(pool.map(_run_cell, jobs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outputs = list(pool.map(_run_cell, jobs))
+
+        if obs.tracer.enabled:
+            for (name, k, trace_index, _seed), (elapsed, result) in zip(
+                meta, outputs
+            ):
+                obs.tracer.event(
+                    "sim.cell",
+                    policy=name,
+                    k=k,
+                    trace_index=trace_index,
+                    elapsed=elapsed,
+                    misses=result.misses,
+                )
+    if obs.registry.enabled:
+        obs.registry.counter(
+            "sim_grid_cells_total", "Grid cells completed by simulate_many"
+        ).inc(len(jobs))
 
     return [
         GridRun(

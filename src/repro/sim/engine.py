@@ -37,6 +37,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.cost_functions import CostFunction
+from repro.obs import Observability, default_observability
 from repro.sim.policy import EvictionPolicy, SimContext
 from repro.sim.trace import Trace
 from repro.util.validation import check_positive_int
@@ -132,6 +133,7 @@ def simulate(
     record_curve: bool = False,
     validate: bool = True,
     engine: str = "auto",
+    obs: Optional["Observability"] = None,
 ) -> SimResult:
     """Run *policy* over *trace* with a cache of size *k*.
 
@@ -159,6 +161,12 @@ def simulate(
         ``"auto"`` (= ``"fast"``, the hit-run scanning engine) or
         ``"reference"`` (the original per-request loop, kept as ground
         truth).  Both produce bit-identical results.
+    obs:
+        Telemetry bundle; defaults to the process-wide
+        :func:`~repro.obs.default_observability`.  When both metrics
+        and tracing are off (the default), the only cost is one boolean
+        check per *run* — the request loop itself is never touched, so
+        results and performance are unchanged.
 
     Returns
     -------
@@ -183,10 +191,34 @@ def simulate(
         num_pages=trace.num_pages,
         horizon=trace.length,
     )
-    policy.reset(ctx)
-
+    if obs is None:
+        obs = default_observability()
     run = _simulate_reference if engine == "reference" else _simulate_fast
-    return run(trace, policy, k, record_events, record_curve, validate)
+    if not (obs.tracer.enabled or obs.registry.enabled):
+        policy.reset(ctx)
+        return run(trace, policy, k, record_events, record_curve, validate)
+
+    tracer = obs.tracer
+    with tracer.span("sim.setup", policy=policy.name, trace=trace.name):
+        policy.reset(ctx)
+    with tracer.span(
+        "sim.run",
+        policy=policy.name,
+        trace=trace.name,
+        k=k,
+        engine=engine,
+        T=trace.length,
+    ) as span:
+        result = run(trace, policy, k, record_events, record_curve, validate)
+        span.set(hits=result.hits, misses=result.misses)
+    reg = obs.registry
+    reg.counter("sim_runs_total", "Simulation runs completed").inc()
+    reg.counter("sim_requests_total", "Requests simulated").inc(
+        result.total_requests
+    )
+    reg.counter("sim_hits_total", "Cache hits simulated").inc(result.hits)
+    reg.counter("sim_misses_total", "Cache misses simulated").inc(result.misses)
+    return result
 
 
 def _simulate_reference(

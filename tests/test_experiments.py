@@ -13,7 +13,7 @@ from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 
 class TestRegistry:
     def test_all_nine_registered(self):
-        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 17))
+        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 18))
 
     def test_titles_nonempty(self):
         for _fn, title in EXPERIMENTS.values():
@@ -83,6 +83,16 @@ class TestCli:
         assert (tmp_path / "e7.csv").exists()
         out = capsys.readouterr().out
         assert "ALL SHAPE CHECKS PASS" in out
+
+
+class TestE17:
+    def test_e17_obs(self):
+        out = run_experiment("e17", quick=True)
+        assert out.ok, out.render()
+        scraped = [r for r in out.rows if r.get("section") == "exposition"]
+        assert scraped and all(
+            r["scraped_misses"] == r["simulated_misses"] for r in scraped
+        )
 
 
 class TestE13:

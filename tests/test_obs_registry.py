@@ -1,0 +1,265 @@
+"""Metrics registry: counters/gauges/histograms, cardinality, env gate.
+
+The two properties the serve/engine hot paths rely on are enforced
+here: a disabled registry hands out the shared NULL_METRIC singleton
+(so instrumentation is a no-op), and label cardinality is bounded (so a
+per-tenant label can never grow an unbounded series set).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    LabelCardinalityError,
+    MetricsRegistry,
+    NULL_METRIC,
+    OBS_ENV,
+    RateWindow,
+    exponential_buckets,
+    obs_enabled_from_env,
+)
+from repro.obs.registry import Histogram, format_value
+
+
+class TestEnvGate:
+    @pytest.mark.parametrize("value", ["0", "off", "OFF", " false ", "no", "disabled"])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv(OBS_ENV, value)
+        assert not obs_enabled_from_env()
+        assert not MetricsRegistry().enabled
+
+    @pytest.mark.parametrize("value", ["on", "1", "yes", ""])
+    def test_on_values(self, monkeypatch, value):
+        monkeypatch.setenv(OBS_ENV, value)
+        assert obs_enabled_from_env()
+
+    def test_unset_means_on(self, monkeypatch):
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        assert obs_enabled_from_env()
+
+    def test_explicit_enabled_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(OBS_ENV, "off")
+        assert MetricsRegistry(enabled=True).enabled
+
+
+class TestDisabledRegistry:
+    def test_all_factories_return_the_null_singleton(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c_total", "help")
+        g = reg.gauge("g", "help")
+        h = reg.histogram("h_seconds", "help")
+        assert c is NULL_METRIC and g is NULL_METRIC and h is NULL_METRIC
+        # The whole instrumentation surface is a no-op, labels included.
+        assert c.labels("x") is NULL_METRIC
+        c.inc()
+        g.set(3.0)
+        g.dec()
+        h.observe(0.5)
+        h.observe(-1.0)  # not even validated: truly free
+        assert reg.families() == []
+
+    def test_collectors_still_render_when_disabled(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.register_collector(
+            lambda: [("truth_total", "counter", "ground truth", [({}, 7.0)])]
+        )
+        assert reg.get_sample_value("truth_total") == 7.0
+        assert "truth_total 7" in reg.render()
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("ops_total", "ops")
+        c.inc()
+        c.inc(2.5)
+        assert reg.get_sample_value("ops_total") == 3.5
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec_and_function(self):
+        reg = MetricsRegistry(enabled=True)
+        g = reg.gauge("depth", "queue depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert reg.get_sample_value("depth") == 13.0
+        g.set_function(lambda: 42.0)
+        assert reg.get_sample_value("depth") == 42.0
+
+    def test_labelled_counter_by_name_and_position(self):
+        reg = MetricsRegistry(enabled=True)
+        fam = reg.counter("tenant_total", "per tenant", labels=("tenant",))
+        fam.labels("0").inc(3)
+        fam.labels(tenant="1").inc(4)
+        assert reg.get_sample_value("tenant_total", {"tenant": "0"}) == 3.0
+        assert reg.get_sample_value("tenant_total", {"tenant": "1"}) == 4.0
+
+    def test_namespace_prefix(self):
+        reg = MetricsRegistry(enabled=True, namespace="repro")
+        reg.counter("runs_total", "runs").inc()
+        assert reg.get_sample_value("repro_runs_total") == 1.0
+
+    def test_reregistration_same_labels_returns_same_family(self):
+        reg = MetricsRegistry(enabled=True)
+        a = reg.counter("x_total", "x")
+        b = reg.counter("x_total", "x")
+        assert a is b
+        with pytest.raises(ValueError, match="re-registered"):
+            reg.counter("x_total", "x", labels=("tenant",))
+
+    def test_invalid_metric_name_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("bad-name", "x")
+
+
+class TestCardinalityGuard:
+    def test_guard_trips_at_cap(self):
+        reg = MetricsRegistry(enabled=True, max_label_sets=4)
+        fam = reg.counter("t_total", "x", labels=("tenant",))
+        for i in range(4):
+            fam.labels(str(i)).inc()
+        with pytest.raises(LabelCardinalityError, match="more than 4"):
+            fam.labels("overflow")
+        # Existing label sets keep working.
+        fam.labels("3").inc()
+        assert reg.get_sample_value("t_total", {"tenant": "3"}) == 2.0
+
+    def test_wrong_label_arity_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        fam = reg.counter("t_total", "x", labels=("tenant", "shard"))
+        with pytest.raises(ValueError, match="label values"):
+            fam.labels("0")
+        with pytest.raises(ValueError, match="missing label"):
+            fam.labels(tenant="0")
+        with pytest.raises(ValueError, match="unknown labels"):
+            fam.labels(tenant="0", shard="1", extra="2")
+
+
+class TestHistogram:
+    def test_zero_lands_in_first_bucket(self):
+        h = Histogram(buckets=(0.1, 1.0))
+        h.observe(0.0)
+        assert h.cumulative() == [(0.1, 1), (1.0, 1), (math.inf, 1)]
+        assert h.sum == 0.0 and h.count == 1
+
+    def test_inf_counted_but_excluded_from_sum(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(math.inf)
+        h.observe(0.5)
+        assert h.count == 2
+        assert h.sum == 0.5
+        assert h.cumulative() == [(1.0, 1), (math.inf, 2)]
+
+    def test_negative_and_nan_rejected(self):
+        h = Histogram(buckets=(1.0,))
+        with pytest.raises(ValueError, match=">= 0"):
+            h.observe(-1e-9)
+        with pytest.raises(ValueError, match=">= 0"):
+            h.observe(math.nan)
+        assert h.count == 0
+
+    def test_overflow_goes_to_inf_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(5.0)
+        assert h.cumulative() == [(1.0, 0), (2.0, 0), (math.inf, 1)]
+        assert h.sum == 5.0  # finite overflow still contributes to sum
+
+    def test_boundary_value_is_inclusive(self):
+        # Prometheus le semantics: a bound's bucket includes the bound.
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.cumulative()[0] == (1.0, 1)
+
+    def test_bucketing_matches_linear_scan(self):
+        h = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        values = [1e-7, 1e-6, 3e-6, 0.01, 0.5, 7.9, 100.0]
+        for v in values:
+            h.observe(v)
+        for bound, cum in h.cumulative():
+            assert cum == sum(1 for v in values if v <= bound)
+
+    def test_quantile_bucket_resolution(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.75) == 2.0
+        assert h.quantile(1.0) == 4.0
+        assert math.isnan(Histogram(buckets=(1.0,)).quantile(0.5))
+        with pytest.raises(ValueError, match="in \\[0, 1\\]"):
+            h.quantile(1.5)
+
+    def test_invalid_bucket_specs_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(buckets=())
+        with pytest.raises(ValueError, match="finite and > 0"):
+            Histogram(buckets=(0.0, 1.0))
+        with pytest.raises(ValueError, match="finite and > 0"):
+            Histogram(buckets=(1.0, math.inf))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(buckets=(1.0, 1.0))
+
+
+class TestExponentialBuckets:
+    def test_spacing(self):
+        b = exponential_buckets(1e-6, 2.0, 4)
+        assert b == (1e-6, 2e-6, 4e-6, 8e-6)
+
+    def test_default_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1e-6
+        assert DEFAULT_LATENCY_BUCKETS[-1] > 8.0  # covers multi-second stalls
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(0, 2, 3)
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 1, 3)
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 2, 0)
+
+
+class TestFormatValue:
+    def test_ints_render_bare(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.0) == "0"
+
+    def test_floats_render_repr(self):
+        assert format_value(0.5) == "0.5"
+
+
+class TestRateWindow:
+    def test_empty_until_two_snapshots(self):
+        w = RateWindow(horizon=10.0)
+        assert w.rates() == {}
+        w.push(0.0, requests=100)
+        assert w.rates() == {}
+
+    def test_rates_are_deltas_over_span(self):
+        w = RateWindow(horizon=10.0)
+        w.push(0.0, requests=0, misses=0)
+        w.push(2.0, requests=1000, misses=40)
+        rates = w.rates()
+        assert rates["window_seconds"] == 2.0
+        assert rates["requests_per_sec"] == 500.0
+        assert rates["misses_per_sec"] == 20.0
+
+    def test_old_snapshots_evicted_past_horizon(self):
+        w = RateWindow(horizon=5.0)
+        for t in range(20):
+            w.push(float(t), requests=t * 10)
+        assert w.samples <= 7  # ~horizon + the straddling snapshot
+        rates = w.rates()
+        assert rates["requests_per_sec"] == pytest.approx(10.0)
+        assert rates["window_seconds"] <= 6.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError, match="> 0"):
+            RateWindow(horizon=0)

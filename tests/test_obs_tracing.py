@@ -1,0 +1,211 @@
+"""Span tracing: nesting, JSONL round-trip, exposition round-trip.
+
+The JSONL event schema is the interchange format between instrumented
+processes and ``python -m repro.obs``; the round-trip tests pin it.
+The Prometheus render/parse round-trip pins the exposition format the
+serve ``metrics`` op speaks.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import time
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    ListSink,
+    MetricsRegistry,
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    parse_prometheus,
+    read_jsonl,
+    render_prometheus,
+    sample_value,
+    summarize_spans,
+)
+
+
+class TestSpans:
+    def test_disabled_tracer_returns_null_span(self):
+        t = Tracer()
+        assert not t.enabled
+        assert t.span("x") is NULL_SPAN
+        t.event("y")  # no-op, no error
+        assert t.emitted == 0
+        assert NULL_TRACER.span("z") is NULL_SPAN
+        with NULL_SPAN as s:
+            s.set(a=1)  # the null span absorbs everything
+
+    def test_force_disable_with_sink(self):
+        t = Tracer(ListSink(), enabled=False)
+        assert t.span("x") is NULL_SPAN
+
+    def test_span_emits_schema(self):
+        sink = ListSink()
+        t = Tracer(sink)
+        with t.span("work", n=3) as span:
+            span.set(hits=2)
+        (event,) = sink.events
+        assert event["type"] == "span"
+        assert event["name"] == "work"
+        assert event["attrs"] == {"n": 3, "hits": 2}
+        assert event["parent_id"] is None
+        assert event["dur"] >= 0
+        assert abs(event["ts"] - time.time()) < 60
+
+    def test_nesting_links_parents(self):
+        sink = ListSink()
+        t = Tracer(sink)
+        with t.span("outer"):
+            with t.span("inner"):
+                t.event("marker")
+        marker, inner, outer = sink.events  # spans emit on exit
+        assert marker["type"] == "event"
+        assert marker["span_id"] == inner["span_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_exception_recorded_and_propagated(self):
+        sink = ListSink()
+        t = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError("x")
+        assert sink.events[0]["attrs"]["error"] == "RuntimeError"
+
+    def test_record_span_uses_external_duration(self):
+        sink = ListSink()
+        t = Tracer(sink)
+        t.record_span("measured", 0.25, n=7)
+        (event,) = sink.events
+        assert event["type"] == "span"
+        assert event["dur"] == 0.25
+        assert event["attrs"] == {"n": 7}
+        assert Tracer().record_span("x", 1.0) is None  # disabled no-op
+
+
+class TestJsonlRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            t = Tracer(sink)
+            with t.span("a", k=1):
+                pass
+            t.event("b", note="hi")
+        events = read_jsonl(path)
+        assert [e["name"] for e in events] == ["a", "b"]
+        assert events[0]["attrs"] == {"k": 1}
+        assert events[1]["attrs"] == {"note": "hi"}
+
+    def test_append_mode_accumulates(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        for _ in range(2):
+            with JsonlSink(path) as sink:
+                Tracer(sink).event("tick")
+        assert len(read_jsonl(path)) == 2
+
+    def test_file_object_not_closed_by_sink(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        Tracer(sink).event("x")
+        sink.close()
+        assert not buf.closed
+        events = read_jsonl(buf.getvalue().splitlines())
+        assert events[0]["name"] == "x"
+
+    def test_read_jsonl_rejects_garbage(self):
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_jsonl(['{"ok": 1}', "not json"])
+        with pytest.raises(ValueError, match="expected an object"):
+            read_jsonl(["[1, 2]"])
+
+    def test_blank_lines_skipped(self):
+        assert read_jsonl(["", '{"a": 1}', "  "]) == [{"a": 1}]
+
+
+class TestSummarizeSpans:
+    def test_aggregates_by_name_sorted_by_total(self):
+        events = [
+            {"type": "span", "name": "slow", "dur": 1.0},
+            {"type": "span", "name": "slow", "dur": 3.0},
+            {"type": "span", "name": "fast", "dur": 0.5},
+            {"type": "event", "name": "ignored"},
+        ]
+        rows = summarize_spans(events)
+        assert [r["name"] for r in rows] == ["slow", "fast"]
+        slow = rows[0]
+        assert slow["count"] == 2
+        assert slow["total_s"] == 4.0
+        assert slow["mean_s"] == 2.0
+        assert slow["p50_s"] == 1.0
+        assert slow["max_s"] == 3.0
+
+    def test_empty(self):
+        assert summarize_spans([]) == []
+
+
+class TestPrometheusRoundTrip:
+    def test_full_registry_round_trip(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("req_total", "requests").inc(5)
+        fam = reg.gauge("occ", "occupancy", labels=("shard",))
+        fam.labels("0").set(7)
+        fam.labels("1").set(9)
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(math.inf)
+        reg.register_collector(
+            lambda: [("truth_total", "counter", "from ledger", [({}, 3.0)])]
+        )
+        text = render_prometheus(reg)
+        assert "# TYPE req_total counter" in text
+        assert "# HELP lat_seconds latency" in text
+        samples = parse_prometheus(text)
+        assert sample_value(samples, "req_total") == 5.0
+        assert sample_value(samples, "occ", shard="1") == 9.0
+        assert sample_value(samples, "lat_seconds_bucket", le="0.1") == 1.0
+        assert sample_value(samples, "lat_seconds_bucket", le="1") == 2.0
+        assert sample_value(samples, "lat_seconds_bucket", le="+Inf") == 3.0
+        assert sample_value(samples, "lat_seconds_sum") == pytest.approx(0.55)
+        assert sample_value(samples, "lat_seconds_count") == 3.0
+        assert sample_value(samples, "truth_total") == 3.0
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry(enabled=True)
+        fam = reg.counter("c_total", "x", labels=("who",))
+        nasty = 'a"b\\c\nd'
+        fam.labels(nasty).inc()
+        samples = parse_prometheus(render_prometheus(reg))
+        assert sample_value(samples, "c_total", who=nasty) == 1.0
+
+    def test_parser_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("no value here\n")
+        with pytest.raises(ValueError, match="malformed value"):
+            parse_prometheus("x{} notanumber\n")
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_prometheus('x{bad-label="1"} 2\n')
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prometheus("x 1\nx 2\n")
+
+    def test_parser_skips_comments_and_blanks(self):
+        samples = parse_prometheus("# HELP x y\n# TYPE x counter\n\nx 4\n")
+        assert sample_value(samples, "x") == 4.0
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry(enabled=True)) == ""
+
+    def test_events_are_compact_json_lines(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            Tracer(sink).event("x", a=1)
+        with open(path, encoding="utf-8") as fh:
+            line = fh.readline().rstrip("\n")
+        json.loads(line)
+        assert ": " not in line and ", " not in line  # compact separators
