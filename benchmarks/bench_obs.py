@@ -14,9 +14,29 @@ The telemetry layer's performance contract has two halves:
   case (the PR acceptance bar, snapshotted to BENCH_PR3.json by
   ``perf_trajectory.py``).
 
+The flight recorder extends the same contract, stated in the terms
+that are actually true of per-request decision capture in Python:
+
+* **Attached, end to end: <5%.**  On the deployment path — a TCP
+  client issuing individual ``{"op": "request"}`` ops — leaving the
+  recorder on costs under 5% of per-op wall time (measured ~1%).
+* **Attached, decision path: a bounded absolute cost.**  In-process,
+  a recorded hit costs one compact-tuple append (~150ns) and a
+  recorded ALG-DISCRETE eviction adds the budget probes (~1.5µs).
+  Those are asserted as absolute per-request bounds below; as a
+  *fraction* of a sub-microsecond bare serving loop they are 10-15%,
+  which the informational rows in BENCH_PR4.json report honestly.
+* **Detached: <3%.**  Attach-then-detach leaves the shard on the
+  identical no-recorder code path.
+
+Flight comparisons use a metrics-off bundle on both sides so they
+isolate the recorder (``Observability(flight=...)``'s default registry
+is env-gated and may be on).  Measured numbers are snapshotted to
+BENCH_PR4.json by ``perf_trajectory.py``.
+
 Timing asserts here use best-of-N with generous margins so CI noise
 does not flake them; the precise measured numbers live in
-BENCH_PR3.json.
+BENCH_PR3.json / BENCH_PR4.json.
 """
 
 import time
@@ -25,6 +45,7 @@ import pytest
 
 from repro.core.cost_functions import MonomialCost
 from repro.obs import (
+    FlightRecorder,
     Observability,
     InvariantMonitor,
     ListSink,
@@ -33,12 +54,31 @@ from repro.obs import (
 )
 from repro.policies import POLICY_REGISTRY
 from repro.serve import serve_trace
+from repro.serve.server import CacheServer
+from repro.serve.shard import ShardManager
 from repro.sim.engine import simulate
+from repro.workloads.builders import zipf_trace
 
 #: Relative-overhead acceptance bars (fractions, with CI-noise headroom
 #: over the <3%/<5% claims recorded in BENCH_PR3.json).
 DISABLED_OVERHEAD_BAR = 0.08
 ENABLED_OVERHEAD_BAR = 0.12
+
+#: Flight-recorder bars (the PR acceptance numbers, asserted literally:
+#: end-to-end TCP serving dwarfs one deque append per op, and the
+#: detached case runs byte-identical code to never-attached).
+FLIGHT_ENABLED_BAR = 0.05
+FLIGHT_DISABLED_BAR = 0.03
+#: Absolute decision-path bounds (generous multiples of the measured
+#: ~150ns/hit and ~1.5us/probed-eviction costs).
+FLIGHT_HIT_NS_BAR = 600
+FLIGHT_EVICT_NS_BAR = 6_000
+
+
+def _flight_obs(fl):
+    """Metrics-off bundle carrying only the recorder, so flight
+    comparisons are not polluted by the env-gated default registry."""
+    return Observability(registry=MetricsRegistry(enabled=False), flight=fl)
 
 
 def _best_sim_rps(trace, obs, reps=3, policy="lru", k=1024):
@@ -142,6 +182,168 @@ def test_bench_sim_obs_enabled(benchmark, zipf_hot_50k):
         return _best_sim_rps(
             zipf_hot_50k, Observability.enabled(sink=ListSink()), reps=1
         )
+
+    rps = benchmark.pedantic(run, rounds=3)
+    assert rps > 0
+
+
+def _best_shard_rps(trace, reps=3, k=1024, shards=4, policy="lru",
+                    attach_detach=False, attached=False, count_misses=False):
+    """Bare ShardManager sweep (no asyncio): times exactly the decision
+    path the flight hook lives on.  ``attach_detach`` probes the
+    detached residue; ``attached`` leaves a recorder on for the run."""
+    costs = [MonomialCost(2)] * trace.num_users
+    requests = trace.requests.tolist()
+    best = float("inf")
+    misses = 0
+    for _ in range(reps):
+        mgr = ShardManager(
+            policy, shards, k, trace.owners, costs, policy_seed=0,
+            validate=False,
+        )
+        if attach_detach:
+            probe = FlightRecorder(capacity=4)
+            for shard in mgr.shards:
+                shard.attach_flight(probe)
+                shard.detach_flight()
+        if attached:
+            fl = FlightRecorder(capacity=trace.length)
+            for shard in mgr.shards:
+                shard.attach_flight(fl)
+        t0 = time.perf_counter()
+        m = 0
+        for t, page in enumerate(requests):
+            hit, _, _ = mgr.serve(page, t)
+            if not hit:
+                m += 1
+        best = min(best, time.perf_counter() - t0)
+        misses = m
+    rps = trace.length / best
+    return (rps, misses) if count_misses else rps
+
+
+def _tcp_rps(trace, obs, *, policy="alg-discrete", k=1024, shards=4):
+    """End-to-end per-op serving rate: a loopback client floods
+    individual ``{"op": "request"}`` lines and awaits every reply."""
+    import asyncio
+    import json
+
+    costs = [MonomialCost(2)] * trace.num_users
+    pages = trace.requests.tolist()
+
+    async def go():
+        server = CacheServer(
+            policy, k, trace.owners, costs, num_shards=shards,
+            policy_seed=0, validate=False, obs=obs,
+        )
+        await server.start()
+        host, port = await server.start_tcp()
+        reader, writer = await asyncio.open_connection(host, port)
+        lines = [
+            json.dumps({"op": "request", "page": p}).encode() + b"\n"
+            for p in pages
+        ]
+
+        async def flood():
+            for i in range(0, len(lines), 64):
+                writer.write(b"".join(lines[i : i + 64]))
+                await writer.drain()
+
+        t0 = time.perf_counter()
+        flooder = asyncio.ensure_future(flood())
+        for _ in range(len(lines)):
+            await reader.readline()
+        dt = time.perf_counter() - t0
+        await flooder
+        writer.close()
+        await server.stop()
+        return len(pages) / dt
+
+    return asyncio.run(go())
+
+
+def test_tcp_serve_flight_enabled_overhead():
+    """The PR acceptance bar: on the deployment path (per-op TCP
+    serving) leaving the recorder attached costs <5% of wall time.
+    Interleaved best-of so both sides sample the same machine noise."""
+    trace = zipf_trace(2_000, 4_000, skew=0.9, seed=0)
+    off = on = 0.0
+    for _ in range(5):
+        off = max(off, _tcp_rps(trace, Observability.disabled()))
+        fl = FlightRecorder(capacity=trace.length)
+        on = max(on, _tcp_rps(trace, _flight_obs(fl)))
+    overhead = 1.0 - on / off
+    assert overhead < FLIGHT_ENABLED_BAR, (
+        f"flight-enabled TCP serve overhead {overhead:.1%} "
+        f"(off={off / 1e3:.1f}k, on={on / 1e3:.1f}k op/s)"
+    )
+
+
+def test_flight_decision_path_absolute_cost(zipf_hot_50k, zipf_50k):
+    """In-process decision-path bounds, stated absolutely: a recorded
+    hit adds one compact append (~150ns), a probed ALG-DISCRETE
+    eviction adds the budget reads (~1.5us)."""
+    # Hit cost: hot zipf + lru is ~99.4% hits, so the per-request delta
+    # is (essentially) the per-hit recording cost.
+    off = _best_shard_rps(zipf_hot_50k, attached=False)
+    on = _best_shard_rps(zipf_hot_50k, attached=True)
+    hit_ns = (1.0 / on - 1.0 / off) * 1e9
+    assert hit_ns < FLIGHT_HIT_NS_BAR, (
+        f"recorded hit costs {hit_ns:.0f}ns (bar {FLIGHT_HIT_NS_BAR}ns)"
+    )
+    # Eviction cost: mixed zipf + alg-discrete at ~40% misses; subtract
+    # the hit share to attribute the remainder per eviction.
+    off = _best_shard_rps(zipf_50k, attached=False, policy="alg-discrete",
+                          shards=1, count_misses=True)
+    on = _best_shard_rps(zipf_50k, attached=True, policy="alg-discrete",
+                         shards=1, count_misses=True)
+    (off_rps, misses), (on_rps, _) = off, on
+    miss_rate = misses / zipf_50k.length
+    delta_ns = (1.0 / on_rps - 1.0 / off_rps) * 1e9
+    evict_ns = (delta_ns - (1 - miss_rate) * max(hit_ns, 0.0)) / miss_rate
+    assert evict_ns < FLIGHT_EVICT_NS_BAR, (
+        f"recorded probed eviction costs {evict_ns:.0f}ns "
+        f"(bar {FLIGHT_EVICT_NS_BAR}ns, miss rate {miss_rate:.1%})"
+    )
+
+
+def test_shard_flight_detached_is_free(zipf_hot_50k):
+    """Attach-then-detach leaves the shard on the identical no-recorder
+    code path: the residue must stay under the 3% disabled bar."""
+    off = _best_shard_rps(zipf_hot_50k)
+    on = _best_shard_rps(zipf_hot_50k, attach_detach=True)
+    overhead = 1.0 - on / off
+    assert overhead < FLIGHT_DISABLED_BAR, (
+        f"detached flight overhead {overhead:.1%} "
+        f"(off={off / 1e3:.0f}k, on={on / 1e3:.0f}k rps)"
+    )
+
+
+def test_flight_ring_bound_is_wraparound_cheap(zipf_hot_50k):
+    """A deliberately tiny ring (constant wraparound eviction in the
+    deque) must not cost more than a large one."""
+    small = FlightRecorder(capacity=256)
+    large = FlightRecorder(capacity=zipf_hot_50k.length)
+    rps_small = _best_serve_rps(zipf_hot_50k, _flight_obs(small))
+    rps_large = _best_serve_rps(zipf_hot_50k, _flight_obs(large))
+    assert small.dropped > 0 and large.dropped == 0
+    assert rps_small > 0.8 * rps_large, (
+        f"wrapping ring collapsed throughput: {rps_small / 1e3:.0f}k vs "
+        f"{rps_large / 1e3:.0f}k rps"
+    )
+
+
+@pytest.mark.parametrize("flight", [False, True])
+def test_bench_serve_flight(benchmark, zipf_hot_50k, flight):
+    """pytest-benchmark rows: serve hot/4-shard, flight off vs. on."""
+
+    def run():
+        obs = (
+            _flight_obs(FlightRecorder(capacity=zipf_hot_50k.length))
+            if flight
+            else Observability.disabled()
+        )
+        return _best_serve_rps(zipf_hot_50k, obs, reps=1)
 
     rps = benchmark.pedantic(run, rounds=3)
     assert rps > 0

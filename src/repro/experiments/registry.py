@@ -19,6 +19,7 @@ from repro.experiments import (
     e15_fractional_bbn,
     e16_serving,
     e17_obs_overhead,
+    e18_audit_lower_bound,
     e2_invariants,
     e3_bicriteria,
     e4_lower_bound,
@@ -48,6 +49,7 @@ _MODULES = (
     e15_fractional_bbn,
     e16_serving,
     e17_obs_overhead,
+    e18_audit_lower_bound,
 )
 
 EXPERIMENTS: Dict[str, Tuple[Callable[..., ExperimentOutput], str]] = {

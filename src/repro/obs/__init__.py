@@ -15,16 +15,24 @@ shared layer:
   detection on ALG-DISCRETE's budget/KKT structure and per-tenant
   :math:`f_i(m_i)` / marginal-quote trajectories;
 * :mod:`repro.obs.export` — Prometheus text exposition (the serve
-  ``metrics`` op) and JSONL trace aggregation.
+  ``metrics`` op) and JSONL trace aggregation;
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`, a bounded
+  ring buffer of per-request decision events (hit/miss, victim,
+  budget before/after, fresh-budget charge) with JSONL auto-dump and
+  :func:`replay_verify`, a deterministic bit-for-bit replay checker;
+* :mod:`repro.obs.audit` — :class:`CompetitiveAuditor`, a streaming
+  online-vs-offline cost audit exposing live ``audit_ratio`` /
+  ``audit_theorem11_bound`` gauges for Theorem 1.1.
 
-``python -m repro.obs`` tails/aggregates JSONL traces and scrapes a
-running server's metrics.
+``python -m repro.obs`` tails/aggregates JSONL traces, scrapes a
+running server's metrics, and renders a live terminal dashboard
+(``dash``).
 
 The :class:`Observability` bundle is the handle instrumented code
-accepts: a registry, a tracer, and an optional monitor.  Call sites
-default to :func:`default_observability`, whose registry enablement
-follows ``REPRO_OBS`` and whose tracer is off (tracing always requires
-an explicit sink).
+accepts: a registry, a tracer, and optional monitor / flight recorder
+/ auditor.  Call sites default to :func:`default_observability`, whose
+registry enablement follows ``REPRO_OBS`` and whose tracer is off
+(tracing always requires an explicit sink).
 """
 
 from __future__ import annotations
@@ -32,12 +40,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.audit import AUDIT_MODES, CompetitiveAuditor
 from repro.obs.export import (
+    escape_label_value,
     parse_prometheus,
     read_jsonl,
     render_prometheus,
     sample_value,
     summarize_spans,
+    unescape_label_value,
+)
+from repro.obs.flight import (
+    DecisionEvent,
+    EVENT_FIELDS,
+    FlightDump,
+    FlightRecorder,
+    ReplayCheck,
+    ReplayMismatch,
+    load_flight,
+    replay_verify,
+    verify_flight,
 )
 from repro.obs.monitor import (
     DriftFlag,
@@ -69,6 +91,8 @@ class Observability:
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: Tracer = field(default_factory=Tracer)
     monitor: Optional[InvariantMonitor] = None
+    flight: Optional[FlightRecorder] = None
+    auditor: Optional[CompetitiveAuditor] = None
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -77,13 +101,19 @@ class Observability:
 
     @classmethod
     def enabled(
-        cls, sink: object = None, monitor: Optional[InvariantMonitor] = None
+        cls,
+        sink: object = None,
+        monitor: Optional[InvariantMonitor] = None,
+        flight: Optional[FlightRecorder] = None,
+        auditor: Optional[CompetitiveAuditor] = None,
     ) -> "Observability":
         """Metrics on (regardless of env); tracing on iff *sink* given."""
         return cls(
             registry=MetricsRegistry(enabled=True),
             tracer=Tracer(sink),
             monitor=monitor,
+            flight=flight,
+            auditor=auditor,
         )
 
     @property
@@ -117,9 +147,15 @@ def set_default_observability(obs: Optional[Observability]) -> None:
 
 
 __all__ = [
+    "AUDIT_MODES",
+    "CompetitiveAuditor",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DecisionEvent",
     "DriftFlag",
+    "EVENT_FIELDS",
+    "FlightDump",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "InvariantMonitor",
@@ -135,16 +171,23 @@ __all__ = [
     "OBS_ENV",
     "Observability",
     "RateWindow",
+    "ReplayCheck",
+    "ReplayMismatch",
     "Span",
     "Tracer",
     "default_observability",
+    "escape_label_value",
     "exponential_buckets",
+    "load_flight",
     "obs_enabled_from_env",
     "parse_prometheus",
     "read_jsonl",
     "render_prometheus",
+    "replay_verify",
     "sample_value",
     "set_default_observability",
     "summarize_spans",
+    "unescape_label_value",
+    "verify_flight",
     "watch_simulation",
 ]

@@ -1,6 +1,6 @@
 """Command-line telemetry tooling: ``python -m repro.obs``.
 
-Three subcommands::
+Four subcommands::
 
     # Aggregate a JSONL trace into a per-span latency table:
     python -m repro.obs summary trace.jsonl
@@ -11,10 +11,15 @@ Three subcommands::
     # Scrape a running cache server's Prometheus metrics over TCP:
     python -m repro.obs scrape --host 127.0.0.1 --port 9731
 
+    # Live terminal dashboard (stats + metrics + Theorem-1.1 audit):
+    python -m repro.obs dash --port 9731 --interval 1.0
+
 ``summary`` renders count / total / mean / p50 / p95 / max per span
 name; ``scrape`` sends ``{"op": "metrics"}`` to the serve front end and
 prints the exposition text (``--parse`` validates it and prints sorted
-samples instead).
+samples instead); ``dash`` re-renders per-tenant cost/miss curves, the
+audited competitive ratio against the live Theorem 1.1 bound, queue
+depth, and latency sparklines every interval.
 """
 
 from __future__ import annotations
@@ -89,6 +94,18 @@ def _cmd_scrape(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dash import run_dash
+
+    return run_dash(
+        args.host,
+        args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-obs", description=__doc__.splitlines()[0]
@@ -110,10 +127,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="validate the exposition format and print parsed samples",
     )
 
+    dash_p = sub.add_parser("dash", help="live terminal dashboard")
+    dash_p.add_argument("--host", default="127.0.0.1")
+    dash_p.add_argument("--port", type=int, required=True)
+    dash_p.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between scrapes"
+    )
+    dash_p.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    dash_p.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (for logs/CI)",
+    )
+
     args = parser.parse_args(argv)
-    handler = {"summary": _cmd_summary, "tail": _cmd_tail, "scrape": _cmd_scrape}[
-        args.command
-    ]
+    handler = {
+        "summary": _cmd_summary,
+        "tail": _cmd_tail,
+        "scrape": _cmd_scrape,
+        "dash": _cmd_dash,
+    }[args.command]
     try:
         return handler(args)
     except BrokenPipeError:  # e.g. `... summary trace.jsonl | head`

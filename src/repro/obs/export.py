@@ -34,10 +34,51 @@ _SAMPLE_RE = re.compile(
     r"(?:\s+(?P<timestamp>-?\d+))?$"
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_UNESCAPE_MAP = {"n": "\n", '"': '"', "\\": "\\"}
 
 
-def _escape_label(value: str) -> str:
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format (0.0.4):
+    backslash, double quote, and newline — in that order, so already
+    escaped sequences are not double-escaped."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` in a single pass.
+
+    A sequential ``str.replace`` chain is *not* an inverse: rendering
+    the literal two characters backslash-n yields ``\\\\n``, which a
+    chained ``\\n -> newline`` pass would corrupt before the ``\\\\``
+    pass sees it.  Scanning escape-by-escape round-trips every value.
+    Raises :class:`ValueError` on a dangling backslash or an escape
+    outside ``\\n`` / ``\\"`` / ``\\\\``.
+    """
+    if "\\" not in value:
+        return value
+    out: List[str] = []
+    i, n = 0, len(value)
+    while i < n:
+        ch = value[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise ValueError(f"dangling backslash in label value {value!r}")
+        nxt = value[i + 1]
+        if nxt not in _UNESCAPE_MAP:
+            bad = "\\" + nxt
+            raise ValueError(
+                f"invalid escape {bad!r} in label value {value!r}"
+            )
+        out.append(_UNESCAPE_MAP[nxt])
+        i += 2
+    return "".join(out)
+
+
+# Backwards-compatible private alias (pre-PR-4 name).
+_escape_label = escape_label_value
 
 
 def _render_labels(labels: Dict[str, str]) -> str:
@@ -110,12 +151,10 @@ def parse_prometheus(text: str) -> Dict[SampleKey, float]:
         if raw:
             consumed = 0
             for lm in _LABEL_RE.finditer(raw):
-                labels[lm.group(1)] = (
-                    lm.group(2)
-                    .replace("\\n", "\n")
-                    .replace('\\"', '"')
-                    .replace("\\\\", "\\")
-                )
+                try:
+                    labels[lm.group(1)] = unescape_label_value(lm.group(2))
+                except ValueError as exc:
+                    raise ValueError(f"line {lineno}: {exc}") from None
                 consumed += len(lm.group(0))
             leftover = re.sub(r"[,\s]", "", raw)
             matched = re.sub(
@@ -204,9 +243,11 @@ def summarize_spans(
 
 __all__ = [
     "SampleKey",
+    "escape_label_value",
     "parse_prometheus",
     "read_jsonl",
     "render_prometheus",
     "sample_value",
     "summarize_spans",
+    "unescape_label_value",
 ]

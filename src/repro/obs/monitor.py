@@ -302,6 +302,7 @@ class MonitoredRun:
     misses: int
     user_misses: np.ndarray
     monitor: InvariantMonitor
+    auditor: Optional[object] = None
 
 
 def watch_simulation(
@@ -313,6 +314,8 @@ def watch_simulation(
     every: int = 256,
     monitor: Optional[InvariantMonitor] = None,
     tol: float = 1e-6,
+    auditor: Optional[object] = None,
+    flight: Optional[object] = None,
 ) -> MonitoredRun:
     """Replay *trace* stepwise, sampling *monitor* every *every* requests.
 
@@ -321,6 +324,13 @@ def watch_simulation(
     are bit-identical to ``simulate(trace, policy, k)`` while the
     monitor observes the live policy mid-run — the property
     ``tests/test_obs_monitor.py`` enforces.
+
+    Optionally feeds every request to a
+    :class:`~repro.obs.audit.CompetitiveAuditor` (finalized at the end
+    of the trace) and attaches a
+    :class:`~repro.obs.flight.FlightRecorder` to the shard — with the
+    same auto-dump-on-new-drift behaviour as the serve consumer when
+    the recorder has a ``dump_path``.
     """
     # Imported lazily: repro.serve pulls in the server, which imports
     # this module.
@@ -342,6 +352,17 @@ def watch_simulation(
     )
     shard = CacheShard(0, policy, int(k), ctx)
     owners = trace.owners.tolist()
+    if flight is not None:
+        shard.attach_flight(flight, owners)
+        flight.note_config(
+            policy=policy.name,
+            k=int(k),
+            num_shards=1,
+            source="watch_simulation",
+            trace=getattr(trace, "name", None),
+        )
+    observe = auditor.observe if auditor is not None else None
+    flags_seen = len(monitor.flags)
     user_misses = np.zeros(max(trace.num_users, 1), dtype=np.int64)
     hits = 0
     for t, page in enumerate(trace.requests.tolist()):
@@ -350,15 +371,26 @@ def watch_simulation(
             hits += 1
         else:
             user_misses[owners[page]] += 1
+        if observe is not None:
+            observe(page, owners[page], hit)
         if (t + 1) % every == 0:
             monitor.sample(t + 1, user_misses, policies=(policy,))
+            if len(monitor.flags) > flags_seen:
+                flags_seen = len(monitor.flags)
+                if flight is not None and flight.dump_path:
+                    flight.dump_jsonl(reason="invariant-drift")
     if trace.length % every != 0:  # final partial-interval sample
         monitor.sample(trace.length, user_misses, policies=(policy,))
+        if len(monitor.flags) > flags_seen and flight is not None and flight.dump_path:
+            flight.dump_jsonl(reason="invariant-drift")
+    if auditor is not None:
+        auditor.finalize()
     return MonitoredRun(
         hits=hits,
         misses=int(user_misses.sum()),
         user_misses=user_misses,
         monitor=monitor,
+        auditor=auditor,
     )
 
 

@@ -24,7 +24,13 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.cost_functions import MonomialCost
-from repro.obs import InvariantMonitor, JsonlSink, Observability
+from repro.obs import (
+    CompetitiveAuditor,
+    FlightRecorder,
+    InvariantMonitor,
+    JsonlSink,
+    Observability,
+)
 from repro.serve.client import load_trace_file, replay_tcp
 from repro.serve.server import CacheServer
 
@@ -42,6 +48,14 @@ async def _serve(args: argparse.Namespace) -> int:
         )
     elif args.monitor:
         obs.monitor = InvariantMonitor(costs)
+    if args.flight:
+        obs.flight = FlightRecorder(
+            capacity=args.flight, dump_path=args.flight_dump
+        )
+    if args.audit:
+        obs.auditor = CompetitiveAuditor(
+            costs, args.k, window=args.audit_window
+        )
     server = CacheServer(
         args.policy,
         args.k,
@@ -70,8 +84,14 @@ async def _serve(args: argparse.Namespace) -> int:
     finally:
         await server.stop()
         print(json.dumps(server.stats(), indent=2))
+        if obs.auditor is not None:
+            print(json.dumps({"audit": server.audit()}, indent=2))
         if obs.monitor is not None:
             print(f"invariant monitor: {obs.monitor.summary()}", flush=True)
+        if obs.flight is not None and args.flight_dump:
+            path = obs.flight.dump_jsonl(reason="shutdown")
+            print(f"flight recorder: {len(obs.flight)} events -> {path}",
+                  flush=True)
         obs.tracer.close()
     return 0
 
@@ -118,6 +138,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_p.add_argument(
         "--monitor-every", type=int, default=1024,
         help="requests between invariant monitor samples",
+    )
+    serve_p.add_argument(
+        "--flight", type=int, default=0, metavar="N",
+        help="attach a flight recorder with an N-event ring (0 = off)",
+    )
+    serve_p.add_argument(
+        "--flight-dump", default=None, metavar="PATH",
+        help="JSONL dump path for the flight recorder (written on "
+        "invariant drift, fault drain, and shutdown)",
+    )
+    serve_p.add_argument(
+        "--audit", action="store_true",
+        help="attach a streaming Theorem-1.1 competitive-ratio auditor "
+        "(adds the TCP `audit` op and audit_* gauges)",
+    )
+    serve_p.add_argument(
+        "--audit-window", type=int, default=None,
+        help="auditor lookahead window (default 2*k)",
     )
 
     replay_p = sub.add_parser("replay", help="replay a CSV trace over TCP")

@@ -263,6 +263,25 @@ class CacheServer:
             raise ValueError(f"monitor_every must be >= 0, got {monitor_every}")
         self._monitor_every = monitor_every
         self._since_monitor = 0
+        self._monitor_flags_seen = 0
+        # Decision-level observability: the flight recorder attaches to
+        # every shard (one tuple append per request); the auditor gets
+        # one observe per request in _process.  Both default to None —
+        # the common hot path keeps a single identity check.
+        self._auditor = self.obs.auditor
+        if self._auditor is not None:
+            reg.register_collector(self._collect_audit)
+        self._flight = self.obs.flight
+        if self._flight is not None:
+            for shard in self.shards.shards:
+                shard.attach_flight(self._flight, self._owners_list)
+            self._flight.note_config(
+                policy=self.shards.policy_name,
+                k=self.shards.k,
+                num_shards=self.shards.num_shards,
+                policy_seed=policy_seed,
+                source=f"serve:{name}",
+            )
         if self._obs_active:
             for shard in self.shards.shards:
                 shard.timing = [0.0, 0]
@@ -297,6 +316,10 @@ class CacheServer:
             await self._queue.put(None)  # drain sentinel
             await self._consumer
         self._consumer = None
+        if self._auditor is not None:
+            # End of stream: price the buffered tail so the final audit
+            # covers every served request.
+            self._auditor.finalize()
 
     async def drain(self) -> None:
         """Wait until everything currently queued has been served."""
@@ -383,7 +406,20 @@ class CacheServer:
             # accepted, then honour the cancellation.
             self._closed = True
             self._drain_sync()
+            self._auto_dump("fault-drain")
             raise
+
+    def _auto_dump(self, reason: str) -> None:
+        """Persist the flight window when something went wrong (a new
+        invariant flag, a fault-injected drain) — best effort, never
+        masking the triggering condition."""
+        flight = self._flight
+        if flight is None or not flight.dump_path or not len(flight):
+            return
+        try:
+            flight.dump_jsonl(reason=reason)
+        except OSError:  # pragma: no cover - disk trouble must not cascade
+            pass
 
     def _drain_sync(self) -> None:
         queue = self._queue
@@ -407,6 +443,8 @@ class CacheServer:
         serve = self.shards.serve
         record = self.ledger.record
         owners = self._owners_list
+        auditor = self._auditor
+        audit = auditor.observe if auditor is not None else None
         t = self._t
         result: object
         if detail:
@@ -415,6 +453,8 @@ class CacheServer:
                 hit, victim, sid = serve(page, t)
                 tenant = owners[page]
                 record(tenant, hit)
+                if audit is not None:
+                    audit(page, tenant, hit)
                 outcomes.append(
                     RequestOutcome(
                         page=page, tenant=tenant, hit=hit, t=t, shard=sid,
@@ -423,13 +463,33 @@ class CacheServer:
                 )
                 t += 1
             result = outcomes
-        else:
+        elif audit is None:
             hit_flags = []
             append = hit_flags.append
             hits = 0
             for page in pages:
                 hit, _victim, _sid = serve(page, t)
                 record(owners[page], hit)
+                append(hit)
+                hits += hit
+                t += 1
+            result = BatchOutcome(
+                t0=self._t,
+                hits=hits,
+                misses=len(hit_flags) - hits,
+                hit_flags=hit_flags,
+            )
+        else:
+            # Batch loop duplicated so the no-auditor fast path above
+            # carries zero extra per-request work.
+            hit_flags = []
+            append = hit_flags.append
+            hits = 0
+            for page in pages:
+                hit, _victim, _sid = serve(page, t)
+                tenant = owners[page]
+                record(tenant, hit)
+                audit(page, tenant, hit)
                 append(hit)
                 hits += hit
                 t += 1
@@ -470,6 +530,9 @@ class CacheServer:
                     self.ledger.misses_by_user(),
                     policies=[s.policy for s in self.shards.shards],
                 )
+                if len(monitor.flags) > self._monitor_flags_seen:
+                    self._monitor_flags_seen = len(monitor.flags)
+                    self._auto_dump("invariant-drift")
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -625,6 +688,86 @@ class CacheServer:
         return self.obs.registry.render()
 
     # ------------------------------------------------------------------
+    # Competitive-ratio audit
+    # ------------------------------------------------------------------
+    def audit(self) -> Dict[str, object]:
+        """The live Theorem-1.1 audit snapshot (TCP ``audit`` op).
+
+        Requires an :class:`~repro.obs.audit.CompetitiveAuditor` on the
+        bundle (``obs.auditor``); raises :class:`RuntimeError` otherwise.
+        """
+        if self._auditor is None:
+            raise RuntimeError(
+                "no auditor attached: build the server with "
+                "obs=Observability(..., auditor=CompetitiveAuditor(...))"
+            )
+        return self._auditor.snapshot()
+
+    def _collect_audit(self) -> List[CollectedFamily]:
+        """Scrape-time export of the auditor gauges."""
+        auditor = self._auditor
+        assert auditor is not None  # registered only when attached
+        snap = auditor.snapshot()
+        tenant_online = [
+            ({"tenant": str(i)}, float(m))
+            for i, m in enumerate(snap["online_misses"])
+        ]
+        tenant_offline = [
+            ({"tenant": str(i)}, float(b))
+            for i, b in enumerate(snap["offline_misses"])
+        ]
+        return [
+            (
+                "audit_ratio",
+                "gauge",
+                "Audited competitive ratio: online cost / windowed-Belady cost",
+                [({}, float(snap["audit_ratio"]))],
+            ),
+            (
+                "audit_theorem11_bound",
+                "gauge",
+                "Live Theorem 1.1 right-hand side sum f_i(alpha*k*b_i)",
+                [({}, float(snap["audit_theorem11_bound"]))],
+            ),
+            (
+                "audit_online_cost",
+                "gauge",
+                "Online cost sum f_i(a_i) over the audited prefix",
+                [({}, float(snap["audit_online_cost"]))],
+            ),
+            (
+                "audit_offline_cost",
+                "gauge",
+                "Baseline cost sum f_i(b_i) over the audited prefix",
+                [({}, float(snap["audit_offline_cost"]))],
+            ),
+            (
+                "audit_processed_total",
+                "counter",
+                "Requests priced by the offline baseline",
+                [({}, float(snap["processed"]))],
+            ),
+            (
+                "audit_pending",
+                "gauge",
+                "Requests buffered awaiting baseline lookahead",
+                [({}, float(snap["pending"]))],
+            ),
+            (
+                "audit_tenant_online_misses",
+                "gauge",
+                "Audited online misses a_i per tenant",
+                tenant_online,
+            ),
+            (
+                "audit_tenant_offline_misses",
+                "gauge",
+                "Baseline fetches b_i per tenant",
+                tenant_offline,
+            ),
+        ]
+
+    # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -659,7 +802,15 @@ class CacheServer:
         if self.ledger.costs is not None:
             totals["cost"] = self.ledger.total_cost()
         self._rates.push(monotonic(), **totals)
-        snap["rates"] = self._rates.rates()
+        rates = self._rates.rates()
+        if not rates:
+            # Zero-length window (first scrape, or two scrapes in the
+            # same clock tick): report explicit zeros rather than an
+            # empty/raising document, so scrapers need no special case.
+            rates = {"window_seconds": 0.0}
+            for key in totals:
+                rates[f"{key}_per_sec"] = 0.0
+        snap["rates"] = rates
         return snap
 
     # ------------------------------------------------------------------
@@ -704,7 +855,11 @@ class CacheServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, OSError):  # pragma: no cover
+            except (  # pragma: no cover - teardown races are benign
+                asyncio.CancelledError,
+                ConnectionResetError,
+                OSError,
+            ):
                 pass
 
     async def _dispatch_line(self, line: bytes) -> Dict[str, object]:
@@ -736,6 +891,10 @@ class CacheServer:
                 return {"ok": True, "stats": self.stats()}
             if op == "metrics":
                 return {"ok": True, "metrics": self.prometheus_metrics()}
+            if op == "audit":
+                if self._auditor is None:
+                    return {"ok": False, "error": "no auditor attached"}
+                return {"ok": True, "audit": self.audit()}
             if op == "quote":
                 tenant = int(msg["tenant"])
                 return {

@@ -33,6 +33,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.cost_functions import CostFunction
+from repro.obs.flight import FlightRecorder, has_budget_probe, record_miss
 from repro.sim.policy import EvictionPolicy, SimContext
 from repro.sim.trace import Trace
 from repro.util.validation import check_positive_int
@@ -90,6 +91,9 @@ class CacheShard:
         "_validate",
         "evictions",
         "timing",
+        "flight",
+        "_fl_owners",
+        "_fl_budgets",
     )
 
     def __init__(
@@ -113,7 +117,34 @@ class CacheShard:
         #: server enables decision timing; ``None`` keeps the hot path
         #: branch-free beyond one identity check.
         self.timing: Optional[List[float]] = None
+        #: Attached :class:`~repro.obs.flight.FlightRecorder`; ``None``
+        #: keeps the hot path at a single identity check per request.
+        self.flight: Optional[FlightRecorder] = None
+        self._fl_owners: Optional[List[int]] = None
+        self._fl_budgets = False
         policy.reset(ctx)
+
+    def attach_flight(
+        self,
+        recorder: FlightRecorder,
+        owners_list: Optional[List[int]] = None,
+    ) -> None:
+        """Start appending one decision event per served request.
+
+        *owners_list* lets a server share one materialized
+        ``owners.tolist()`` across shards instead of converting per
+        shard.
+        """
+        self.flight = recorder
+        self._fl_owners = (
+            owners_list if owners_list is not None else self._ctx.owners.tolist()
+        )
+        recorder.bind(self._fl_owners)
+        self._fl_budgets = has_budget_probe(self.policy)
+
+    def detach_flight(self) -> None:
+        """Stop recording (the recorder keeps its window)."""
+        self.flight = None
 
     def reset(self) -> None:
         """Empty the shard and return the policy to its initial state."""
@@ -133,12 +164,20 @@ class CacheShard:
         """
         cache = self.cache
         policy = self.policy
+        fl = self.flight
         if page in cache:
             policy.on_hit(page, t)
+            if fl is not None:
+                fl.append((t, page, self.shard_id))
             return True, None
         if len(cache) < self.slots:
             cache.add(page)
             policy.on_insert(page, t)
+            if fl is not None:
+                record_miss(
+                    fl.append, policy, self._fl_budgets,
+                    self._fl_owners[page], t, page, self.shard_id, None, None,
+                )
             return False, None
         timing = self.timing
         if timing is None:
@@ -157,11 +196,21 @@ class CacheShard:
                 raise RuntimeError(
                     f"{policy.name} evicted the requested page {page} at t={t}"
                 )
+        b_before = (
+            float(policy.budget_of(victim))
+            if fl is not None and self._fl_budgets
+            else None
+        )
         cache.remove(victim)
         policy.on_evict(victim, t)
         cache.add(page)
         policy.on_insert(page, t)
         self.evictions += 1
+        if fl is not None:
+            record_miss(
+                fl.append, policy, self._fl_budgets,
+                self._fl_owners[page], t, page, self.shard_id, victim, b_before,
+            )
         return False, victim
 
     @property

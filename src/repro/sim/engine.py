@@ -32,12 +32,14 @@ Two interchangeable implementations share that contract:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.cost_functions import CostFunction
 from repro.obs import Observability, default_observability
+from repro.obs.flight import FlightRecorder, has_budget_probe, record_miss
 from repro.sim.policy import EvictionPolicy, SimContext
 from repro.sim.trace import Trace
 from repro.util.validation import check_positive_int
@@ -134,6 +136,7 @@ def simulate(
     validate: bool = True,
     engine: str = "auto",
     obs: Optional["Observability"] = None,
+    flight: Optional[FlightRecorder] = None,
 ) -> SimResult:
     """Run *policy* over *trace* with a cache of size *k*.
 
@@ -167,6 +170,12 @@ def simulate(
         and tracing are off (the default), the only cost is one boolean
         check per *run* — the request loop itself is never touched, so
         results and performance are unchanged.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder` receiving
+        one structured decision event per request (hit/miss, victim,
+        budget before/after for budget policies); defaults to
+        ``obs.flight``.  When ``None`` (the default bundle), the hot
+        loops carry only one ``is None`` check per miss/hit run.
 
     Returns
     -------
@@ -193,10 +202,20 @@ def simulate(
     )
     if obs is None:
         obs = default_observability()
+    if flight is None:
+        flight = obs.flight
+    if flight is not None:
+        flight.note_config(
+            policy=policy.name,
+            k=k,
+            num_shards=1,
+            source=f"sim:{engine}",
+            trace=trace.name,
+        )
     run = _simulate_reference if engine == "reference" else _simulate_fast
     if not (obs.tracer.enabled or obs.registry.enabled):
         policy.reset(ctx)
-        return run(trace, policy, k, record_events, record_curve, validate)
+        return run(trace, policy, k, record_events, record_curve, validate, flight)
 
     tracer = obs.tracer
     with tracer.span("sim.setup", policy=policy.name, trace=trace.name):
@@ -209,7 +228,7 @@ def simulate(
         engine=engine,
         T=trace.length,
     ) as span:
-        result = run(trace, policy, k, record_events, record_curve, validate)
+        result = run(trace, policy, k, record_events, record_curve, validate, flight)
         span.set(hits=result.hits, misses=result.misses)
     reg = obs.registry
     reg.counter("sim_runs_total", "Simulation runs completed").inc()
@@ -228,6 +247,7 @@ def _simulate_reference(
     record_events: bool,
     record_curve: bool,
     validate: bool,
+    flight: Optional[FlightRecorder] = None,
 ) -> SimResult:
     """The original per-request loop — ground truth for equivalence."""
     num_users = trace.num_users
@@ -241,6 +261,12 @@ def _simulate_reference(
         else None
     )
 
+    fl = flight.append if flight is not None else None
+    probe = flight is not None and has_budget_probe(policy)
+    owners_l = trace.owners.tolist() if flight is not None else None
+    if flight is not None:
+        flight.bind(owners_l)
+
     owners = trace.owners
     requests = trace.requests
     for t in range(requests.size):
@@ -248,11 +274,17 @@ def _simulate_reference(
         if page in cache:
             hits += 1
             policy.on_hit(page, t)
+            if fl is not None:
+                fl((t, page, 0))
         else:
             user_misses[owners[page]] += 1
             if len(cache) < k:
                 cache.add(page)
                 policy.on_insert(page, t)
+                if fl is not None:
+                    record_miss(
+                        fl, policy, probe, owners_l[page], t, page, 0, None, None
+                    )
             else:
                 victim = policy.choose_victim(page, t)
                 if validate:
@@ -264,12 +296,21 @@ def _simulate_reference(
                         raise RuntimeError(
                             f"{policy.name} evicted the requested page {page} at t={t}"
                         )
+                b_before = (
+                    float(policy.budget_of(victim))
+                    if fl is not None and probe
+                    else None
+                )
                 cache.remove(victim)
                 policy.on_evict(victim, t)
                 cache.add(page)
                 policy.on_insert(page, t)
                 if events is not None:
                     events.append(EvictionEvent(t=t, requested=page, victim=victim))
+                if fl is not None:
+                    record_miss(
+                        fl, policy, probe, owners_l[page], t, page, 0, victim, b_before
+                    )
         if curve is not None:
             curve[t + 1] = user_misses
 
@@ -293,6 +334,7 @@ def _simulate_fast(
     record_events: bool,
     record_curve: bool,
     validate: bool,
+    flight: Optional[FlightRecorder] = None,
 ) -> SimResult:
     """Hit-run scanning engine.
 
@@ -328,6 +370,14 @@ def _simulate_fast(
     on_hit = policy.on_hit
     on_hit_batch = policy.on_hit_batch
     on_insert = policy.on_insert
+
+    fl = flight.append if flight is not None else None
+    fl_extend = flight.extend if flight is not None else None
+    fl_zero = repeat(0)
+    probe = flight is not None and has_budget_probe(policy)
+    owners_l = trace.owners.tolist() if flight is not None else None
+    if flight is not None:
+        flight.bind(owners_l)
 
     t = 0
     vector_mode = False  # sticky: the previous run was long
@@ -367,6 +417,10 @@ def _simulate_fast(
                     on_hit(req_list[t], t)
                 else:
                     on_hit_batch(req_list[t:nm], t)
+            if fl_extend is not None:
+                # Bulk-append the whole hit run; zip builds the compact
+                # (t, page, shard) tuples in C.
+                fl_extend(zip(range(t, nm), req_list[t:nm], fl_zero))
             if curve is not None:
                 curve[t + 1 : nm + 1] = user_misses
         if nm >= T:
@@ -380,6 +434,10 @@ def _simulate_fast(
             res_list[page] = True
             size += 1
             on_insert(page, nm)
+            if fl is not None:
+                record_miss(
+                    fl, policy, probe, owners_l[page], nm, page, 0, None, None
+                )
         else:
             victim = policy.choose_victim(page, nm)
             if validate:
@@ -391,6 +449,11 @@ def _simulate_fast(
                     raise RuntimeError(
                         f"{policy.name} evicted the requested page {page} at t={nm}"
                     )
+            b_before = (
+                float(policy.budget_of(victim))
+                if fl is not None and probe
+                else None
+            )
             res_arr[victim] = False
             res_list[victim] = False
             policy.on_evict(victim, nm)
@@ -399,6 +462,10 @@ def _simulate_fast(
             on_insert(page, nm)
             if events is not None:
                 events.append(EvictionEvent(t=nm, requested=page, victim=victim))
+            if fl is not None:
+                record_miss(
+                    fl, policy, probe, owners_l[page], nm, page, 0, victim, b_before
+                )
         if curve is not None:
             curve[nm + 1] = user_misses
         t = nm + 1

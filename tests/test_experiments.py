@@ -13,7 +13,7 @@ from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 
 class TestRegistry:
     def test_all_nine_registered(self):
-        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 18))
+        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 19))
 
     def test_titles_nonempty(self):
         for _fn, title in EXPERIMENTS.values():
@@ -93,6 +93,18 @@ class TestE17:
         assert scraped and all(
             r["scraped_misses"] == r["simulated_misses"] for r in scraped
         )
+
+
+class TestE18:
+    def test_e18_audit_lower_bound(self):
+        out = run_experiment("e18", quick=True)
+        assert out.ok, out.render()
+        # The streamed gauge reads the same ratio the offline analysis
+        # computes, and the (k/4)^beta trajectory shows in the rows.
+        for row in out.rows:
+            assert row["audited_ratio"] == row["offline_ratio"]
+            assert row["audited_ratio"] >= row["floor_(n/4)^b"]
+            assert row["bound_holds"]
 
 
 class TestE13:

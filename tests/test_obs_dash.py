@@ -1,0 +1,174 @@
+"""Dashboard rendering — pure-function tests on canned frames.
+
+Transport (TCP scraping) is covered end-to-end by the serve tests;
+here :func:`render_dashboard` and its helpers are fed synthetic
+:class:`DashFrame` snapshots so the layout logic is pinned without a
+running server.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.dash import (
+    DashFrame,
+    SPARK_CHARS,
+    _latency_counts,
+    ratio_bar,
+    render_dashboard,
+    sparkline,
+)
+
+
+def make_stats(t=1000, requests=1000, hits=600, queue_depth=3,
+               tenants=2, miss_base=100):
+    return {
+        "server": "serve",
+        "policy": "alg-discrete",
+        "k": 64,
+        "num_shards": 2,
+        "time": t,
+        "requests": requests,
+        "hits": hits,
+        "misses": requests - hits,
+        "queue_depth": queue_depth,
+        "rates": {
+            "window_seconds": 5.0,
+            "requests_per_sec": 200.0,
+            "misses_per_sec": 80.0,
+        },
+        "tenants": [
+            {
+                "tenant": i,
+                "hits": 300,
+                "misses": miss_base + 10 * i,
+                "cost": 123.4 + i,
+                "marginal_quote": 7.5,
+            }
+            for i in range(tenants)
+        ],
+    }
+
+
+def make_audit(ratio=1.4, online=400.0, offline=290.0, bound=4000.0,
+               holds=True):
+    return {
+        "mode": "belady",
+        "window": 128,
+        "processed": 900,
+        "pending": 100,
+        "audit_ratio": ratio,
+        "audit_online_cost": online,
+        "audit_offline_cost": offline,
+        "audit_theorem11_bound": bound,
+        "bound_holds": holds,
+    }
+
+
+def make_metrics():
+    name = "serve_apply_seconds_bucket"
+    return {
+        (name, (("le", "0.001"),)): 10.0,
+        (name, (("le", "0.01"),)): 25.0,
+        (name, (("le", "+Inf"),)): 30.0,
+    }
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_uses_floor_char(self):
+        assert sparkline([5, 5, 5]) == SPARK_CHARS[0] * 3
+
+    def test_monotone_ramp_hits_extremes(self):
+        s = sparkline(list(range(8)))
+        assert s[0] == SPARK_CHARS[0] and s[-1] == SPARK_CHARS[-1]
+        assert len(s) == 8
+
+    def test_width_truncates_to_tail(self):
+        s = sparkline(list(range(100)), width=10)
+        assert len(s) == 10
+
+
+class TestRatioBar:
+    def test_within_bound(self):
+        bar = ratio_bar(1.0, 4.0, width=8)
+        assert bar == "[##------] "
+
+    def test_violation_overflows(self):
+        bar = ratio_bar(5.0, 4.0, width=8)
+        assert bar.endswith("]!")
+        assert bar.count("#") == 8
+
+    def test_degenerate_bound(self):
+        assert "#" not in ratio_bar(1.0, 0.0)
+        assert "#" not in ratio_bar(float("nan"), 4.0)
+
+
+class TestLatencyCounts:
+    def test_decumulates_in_le_order(self):
+        counts = _latency_counts(make_metrics())
+        assert counts == [("0.001", 10.0), ("0.01", 15.0), ("+Inf", 5.0)]
+
+    def test_ignores_other_metrics(self):
+        assert _latency_counts({("other_bucket", (("le", "1"),)): 3.0}) == []
+
+
+class TestRenderDashboard:
+    def test_empty(self):
+        assert render_dashboard([]) == "(no data yet)"
+
+    def test_full_frame_sections(self):
+        frames = [
+            DashFrame(stats=make_stats(t=500, miss_base=80),
+                      metrics=make_metrics(), audit=make_audit(ratio=1.2)),
+            DashFrame(stats=make_stats(), metrics=make_metrics(),
+                      audit=make_audit()),
+        ]
+        text = render_dashboard(frames)
+        assert "policy=alg-discrete" in text
+        assert "hit-rate 60.00%" in text
+        assert "requests/s 200" in text
+        assert "queue depth" in text
+        assert "apply latency histogram (30 obs)" in text
+        assert "tenant" in text and "quote" in text
+        assert "Theorem 1.1 audit (belady" in text
+        assert "OK" in text and "VIOLATED" not in text
+        assert "ratio    1.400" in text
+
+    def test_violation_flagged(self):
+        frame = DashFrame(
+            stats=make_stats(),
+            metrics={},
+            audit=make_audit(ratio=20.0, online=6000.0, bound=4000.0,
+                             holds=False),
+        )
+        text = render_dashboard([frame])
+        assert "VIOLATED" in text
+        assert "]!" in text  # the bar overflows its bound axis
+
+    def test_no_audit_section_when_absent(self):
+        frame = DashFrame(stats=make_stats(), metrics={}, audit=None)
+        text = render_dashboard([frame])
+        assert "Theorem 1.1" not in text
+
+    def test_zero_baseline_audit(self):
+        frame = DashFrame(
+            stats=make_stats(),
+            metrics={},
+            audit=make_audit(ratio=0.0, online=0.0, offline=0.0, bound=0.0),
+        )
+        text = render_dashboard([frame])
+        assert "baseline still zero" in text
+
+    def test_missing_tenant_history_is_tolerated(self):
+        # Frame histories can change tenant count (e.g. dash attached
+        # mid-run); rendering must not index out of range.
+        small = make_stats(tenants=1)
+        big = make_stats(tenants=3)
+        text = render_dashboard([
+            DashFrame(stats=small, metrics={}),
+            DashFrame(stats=big, metrics={}),
+        ])
+        assert text.count("\n") > 5

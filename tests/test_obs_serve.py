@@ -169,8 +169,12 @@ class TestStatsRates:
         for key in ("requests", "hits", "misses", "tenants", "total_cost",
                     "queue_depth", "shards", "policy", "time"):
             assert key in first, key
-        # Rates warm up on the second snapshot.
-        assert first["rates"] == {}
+        # Rates warm up on the second snapshot; the first reports
+        # explicit zeros (never raises, never goes missing).
+        assert first["rates"]["window_seconds"] == 0.0
+        for key in ("requests_per_sec", "hits_per_sec", "misses_per_sec",
+                    "cost_per_sec"):
+            assert first["rates"][key] == 0.0
         rates = second["rates"]
         assert rates["window_seconds"] > 0
         for key in ("requests_per_sec", "hits_per_sec", "misses_per_sec",
@@ -191,7 +195,9 @@ class TestStatsRates:
             return s1, s2
 
         s1, s2 = run(go())
-        assert s1["rates"] == {}
+        assert s1["rates"]["window_seconds"] == 0.0
+        assert s1["rates"]["requests_per_sec"] == 0.0
+        assert "cost_per_sec" not in s1["rates"]
         assert "requests_per_sec" in s2["rates"]
         assert "cost_per_sec" not in s2["rates"]
 

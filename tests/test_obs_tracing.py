@@ -209,3 +209,66 @@ class TestPrometheusRoundTrip:
             line = fh.readline().rstrip("\n")
         json.loads(line)
         assert ": " not in line and ", " not in line  # compact separators
+
+
+class TestLabelEscaping:
+    """escape/unescape round-trip must survive every hostile tenant
+    name the exposition format allows to exist (quotes, backslashes,
+    newlines, and any pile-up of them)."""
+
+    TRICKY = [
+        "",
+        "plain",
+        'quo"te',
+        "back\\slash",
+        "new\nline",
+        "\\n",  # literal backslash-n must NOT collapse into a newline
+        'mix"\\\n\\\\"',
+        "trailing\\",
+        "\\\\\\",  # odd run of backslashes
+        '"""',
+        "\n\n\n",
+        "unicode-λ\n\"ω\\",
+    ]
+
+    @pytest.mark.parametrize("value", TRICKY)
+    def test_round_trip_identity(self, value):
+        from repro.obs import escape_label_value, unescape_label_value
+
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    def test_property_sweep(self):
+        # Property-style: exhaustive short strings over the hostile
+        # alphabet round-trip through render+parse, not just the helpers.
+        from repro.obs import escape_label_value, unescape_label_value
+
+        alphabet = ['"', "\\", "\n", "n", "a"]
+        values = [""]
+        for _ in range(3):
+            values = [v + c for v in values for c in alphabet]
+        seen = set()
+        for v in values:
+            esc = escape_label_value(v)
+            assert "\n" not in esc  # stays single-line in the exposition
+            assert unescape_label_value(esc) == v
+            assert esc not in seen or v == ""  # injective
+            seen.add(esc)
+
+    @pytest.mark.parametrize("value", TRICKY)
+    def test_render_parse_round_trip(self, value):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("esc_total", "c", labels=["tenant"]).labels(value).inc(2)
+        samples = parse_prometheus(render_prometheus(reg))
+        assert sample_value(samples, "esc_total", tenant=value) == 2.0
+
+    def test_unescape_rejects_invalid(self):
+        from repro.obs import unescape_label_value
+
+        with pytest.raises(ValueError, match="invalid escape"):
+            unescape_label_value("\\x")
+        with pytest.raises(ValueError, match="dangling"):
+            unescape_label_value("oops\\")
+
+    def test_parser_reports_line_number_on_bad_escape(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_prometheus('ok 1\nbad{tenant="\\q"} 2\n')
