@@ -16,7 +16,7 @@ from repro.serve import serve_trace
 SERVE_BAR_RPS = 50_000
 
 
-def _serve(trace, policy, k, num_shards):
+def _serve(trace, policy, k, num_shards, workers=1):
     costs = [MonomialCost(2)] * trace.num_users
     return serve_trace(
         trace,
@@ -27,6 +27,7 @@ def _serve(trace, policy, k, num_shards):
         batch=256,
         policy_seed=0,
         validate=False,
+        workers=workers,
     )
 
 
@@ -52,6 +53,19 @@ def test_bench_serve_mixed_4shard(benchmark, zipf_50k):
         _serve, args=(zipf_50k, "lru", 256, 4), rounds=3
     )
     assert report.hits + report.misses == zipf_50k.length
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_serve_parallel_hot(benchmark, zipf_hot_50k, workers):
+    """Process-parallel scaling section: 4 shards spread over W worker
+    processes (workers=1 is the unchanged in-process path, the scaling
+    baseline; cross-W comparisons live in perf_trajectory.py where the
+    core count gates the bar)."""
+    report = benchmark.pedantic(
+        _serve, args=(zipf_hot_50k, "lru", 1024, 4, workers), rounds=3
+    )
+    assert report.hits + report.misses == zipf_hot_50k.length
+    assert report.workers == workers
 
 
 def test_serve_throughput_acceptance_bar(zipf_hot_50k):

@@ -375,6 +375,7 @@ def replay_verify(
     validate: bool = True,
     compare_budgets: bool = True,
     max_mismatches: int = 8,
+    dense: bool = True,
 ) -> ReplayCheck:
     """Re-execute a recorded window on a fresh policy and diff decisions.
 
@@ -387,23 +388,43 @@ def replay_verify(
     streams bit for bit — hit/miss, victim, shard placement, and (for
     budget-introspectable policies) the budget fields.
 
-    The window must start at ``t=0`` with dense times: a ring that
-    wrapped has lost the prefix that built the cache state, so raises
-    :class:`ValueError` rather than reporting spurious divergence.
+    With ``dense=True`` (the default, and the invariant of any
+    single-recorder capture) the window must start at ``t=0`` with
+    dense times: a ring that wrapped has lost the prefix that built the
+    cache state, so raises :class:`ValueError` rather than reporting
+    spurious divergence.  Pass ``dense=False`` for a *projection* of
+    the global stream onto a shard subset — a
+    :class:`~repro.serve.workers.ShardWorkerPool` worker's window,
+    whose times are the sparse global clock values of just its shards'
+    requests.  Such a window replays exactly (the untouched shards of
+    the fresh manager simply stay empty) provided it is complete from
+    the start of serving; times are only required to be strictly
+    increasing, and the caller must ensure the worker's ring never
+    wrapped (``len(ring) < capacity``).
     """
     recorded = _as_tuples(events, owners)
     if not recorded:
         return ReplayCheck(ok=True, events=0)
-    if recorded[0][0] != 0:
-        raise ValueError(
-            f"window starts at t={recorded[0][0]}, not 0: the ring dropped "
-            f"the prefix; replay needs the full history (raise capacity)"
-        )
-    for i, tup in enumerate(recorded):
-        if tup[0] != i:
+    if dense:
+        if recorded[0][0] != 0:
             raise ValueError(
-                f"event times must be dense; event {i} has t={tup[0]}"
+                f"window starts at t={recorded[0][0]}, not 0: the ring "
+                f"dropped the prefix; replay needs the full history "
+                f"(raise capacity)"
             )
+        for i, tup in enumerate(recorded):
+            if tup[0] != i:
+                raise ValueError(
+                    f"event times must be dense; event {i} has t={tup[0]}"
+                )
+    else:
+        for i in range(1, len(recorded)):
+            if recorded[i][0] <= recorded[i - 1][0]:
+                raise ValueError(
+                    f"sparse window times must be strictly increasing; "
+                    f"event {i} has t={recorded[i][0]} after "
+                    f"t={recorded[i - 1][0]}"
+                )
 
     # Lazy: repro.serve imports the server, which imports repro.obs.
     from repro.serve.shard import ShardManager
@@ -457,13 +478,14 @@ def verify_flight(
     **overrides,
 ) -> ReplayCheck:
     """:func:`replay_verify` driven by the recorder's own ``meta``
-    (``policy`` / ``k`` / ``num_shards`` / ``policy_seed``, each
-    overridable by keyword)."""
+    (``policy`` / ``k`` / ``num_shards`` / ``policy_seed`` / ``dense``,
+    each overridable by keyword)."""
     meta = recorder.meta
     events = recorder.events if isinstance(recorder, FlightDump) else recorder
     kw = {
         "num_shards": int(meta.get("num_shards", 1)),
         "policy_seed": meta.get("policy_seed"),
+        "dense": bool(meta.get("dense", True)),
     }
     kw.update(overrides)
     policy = kw.pop("policy", meta.get("policy"))

@@ -30,6 +30,9 @@ from repro.serve.server import (
 )
 from repro.serve.shard import CacheShard, ShardManager, page_hash
 
+# Imported last: workers.py imports ServerClosed from server.py.
+from repro.serve.workers import ShardWorkerPool, WorkerCrashed
+
 __all__ = [
     "BatchOutcome",
     "CacheServer",
@@ -39,7 +42,9 @@ __all__ = [
     "RequestOutcome",
     "ServerClosed",
     "ShardManager",
+    "ShardWorkerPool",
     "TenantGate",
+    "WorkerCrashed",
     "load_trace_file",
     "page_hash",
     "replay",

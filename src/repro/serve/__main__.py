@@ -69,12 +69,14 @@ async def _serve(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         obs=obs,
         monitor_every=args.monitor_every,
+        workers=args.workers,
+        shm_threshold=args.shm_threshold,
     )
     await server.start()
     host, port = await server.start_tcp(args.host, args.port)
     print(
         f"serving policy={args.policy} k={args.k} shards={args.shards} "
-        f"on {host}:{port} (ctrl-c to stop)",
+        f"workers={server.workers} on {host}:{port} (ctrl-c to stop)",
         flush=True,
     )
     try:
@@ -113,6 +115,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_p.add_argument("--policy", default="alg-discrete")
     serve_p.add_argument("--k", type=int, default=256)
     serve_p.add_argument("--shards", type=int, default=1)
+    serve_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes serving the shard set (clamped to "
+        "--shards; 1 = in-process)",
+    )
+    serve_p.add_argument(
+        "--shm-threshold", type=int, default=4096, metavar="N",
+        help="per-worker batch size at which worker exchanges switch "
+        "from pipe payloads to shared memory",
+    )
     serve_p.add_argument("--tenants", type=int, default=4)
     serve_p.add_argument("--pages-per-tenant", type=int, default=500)
     serve_p.add_argument("--beta", type=int, default=2, help="cost exponent")

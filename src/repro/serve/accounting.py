@@ -62,6 +62,44 @@ class CostLedger:
         self._window_rows: List[List[int]] = []
         self._current_window: List[int] = [0] * num_users
 
+    @classmethod
+    def from_counters(
+        cls,
+        num_users: int,
+        costs: Optional[Sequence[CostFunction]] = None,
+        window: Optional[int] = None,
+        *,
+        hits: Sequence[int],
+        misses: Sequence[int],
+        total_requests: int,
+        window_bins: Optional[Dict[int, Sequence[int]]] = None,
+    ) -> "CostLedger":
+        """Rebuild a ledger from externally-accumulated counters.
+
+        The merge path for process-parallel serving: each
+        :class:`~repro.serve.workers.ShardWorkerPool` worker accounts
+        its own requests (hit/miss lists plus per-window miss bins
+        keyed by the *global* window index ``t // window``), and the
+        scrape side sums them and rebuilds a ledger here — so every
+        accessor, including :meth:`windowed_miss_counts`, returns
+        exactly what a single live ledger over the merged stream would
+        (windows with no misses become explicit zero rows, as
+        :meth:`record` would have produced).
+        """
+        ledger = cls(num_users, costs, window=window)
+        ledger._hits = [int(h) for h in hits]
+        ledger._misses = [int(m) for m in misses]
+        ledger._t = int(total_requests)
+        if window is not None:
+            bins = {int(w): [int(v) for v in row]
+                    for w, row in (window_bins or {}).items()}
+            full = ledger._t // window
+            ledger._window_rows = [
+                bins.get(w, [0] * num_users) for w in range(full)
+            ]
+            ledger._current_window = bins.get(full, [0] * num_users)
+        return ledger
+
     # ------------------------------------------------------------------
     # Recording (the server's per-request hot path)
     # ------------------------------------------------------------------

@@ -68,9 +68,20 @@ class ReplayReport:
     user_misses: np.ndarray
     elapsed: float
     stats: Dict[str, object] = field(default_factory=dict)
+    #: Time spent starting the server (worker-pool spawn included) and
+    #: stopping it (drain + pool shutdown) when the replay went through
+    #: :func:`serve_trace`; both excluded from ``elapsed``, so
+    #: ``requests_per_sec`` covers the replay window only.
+    startup_seconds: float = 0.0
+    drain_seconds: float = 0.0
+    workers: int = 1
 
     @property
     def requests_per_sec(self) -> float:
+        """Replay-window throughput: ``elapsed`` runs from the first
+        submission to the last resolved outcome — server startup and
+        drain are reported separately (``startup_seconds`` /
+        ``drain_seconds``), never in the denominator."""
         return self.requests / self.elapsed if self.elapsed > 0 else 0.0
 
     @property
@@ -284,12 +295,18 @@ def serve_trace(
     validate: bool = True,
     obs: Optional["Observability"] = None,
     monitor_every: int = 1024,
+    workers: int = 1,
+    shm_threshold: Optional[int] = 4096,
 ) -> ReplayReport:
     """Build a server, replay *trace* (a :class:`Trace` or a CSV path)
     through it, stop it, and return the :class:`ReplayReport` — the
     serving counterpart of :func:`repro.sim.engine.simulate`.  Pass
     ``obs`` to run the replay under a specific telemetry bundle (the
-    observability-overhead benchmarks do)."""
+    observability-overhead benchmarks do); ``workers > 1`` serves the
+    shard set process-parallel (results are bit-identical for any
+    worker count).  Startup (worker spawn) and drain are timed into the
+    report's ``startup_seconds``/``drain_seconds`` and excluded from
+    the throughput window."""
     if isinstance(trace, str):
         trace = load_trace_file(trace)
 
@@ -309,14 +326,24 @@ def serve_trace(
             validate=validate,
             obs=obs,
             monitor_every=monitor_every,
+            workers=workers,
+            shm_threshold=shm_threshold,
         )
+        t0 = time.perf_counter()
         await server.start()
+        t_started = time.perf_counter()
         try:
-            return await replay(
+            report = await replay(
                 server, trace, batch=batch, rate=rate, pipeline=pipeline
             )
         finally:
+            t_drain = time.perf_counter()
             await server.stop()
+            drain_seconds = time.perf_counter() - t_drain
+        report.startup_seconds = t_started - t0
+        report.drain_seconds = drain_seconds
+        report.workers = server.workers
+        return report
 
     return asyncio.run(_run())
 

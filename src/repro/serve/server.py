@@ -173,6 +173,21 @@ class CacheServer:
         Optional request-count window for SLA accounting.
     policy_seed, trace, horizon, validate:
         Passed through to :class:`ShardManager`.
+    workers:
+        OS processes serving the shard set (clamped to ``num_shards``).
+        The default ``1`` keeps the in-process path bit-for-bit; with
+        ``W > 1`` a :class:`~repro.serve.workers.ShardWorkerPool` is
+        started alongside the consumer — shard *s* lives in worker
+        ``s % W``, the consumer routes each submission with the same
+        splitmix64 hash and merges replies back into submission order,
+        so outcomes, backpressure, and drain semantics are unchanged
+        and results are bit-identical for any ``W`` (the global clock
+        is assigned before routing).  Scrape paths merge the workers'
+        ledgers/registries, keeping ``stats``/``metrics`` exact.
+    shm_threshold:
+        Per-worker batch size at or above which worker exchanges use a
+        shared-memory block instead of pipe payloads (parallel mode
+        only); ``None`` disables shared memory.
     obs:
         Telemetry bundle (:class:`~repro.obs.Observability`).  Defaults
         to a fresh, env-gated bundle per server so collector metric
@@ -203,6 +218,8 @@ class CacheServer:
         name: str = "serve",
         obs: Optional[Observability] = None,
         monitor_every: int = 1024,
+        workers: int = 1,
+        shm_threshold: Optional[int] = 4096,
     ) -> None:
         self.name = name
         self.shards = ShardManager(
@@ -216,6 +233,21 @@ class CacheServer:
             horizon=horizon,
             validate=validate,
         )
+        #: Effective worker-process count (1 = in-process serving).
+        self.workers = min(
+            check_positive_int(workers, "workers"), self.shards.num_shards
+        )
+        self._shm_threshold = shm_threshold
+        # The pool rebuilds the shard set from the same spec, so keep it.
+        self._policy_spec = policy
+        self._policy_seed = policy_seed
+        self._trace = trace
+        self._horizon = horizon
+        self._validate = validate
+        self._window = window
+        self._costs = costs
+        self._pool = None
+        self._pool_final: Optional[Dict[str, object]] = None
         self.ledger = CostLedger(self.shards.num_users, costs, window=window)
         self.owners = self.shards.owners
         self._owners_list: List[int] = self.owners.tolist()
@@ -293,6 +325,38 @@ class CacheServer:
         """Create the ingress queue and start the consumer task."""
         if self._consumer is not None and not self._consumer.done():
             raise RuntimeError("server already started")
+        if self.workers > 1 and self._pool is None:
+            # Imported lazily: workers.py imports ServerClosed from here.
+            from repro.serve.workers import ShardWorkerPool
+
+            flight = self._flight
+            self._pool = ShardWorkerPool(
+                self._policy_spec,
+                self.workers,
+                self.shards.num_shards,
+                self.shards.k,
+                self.owners,
+                self._costs,
+                policy_seed=self._policy_seed,
+                trace=self._trace,
+                horizon=self._horizon,
+                validate=self._validate,
+                window=self._window,
+                timing=self._obs_active,
+                flight_capacity=flight.capacity if flight is not None else 0,
+                flight_meta={
+                    "policy": self.shards.policy_name,
+                    "k": self.shards.k,
+                    "num_shards": self.shards.num_shards,
+                    "policy_seed": self._policy_seed,
+                    "source": f"serve:{self.name}",
+                },
+                monitor=self.obs.monitor is not None
+                and self._monitor_every > 0,
+                monitor_every=self._monitor_every,
+                shm_threshold=self._shm_threshold,
+                name=self.name,
+            )
         self._queue = asyncio.Queue(maxsize=self._queue_limit)
         if self._tenant_inflight is not None:
             self._gates = [
@@ -316,6 +380,13 @@ class CacheServer:
             await self._queue.put(None)  # drain sentinel
             await self._consumer
         self._consumer = None
+        if self._pool is not None:
+            # Freeze the workers' ground truth so post-stop scrapes and
+            # flight verification keep working, then shut them down.
+            self._pool_snapshot(best_effort=True)
+            self._sync_pool_flight(best_effort=True)
+            self._pool.close()
+            self._pool = None
         if self._auditor is not None:
             # End of stream: price the buffered tail so the final audit
             # covers every served request.
@@ -397,6 +468,14 @@ class CacheServer:
                     if item is None:
                         return
                     self._process(item)
+                except ServerClosed as exc:
+                    # A shard worker died (WorkerCrashed is the only
+                    # ServerClosed _process can raise): answer every
+                    # accepted request with the error instead of
+                    # hanging its future, dump what the survivors
+                    # recorded, and stop consuming.
+                    self._on_worker_crash(item, exc)
+                    return
                 finally:
                     queue.task_done()
         except asyncio.CancelledError:
@@ -411,15 +490,79 @@ class CacheServer:
 
     def _auto_dump(self, reason: str) -> None:
         """Persist the flight window when something went wrong (a new
-        invariant flag, a fault-injected drain) — best effort, never
-        masking the triggering condition."""
+        invariant flag, a fault-injected drain, a dead worker) — best
+        effort, never masking the triggering condition."""
         flight = self._flight
-        if flight is None or not flight.dump_path or not len(flight):
+        if flight is None or not flight.dump_path:
+            return
+        if self._pool is not None:
+            self._sync_pool_flight(best_effort=True)
+        if not len(flight):
             return
         try:
             flight.dump_jsonl(reason=reason)
         except OSError:  # pragma: no cover - disk trouble must not cascade
             pass
+
+    def _sync_pool_flight(self, best_effort: bool = False) -> None:
+        """Load the workers' flight windows, k-way-merged by global
+        time, into the parent recorder — after which dumps and
+        :func:`~repro.obs.flight.verify_flight` behave exactly as in
+        in-process mode.  The merged window is dense (every request is
+        recorded by exactly one worker) unless a worker could not be
+        gathered."""
+        flight = self._flight
+        pool = self._pool
+        if flight is None or pool is None:
+            return
+        try:
+            windows = pool.flight_windows(best_effort=best_effort)
+        except ServerClosed:
+            if not best_effort:
+                raise
+            return
+        import heapq
+
+        merged = list(
+            heapq.merge(*(events for _meta, events in windows),
+                        key=lambda ev: ev[0])
+        )
+        flight.ring.clear()
+        flight.ring.extend(merged)
+        flight.note_config(
+            workers=self.workers,
+            dense=len(windows) == pool.num_workers,
+        )
+
+    def _fail_item(self, item: Optional[_Item], exc: BaseException) -> None:
+        if item is None:
+            return
+        pages, fut, _detail, credits, _t_enq = item
+        if credits is not None and self._gates is not None:
+            for tenant, n in credits:
+                self._gates[tenant].release(n)
+        if not fut.done():
+            fut.set_exception(exc)
+
+    def _on_worker_crash(self, item: Optional[_Item], exc: Exception) -> None:
+        """A worker died mid-exchange: close the ingress, fail the
+        in-flight submission and everything still queued (an accepted
+        request is always *answered*, here with the crash error), and
+        auto-dump the surviving workers' flight windows."""
+        self._closed = True
+        self._fail_item(item, exc)
+        queue = self._queue
+        assert queue is not None
+        while True:
+            try:
+                nxt = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            try:
+                self._fail_item(nxt, exc)
+            finally:
+                queue.task_done()
+        self._auto_dump("worker-crash")
 
     def _drain_sync(self) -> None:
         queue = self._queue
@@ -432,10 +575,16 @@ class CacheServer:
             try:
                 if item is not None:
                     self._process(item)
+            except ServerClosed as exc:
+                self._on_worker_crash(item, exc)
+                return
             finally:
                 queue.task_done()
 
     def _process(self, item: _Item) -> None:
+        if self._pool is not None:
+            self._process_pool(item)
+            return
         pages, fut, detail, credits, t_enq = item
         obs_on = self._obs_active
         if obs_on:
@@ -508,6 +657,61 @@ class CacheServer:
         if not fut.cancelled():
             fut.set_result(result)
 
+    def _process_pool(self, item: _Item) -> None:
+        """Parallel-mode submission processing: route the batch across
+        the worker pool with the global clock assigned up front, merge
+        the flat flag replies back into submission order, and build the
+        same outcome objects the in-process path returns.  Per-tenant
+        hit/miss/window accounting happens worker-side; only the
+        auditor (which needs the globally-ordered stream) observes
+        here."""
+        pages, fut, detail, credits, t_enq = item
+        obs_on = self._obs_active
+        if obs_on:
+            t_start = perf_counter()
+        pool = self._pool
+        assert pool is not None
+        owners = self._owners_list
+        auditor = self._auditor
+        t0 = self._t
+        pages_arr = np.asarray(pages, dtype=np.int64)
+        result: object
+        if detail:
+            served = pool.apply_detail(pages_arr, t0)
+            outcomes = []
+            for i, page in enumerate(pages):
+                hit, victim, sid = served[i]
+                tenant = owners[page]
+                if auditor is not None:
+                    auditor.observe(page, tenant, hit)
+                outcomes.append(
+                    RequestOutcome(
+                        page=page, tenant=tenant, hit=hit, t=t0 + i,
+                        shard=sid, victim=victim,
+                    )
+                )
+            result = outcomes
+        else:
+            flags = pool.apply(pages_arr, t0)
+            if auditor is not None:
+                for i, page in enumerate(pages):
+                    auditor.observe(page, owners[page], bool(flags[i]))
+            hits = int(flags.sum())
+            result = BatchOutcome(
+                t0=t0,
+                hits=hits,
+                misses=int(flags.size) - hits,
+                hit_flags=flags.astype(bool).tolist(),
+            )
+        self._t = t0 + len(pages)
+        if obs_on:
+            self._account(pages, t_enq, t_start)
+        if credits is not None and self._gates is not None:
+            for tenant, n in credits:
+                self._gates[tenant].release(n)
+        if not fut.cancelled():
+            fut.set_result(result)
+
     def _account(self, pages: Sequence[int], t_enq: float, t_start: float) -> None:
         """Post-apply telemetry for one submission (obs-active only)."""
         dur = perf_counter() - t_start
@@ -520,7 +724,11 @@ class CacheServer:
             tracer = self.obs.tracer
             tracer.record_span("serve.queue_wait", queue_wait, n=n)
             tracer.record_span("serve.apply", dur, n=n, t=self._t)
-        monitor = self.obs.monitor
+        # In parallel mode the workers sample their own monitors against
+        # their own policy instances (budget invariants are per-instance,
+        # so worker-local sampling is sound); drift is checked at
+        # gather time in _pool_snapshot.
+        monitor = self.obs.monitor if self._pool is None else None
         if monitor is not None and self._monitor_every:
             self._since_monitor += n
             if self._since_monitor >= self._monitor_every:
@@ -537,15 +745,87 @@ class CacheServer:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
+    def _pool_snapshot(
+        self, best_effort: bool = False
+    ) -> Optional[Dict[str, object]]:
+        """Gather-and-merge the workers' ground truth (cached as the
+        final state once the pool is gone).  Worker-side invariant
+        drift is detected here — the parallel counterpart of the
+        in-process post-sample check in :meth:`_account`."""
+        pool = self._pool
+        if pool is None:
+            return self._pool_final
+        try:
+            snap = pool.snapshot(best_effort=best_effort)
+        except ServerClosed:
+            if not best_effort:
+                raise
+            return self._pool_final
+        self._pool_final = snap
+        if snap["monitor_flags"] > self._monitor_flags_seen:
+            self._monitor_flags_seen = int(snap["monitor_flags"])
+            self._auto_dump("invariant-drift")
+        return snap
+
+    def _serve_view(self):
+        """Ground truth for every scrape path, as
+        ``(ledger, shard_rows, monitor_counts)``.
+
+        In-process mode reads the live ledger/shards directly; parallel
+        mode gathers the workers' slices and rebuilds a merged ledger
+        (via :meth:`CostLedger.from_counters`) plus merged shard rows,
+        so both modes feed the same rendering code and emit the same
+        document shapes.
+        """
+        # Best effort: a scrape must keep answering (with the
+        # survivors' truth) even after a worker crash.
+        snap = (
+            self._pool_snapshot(best_effort=True) if self.workers > 1 else None
+        )
+        if snap is None:
+            rows = [
+                {
+                    "shard": s.shard_id,
+                    "occupancy": s.occupancy,
+                    "slots": s.slots,
+                    "evictions": s.evictions,
+                    "timing": list(s.timing) if s.timing is not None else None,
+                }
+                for s in self.shards.shards
+            ]
+            monitor = self.obs.monitor
+            counts = (
+                (len(monitor.flags), len(monitor.samples))
+                if monitor is not None
+                else None
+            )
+            return self.ledger, rows, counts
+        ledger = CostLedger.from_counters(
+            self.shards.num_users,
+            self._costs,
+            self._window,
+            hits=snap["hits"],
+            misses=snap["misses"],
+            total_requests=snap["served"],
+            window_bins=snap["window_bins"],
+        )
+        counts = (
+            (int(snap["monitor_flags"]), int(snap["monitor_samples"]))
+            if self.obs.monitor is not None
+            else None
+        )
+        return ledger, snap["shards"], counts
+
     def _collect_metrics(self) -> List[CollectedFamily]:
         """Scrape-time export of ground-truth serve state.
 
-        Reads the ledger and shards directly, so per-tenant hit/miss
-        counters are *exact* — bit-identical to an offline
-        ``simulate()`` of the same request sequence (test-enforced) —
-        and available even when the hot-path registry is disabled.
+        Reads the ledger and shards directly (merged across the worker
+        pool in parallel mode), so per-tenant hit/miss counters are
+        *exact* — bit-identical to an offline ``simulate()`` of the
+        same request sequence (test-enforced) — and available even when
+        the hot-path registry is disabled.
         """
-        ledger = self.ledger
+        ledger, shard_rows, monitor_counts = self._serve_view()
         hits = ledger.hits_by_user()
         misses = ledger.misses_by_user()
         tenant_hits = [
@@ -615,21 +895,20 @@ class CacheServer:
                     ],
                 )
             )
-        shard_rows = [
-            ({"shard": str(s.shard_id)}, float(s.occupancy))
-            for s in self.shards.shards
+        occ_rows = [
+            ({"shard": str(r["shard"])}, float(r["occupancy"]))
+            for r in shard_rows
         ]
         slot_rows = [
-            ({"shard": str(s.shard_id)}, float(s.slots))
-            for s in self.shards.shards
+            ({"shard": str(r["shard"])}, float(r["slots"])) for r in shard_rows
         ]
         evict_rows = [
-            ({"shard": str(s.shard_id)}, float(s.evictions))
-            for s in self.shards.shards
+            ({"shard": str(r["shard"])}, float(r["evictions"]))
+            for r in shard_rows
         ]
         out.extend(
             [
-                ("serve_shard_occupancy", "gauge", "Resident pages per shard", shard_rows),
+                ("serve_shard_occupancy", "gauge", "Resident pages per shard", occ_rows),
                 ("serve_shard_slots", "gauge", "Slot allocation per shard", slot_rows),
                 (
                     "serve_shard_evictions_total",
@@ -639,7 +918,7 @@ class CacheServer:
                 ),
             ]
         )
-        timed = [s for s in self.shards.shards if s.timing is not None]
+        timed = [r for r in shard_rows if r["timing"] is not None]
         if timed:
             out.append(
                 (
@@ -647,8 +926,8 @@ class CacheServer:
                     "counter",
                     "Cumulative choose_victim time per shard",
                     [
-                        ({"shard": str(s.shard_id)}, float(s.timing[0]))
-                        for s in timed
+                        ({"shard": str(r["shard"])}, float(r["timing"][0]))
+                        for r in timed
                     ],
                 )
             )
@@ -658,19 +937,19 @@ class CacheServer:
                     "counter",
                     "choose_victim calls per shard",
                     [
-                        ({"shard": str(s.shard_id)}, float(s.timing[1]))
-                        for s in timed
+                        ({"shard": str(r["shard"])}, float(r["timing"][1]))
+                        for r in timed
                     ],
                 )
             )
-        monitor = self.obs.monitor
-        if monitor is not None:
+        if monitor_counts is not None:
+            flags, samples = monitor_counts
             out.append(
                 (
                     "serve_invariant_drift_flags_total",
                     "counter",
                     "Invariant drift flags raised by the live monitor",
-                    [({}, float(len(monitor.flags)))],
+                    [({}, float(flags))],
                 )
             )
             out.append(
@@ -678,7 +957,7 @@ class CacheServer:
                     "serve_invariant_samples_total",
                     "counter",
                     "Invariant monitor sampling instants",
-                    [({}, float(len(monitor.samples)))],
+                    [({}, float(samples))],
                 )
             )
         return out
@@ -771,21 +1050,27 @@ class CacheServer:
     # Stats
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """The ``/stats`` snapshot (JSON-able)."""
-        snap = self.ledger.snapshot()
+        """The ``/stats`` snapshot (JSON-able); in parallel mode the
+        tenant/shard rows are merged from the workers' ground truth, so
+        the document is schema-identical at any worker count."""
+        ledger, shard_rows, _counts = self._serve_view()
+        snap = ledger.snapshot()
         snap.update(
             {
                 "server": self.name,
                 "policy": self.shards.policy_name,
                 "k": self.shards.k,
                 "num_shards": self.shards.num_shards,
+                "workers": self.workers,
                 "time": self._t,
                 "queue_depth": self.queue_depth,
                 "shards": [
-                    {"shard": sid, "occupancy": occ, "slots": slots}
-                    for sid, (occ, slots) in enumerate(
-                        zip(self.shards.occupancy(), self.shards.capacities())
-                    )
+                    {
+                        "shard": r["shard"],
+                        "occupancy": r["occupancy"],
+                        "slots": r["slots"],
+                    }
+                    for r in shard_rows
                 ],
             }
         )
@@ -796,11 +1081,11 @@ class CacheServer:
         # then cover up to the RateWindow horizon (~10 s).
         totals: Dict[str, float] = {
             "requests": float(self._t),
-            "hits": float(self.ledger.hits),
-            "misses": float(self.ledger.misses),
+            "hits": float(ledger.hits),
+            "misses": float(ledger.misses),
         }
-        if self.ledger.costs is not None:
-            totals["cost"] = self.ledger.total_cost()
+        if ledger.costs is not None:
+            totals["cost"] = ledger.total_cost()
         self._rates.push(monotonic(), **totals)
         rates = self._rates.rates()
         if not rates:
@@ -897,11 +1182,12 @@ class CacheServer:
                 return {"ok": True, "audit": self.audit()}
             if op == "quote":
                 tenant = int(msg["tenant"])
+                ledger = self._serve_view()[0]
                 return {
                     "ok": True,
                     "tenant": tenant,
-                    "marginal_quote": self.ledger.marginal_quote(tenant),
-                    "cost": self.ledger.cost_of(tenant),
+                    "marginal_quote": ledger.marginal_quote(tenant),
+                    "cost": ledger.cost_of(tenant),
                 }
             if op == "ping":
                 return {"ok": True, "time": self._t}

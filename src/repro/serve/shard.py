@@ -55,6 +55,27 @@ def page_hash(page: int) -> int:
     return (x ^ (x >> 31)) & _MASK64
 
 
+def page_hash_array(pages: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`page_hash` over an integer array.
+
+    Element-for-element identical to the scalar hash (test-enforced),
+    so batch routing tables and per-request lookups always agree.
+    """
+    x = np.asarray(pages).astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += np.uint64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def shard_slots(k: int, num_shards: int) -> List[int]:
+    """Per-shard slot allocation: ``k // S`` each, the ``k % S``
+    remainder going to low shard ids first (sums to ``k``)."""
+    base, extra = divmod(int(k), int(num_shards))
+    return [base + (1 if sid < extra else 0) for sid in range(num_shards)]
+
+
 def make_policy_instance(
     factory: Callable[..., EvictionPolicy], seed: Optional[int]
 ) -> EvictionPolicy:
@@ -72,6 +93,43 @@ def make_policy_instance(
         if "rng" in params:
             return factory(rng=seed)
     return factory()
+
+
+def build_policy_instances(
+    policy: PolicySpec, num_shards: int, policy_seed: Optional[int]
+) -> List[EvictionPolicy]:
+    """One policy instance per shard from a spec (name/factory/instance).
+
+    Shared by :class:`ShardManager` and the process-parallel
+    :class:`~repro.serve.workers.ShardWorkerPool` workers, so both
+    paths build byte-identical instances: shard *i* of a stochastic
+    policy always draws from ``rng=policy_seed + i``.
+    """
+    if isinstance(policy, EvictionPolicy):
+        if num_shards != 1:
+            raise ValueError(
+                "a pre-built policy instance cannot be shared across shards; "
+                "pass a name or factory for num_shards > 1"
+            )
+        return [policy]
+    if isinstance(policy, str):
+        from repro.policies import POLICY_REGISTRY
+
+        try:
+            factory: Callable[..., EvictionPolicy] = POLICY_REGISTRY[policy]
+        except KeyError:
+            known = ", ".join(sorted(POLICY_REGISTRY))
+            raise KeyError(
+                f"unknown policy {policy!r}; known: {known}"
+            ) from None
+    else:
+        factory = policy
+    return [
+        make_policy_instance(
+            factory, None if policy_seed is None else policy_seed + sid
+        )
+        for sid in range(num_shards)
+    ]
 
 
 class CacheShard:
@@ -304,11 +362,11 @@ class ShardManager:
                     "offline (requires_future) policies only serve with num_shards=1"
                 )
 
-        base, extra = divmod(self.k, self.num_shards)
+        slots = shard_slots(self.k, self.num_shards)
         self.shards: List[CacheShard] = []
         for sid, inst in enumerate(instances):
             ctx = SimContext(
-                k=base + (1 if sid < extra else 0),
+                k=slots[sid],
                 owners=owners,
                 num_users=self.num_users,
                 costs=costs,
@@ -323,31 +381,7 @@ class ShardManager:
     def _build_instances(
         self, policy: PolicySpec, policy_seed: Optional[int]
     ) -> List[EvictionPolicy]:
-        if isinstance(policy, EvictionPolicy):
-            if self.num_shards != 1:
-                raise ValueError(
-                    "a pre-built policy instance cannot be shared across shards; "
-                    "pass a name or factory for num_shards > 1"
-                )
-            return [policy]
-        if isinstance(policy, str):
-            from repro.policies import POLICY_REGISTRY
-
-            try:
-                factory: Callable[..., EvictionPolicy] = POLICY_REGISTRY[policy]
-            except KeyError:
-                known = ", ".join(sorted(POLICY_REGISTRY))
-                raise KeyError(
-                    f"unknown policy {policy!r}; known: {known}"
-                ) from None
-        else:
-            factory = policy
-        return [
-            make_policy_instance(
-                factory, None if policy_seed is None else policy_seed + sid
-            )
-            for sid in range(self.num_shards)
-        ]
+        return build_policy_instances(policy, self.num_shards, policy_seed)
 
     # ------------------------------------------------------------------
     # Serving
@@ -389,6 +423,9 @@ class ShardManager:
 __all__ = [
     "CacheShard",
     "ShardManager",
+    "build_policy_instances",
     "page_hash",
+    "page_hash_array",
     "make_policy_instance",
+    "shard_slots",
 ]

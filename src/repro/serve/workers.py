@@ -1,0 +1,827 @@
+"""Process-parallel shard workers with batched zero-copy routing.
+
+The single-consumer server (:mod:`repro.serve.server`) applies every
+request sequentially, so the S-way page→shard split of
+:class:`~repro.serve.shard.ShardManager` never uses more than one
+core.  :class:`ShardWorkerPool` lifts the same shard set onto ``W``
+OS processes: shard ``s`` is owned by worker ``s % W``, and each
+worker holds its shard group's **policy instances**, a **ledger
+slice** (per-tenant hit/miss counters plus global-window miss bins),
+an optional **flight recorder**, **invariant monitor**, and the
+per-shard decision timers the metrics scrape reads.
+
+Determinism is by construction, not by luck: the ingress side assigns
+every request its **global clock value** ``t`` before routing, and a
+shard's subsequence is applied in submission order by exactly one
+worker — so every policy sees the identical ``(page, t)`` stream it
+would see in-process, and serving results are bit-for-bit independent
+of ``W`` (test-enforced by ``tests/test_serve_equivalence.py``).
+
+Routing is batched and buffer-flat.  A precomputed page→worker table
+(the vectorized splitmix64 hash of the whole page universe) splits a
+submission into per-worker position/page arrays, and each worker
+receives **one message per batch** — the raw ``int64`` page buffer
+plus the ``int32`` submission positions — never one pickle per
+request.  Replies are flat ``uint8`` hit-flag buffers scattered back
+into submission order.  Batches at or above ``shm_threshold``
+requests skip the pipe payload entirely: pages/positions are written
+into a per-worker :class:`multiprocessing.shared_memory.SharedMemory`
+block and the worker writes its flags into the same block, so the
+pipe carries only a header.
+
+Exchanges are strictly synchronous request/reply per worker, and both
+the serve consumer's ``_process`` and the scrape paths run without
+awaiting — under asyncio's single thread that means data and control
+messages can never interleave on a pipe, so the protocol needs no
+locks.
+
+Scrape-time merging mirrors the in-process design ("exactness via
+scrape-time collectors", DESIGN.md): workers report ground truth —
+ledger slices, shard occupancy/evictions, decision timers, monitor
+flags — and :meth:`ShardWorkerPool.snapshot` merges them into the
+same document shapes the local path produces, so ``stats`` /
+``metrics`` / ``audit`` output is schema-identical at any ``W``.
+Windowed SLA rows stay exact because workers bin misses by the
+*global* window index ``t // window`` and the merge sums bins.
+
+Worker death is detected, not hung on: every reply wait polls the
+pipe with a bounded timeout and checks the process, raising
+:class:`WorkerCrashed` (a :class:`~repro.serve.server.ServerClosed`)
+so the consumer can fail pending futures and auto-dump the surviving
+workers' flight windows.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.serve.server import ServerClosed
+from repro.serve.shard import (
+    CacheShard,
+    PolicySpec,
+    build_policy_instances,
+    page_hash_array,
+    shard_slots,
+)
+from repro.sim.policy import SimContext
+from repro.sim.trace import Trace
+from repro.util.validation import check_positive_int
+
+
+class WorkerCrashed(ServerClosed):
+    """A shard worker process died (or its pipe broke) mid-protocol."""
+
+
+#: Seconds between liveness checks while waiting on a worker reply.
+_POLL_INTERVAL = 0.1
+#: Per-request bytes in a shared-memory exchange: int64 page + int32
+#: position + uint8 reply flag.
+_SHM_BYTES_PER_REQ = 13
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to rebuild its shard group.
+
+    Picklable whenever the policy spec is (registry names always are),
+    so the pool works under the ``spawn`` start method too; under
+    ``fork`` the spec simply rides process inheritance.
+    """
+
+    worker_id: int
+    num_workers: int
+    shard_ids: Tuple[int, ...]
+    policy: PolicySpec
+    num_shards: int
+    k: int
+    owners: np.ndarray
+    costs: Optional[Sequence[CostFunction]]
+    policy_seed: Optional[int]
+    trace: Optional[Trace]
+    horizon: int
+    validate: bool
+    window: Optional[int]
+    num_users: int
+    timing: bool = False
+    flight_capacity: int = 0
+    flight_meta: Dict[str, object] = field(default_factory=dict)
+    monitor: bool = False
+    monitor_every: int = 0
+
+
+class _WorkerState:
+    """The per-process serving state (lives only inside a worker)."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        owners = spec.owners
+        num_pages = int(owners.size)
+        instances = build_policy_instances(
+            spec.policy, spec.num_shards, spec.policy_seed
+        )
+        # Mirror ShardManager's spec validation so misconfiguration is
+        # reported through the construction handshake, not a dead worker.
+        if instances[0].requires_costs and spec.costs is None:
+            raise ValueError(f"{instances[0].name} requires cost functions")
+        if instances[0].requires_future:
+            if spec.trace is None:
+                raise ValueError(
+                    f"{instances[0].name} requires the full trace "
+                    f"(offline policy)"
+                )
+            if spec.num_shards != 1:
+                raise ValueError(
+                    "offline (requires_future) policies only serve with "
+                    "num_shards=1"
+                )
+        slots = shard_slots(spec.k, spec.num_shards)
+        self.owners_list: List[int] = owners.tolist()
+        self.shards: Dict[int, CacheShard] = {}
+        for sid in spec.shard_ids:
+            inst = instances[sid]
+            ctx = SimContext(
+                k=slots[sid],
+                owners=owners,
+                num_users=spec.num_users,
+                costs=spec.costs,
+                trace=spec.trace if inst.requires_future else None,
+                num_pages=num_pages,
+                horizon=spec.horizon,
+            )
+            shard = CacheShard(sid, inst, slots[sid], ctx, validate=spec.validate)
+            if spec.timing:
+                shard.timing = [0.0, 0]
+            self.shards[sid] = shard
+        #: page → shard id over the whole universe (vectorized hash,
+        #: identical to ``ShardManager.shard_of`` by construction).
+        if spec.num_shards == 1:
+            self.shard_table = np.zeros(num_pages, dtype=np.int64)
+        else:
+            self.shard_table = (
+                page_hash_array(np.arange(num_pages, dtype=np.int64))
+                % np.uint64(spec.num_shards)
+            ).astype(np.int64)
+        # Ledger slice: plain lists (the in-process CostLedger idiom),
+        # plus global-window miss bins keyed by t // window.
+        n = spec.num_users
+        self.hits: List[int] = [0] * n
+        self.misses: List[int] = [0] * n
+        self.window_bins: Dict[int, List[int]] = {}
+        self.served = 0
+        # Flight recorder for this worker's shards only: times are the
+        # global clock, so windows are sparse (dense=False in meta)
+        # unless the pool runs a single worker.
+        self.flight = None
+        if spec.flight_capacity > 0:
+            from repro.obs.flight import FlightRecorder
+
+            self.flight = FlightRecorder(capacity=spec.flight_capacity)
+            for shard in self.shards.values():
+                shard.attach_flight(self.flight, self.owners_list)
+            self.flight.note_config(
+                worker=spec.worker_id,
+                shard_ids=list(spec.shard_ids),
+                dense=(spec.num_workers == 1),
+                **spec.flight_meta,
+            )
+        self.monitor = None
+        self._since_monitor = 0
+        if spec.monitor and spec.monitor_every > 0 and spec.costs is not None:
+            from repro.obs.monitor import InvariantMonitor
+
+            self.monitor = InvariantMonitor(spec.costs)
+
+    # ------------------------------------------------------------------
+    def apply(self, pages: List[int], ts: List[int]) -> bytearray:
+        """Serve one routed batch; returns per-request hit flags."""
+        shard_ids = self.shard_table[np.asarray(pages, dtype=np.int64)].tolist()
+        shards = self.shards
+        owners = self.owners_list
+        hits = self.hits
+        misses = self.misses
+        window = self.spec.window
+        bins = self.window_bins
+        n_users = self.spec.num_users
+        flags = bytearray(len(pages))
+        for i, page in enumerate(pages):
+            hit, _victim = shards[shard_ids[i]].serve(page, ts[i])
+            tenant = owners[page]
+            if hit:
+                flags[i] = 1
+                hits[tenant] += 1
+            else:
+                misses[tenant] += 1
+                if window is not None:
+                    row = bins.get(ts[i] // window)
+                    if row is None:
+                        row = bins[ts[i] // window] = [0] * n_users
+                    row[tenant] += 1
+        self.served += len(pages)
+        self._maybe_monitor(len(pages), ts[-1] + 1 if ts else 0)
+        return flags
+
+    def apply_detail(
+        self, pages: List[int], ts: List[int]
+    ) -> List[Tuple[bool, Optional[int], int]]:
+        """Serve one routed batch keeping per-request victims."""
+        out: List[Tuple[bool, Optional[int], int]] = []
+        shard_ids = self.shard_table[np.asarray(pages, dtype=np.int64)].tolist()
+        for i, page in enumerate(pages):
+            sid = shard_ids[i]
+            hit, victim = self.shards[sid].serve(page, ts[i])
+            tenant = self.owners_list[page]
+            if hit:
+                self.hits[tenant] += 1
+            else:
+                self.misses[tenant] += 1
+                window = self.spec.window
+                if window is not None:
+                    row = self.window_bins.setdefault(
+                        ts[i] // window, [0] * self.spec.num_users
+                    )
+                    row[tenant] += 1
+            out.append((hit, victim, sid))
+        self.served += len(pages)
+        self._maybe_monitor(len(pages), ts[-1] + 1 if ts else 0)
+        return out
+
+    def _maybe_monitor(self, n: int, t: int) -> None:
+        """Sample the invariant monitor every ``monitor_every / W`` of
+        this worker's *own* requests — each worker sees ~1/W of the
+        stream, so the global sampling cadence matches in-process
+        serving."""
+        if self.monitor is None:
+            return
+        self._since_monitor += n
+        if self._since_monitor >= max(
+            1, self.spec.monitor_every // max(1, self.spec.num_workers)
+        ):
+            self._since_monitor = 0
+            self.monitor.sample(
+                t,
+                self.misses,
+                policies=[s.policy for s in self.shards.values()],
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Ground-truth state for the parent's scrape-time merge."""
+        snap: Dict[str, object] = {
+            "worker": self.spec.worker_id,
+            "served": self.served,
+            "hits": list(self.hits),
+            "misses": list(self.misses),
+            "window_bins": {k: list(v) for k, v in self.window_bins.items()},
+            "shards": [
+                {
+                    "shard": sid,
+                    "occupancy": shard.occupancy,
+                    "slots": shard.slots,
+                    "evictions": shard.evictions,
+                    "timing": list(shard.timing) if shard.timing else None,
+                }
+                for sid, shard in sorted(self.shards.items())
+            ],
+            "monitor_flags": 0,
+            "monitor_samples": 0,
+            "flight_len": len(self.flight) if self.flight else 0,
+        }
+        if self.monitor is not None:
+            snap["monitor_flags"] = len(self.monitor.flags)
+            snap["monitor_samples"] = len(self.monitor.samples)
+            snap["monitor_summary"] = self.monitor.summary()
+        return snap
+
+    def flight_window(self) -> Tuple[Dict[str, object], List[tuple]]:
+        if self.flight is None:
+            return {}, []
+        return dict(self.flight.meta), list(self.flight.ring)
+
+
+def _worker_main(conn, spec: WorkerSpec) -> None:
+    """Worker process entry point: build the shard group, serve the
+    pipe protocol until told to close.  Any build/serve exception is
+    reported back (tag ``"err"``) instead of dying silently."""
+    import signal
+
+    try:  # the parent owns shutdown; workers ignore terminal SIGINT
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    shm = None
+    shm_buf = None
+    try:
+        state = _WorkerState(spec)
+        conn.send(("ready", spec.worker_id))
+    except Exception as exc:  # noqa: BLE001 - surfaced to the parent
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    try:
+        while True:
+            msg = conn.recv()
+            tag = msg[0]
+            if tag == "a":  # apply: pipe-payload batch
+                _, t0, pos_b, pages_b = msg
+                pos = np.frombuffer(pos_b, dtype=np.int32).tolist()
+                pages = np.frombuffer(pages_b, dtype=np.int64).tolist()
+                flags = state.apply(pages, [t0 + p for p in pos])
+                conn.send_bytes(flags)
+            elif tag == "A":  # apply: shared-memory batch
+                _, t0, n, shm_name = msg
+                if shm_name is not None:
+                    from multiprocessing import shared_memory
+
+                    if shm is not None:
+                        shm.close()
+                    shm = shared_memory.SharedMemory(name=shm_name)
+                    try:  # the parent owns the segment's lifetime
+                        from multiprocessing import resource_tracker
+
+                        resource_tracker.unregister(
+                            shm._name, "shared_memory"  # noqa: SLF001
+                        )
+                    except Exception:  # pragma: no cover - tracker quirk
+                        pass
+                    shm_buf = shm.buf
+                pages = np.frombuffer(
+                    shm_buf, dtype=np.int64, count=n
+                ).tolist()
+                pos = np.frombuffer(
+                    shm_buf, dtype=np.int32, count=n, offset=8 * n
+                ).tolist()
+                flags = state.apply(pages, [t0 + p for p in pos])
+                shm_buf[12 * n : 13 * n] = flags
+                conn.send_bytes(b"R")
+            elif tag == "d":  # apply with per-request detail
+                _, t0, pos_b, pages_b = msg
+                pos = np.frombuffer(pos_b, dtype=np.int32).tolist()
+                pages = np.frombuffer(pages_b, dtype=np.int64).tolist()
+                conn.send(state.apply_detail(pages, [t0 + p for p in pos]))
+            elif tag == "s":  # snapshot (scrape-time gather)
+                conn.send(state.snapshot())
+            elif tag == "f":  # flight window gather
+                conn.send(state.flight_window())
+            elif tag == "c":  # close
+                conn.send(("bye", state.served))
+                return
+            else:  # pragma: no cover - protocol bug guard
+                conn.send(("err", f"unknown tag {tag!r}"))
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        pass
+    except Exception as exc:  # noqa: BLE001 - surfaced to the parent
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        if shm is not None:
+            shm_buf = None
+            shm.close()
+        conn.close()
+
+
+class ShardWorkerPool:
+    """Partition ``S`` shards across ``W`` worker processes.
+
+    Parameters mirror :class:`~repro.serve.shard.ShardManager` (the
+    worker side rebuilds the identical shard set); pool-specific knobs:
+
+    num_workers:
+        Requested worker processes; clamped to ``num_shards`` (a shard
+        is owned by exactly one worker).
+    timing:
+        Enable per-shard ``choose_victim`` timers (obs-active servers).
+    flight_capacity / flight_meta:
+        Per-worker flight recorder ring size (0 = off) and the config
+        noted on each window.
+    monitor / monitor_every:
+        Attach per-worker invariant monitors sampling each worker's own
+        policies every ``monitor_every // W`` of its requests.
+    shm_threshold:
+        Per-worker batch size (requests) at or above which the
+        exchange goes through a shared-memory block instead of the
+        pipe payload; ``None`` disables shared memory.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (policy factories need not pickle), else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        policy: PolicySpec,
+        num_workers: int,
+        num_shards: int,
+        k: int,
+        owners: np.ndarray,
+        costs: Optional[Sequence[CostFunction]] = None,
+        *,
+        policy_seed: Optional[int] = None,
+        trace: Optional[Trace] = None,
+        horizon: int = 0,
+        validate: bool = True,
+        window: Optional[int] = None,
+        timing: bool = False,
+        flight_capacity: int = 0,
+        flight_meta: Optional[Dict[str, object]] = None,
+        monitor: bool = False,
+        monitor_every: int = 0,
+        shm_threshold: Optional[int] = None,
+        start_method: Optional[str] = None,
+        name: str = "pool",
+    ) -> None:
+        import multiprocessing as mp
+
+        num_workers = check_positive_int(num_workers, "num_workers")
+        num_shards = check_positive_int(num_shards, "num_shards")
+        self.name = name
+        self.num_shards = num_shards
+        #: Effective worker count (a shard is never split).
+        self.num_workers = min(num_workers, num_shards)
+        self.num_users = int(np.asarray(owners).max()) + 1
+        owners = np.ascontiguousarray(np.asarray(owners, dtype=np.int64))
+        num_pages = int(owners.size)
+        if shm_threshold is not None:
+            shm_threshold = check_positive_int(shm_threshold, "shm_threshold")
+        self._shm_threshold = shm_threshold
+        #: page → worker routing table (uint8: W <= 255 by construction).
+        if num_shards == 1:
+            shard_table = np.zeros(num_pages, dtype=np.int64)
+        else:
+            shard_table = (
+                page_hash_array(np.arange(num_pages, dtype=np.int64))
+                % np.uint64(num_shards)
+            ).astype(np.int64)
+        self._page_worker = (shard_table % self.num_workers).astype(np.uint8)
+
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        ctx = mp.get_context(start_method)
+        self._conns = []
+        self._procs = []
+        self._shm: List[Optional[object]] = [None] * self.num_workers
+        self._closed = False
+        specs = []
+        for w in range(self.num_workers):
+            specs.append(
+                WorkerSpec(
+                    worker_id=w,
+                    num_workers=self.num_workers,
+                    shard_ids=tuple(
+                        sid for sid in range(num_shards)
+                        if sid % self.num_workers == w
+                    ),
+                    policy=policy,
+                    num_shards=num_shards,
+                    k=k,
+                    owners=owners,
+                    costs=costs,
+                    policy_seed=policy_seed,
+                    trace=trace,
+                    horizon=horizon,
+                    validate=validate,
+                    window=window,
+                    num_users=self.num_users,
+                    timing=timing,
+                    flight_capacity=flight_capacity,
+                    flight_meta=dict(flight_meta or {}),
+                    monitor=monitor,
+                    monitor_every=monitor_every,
+                )
+            )
+        try:
+            for w, spec in enumerate(specs):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, spec),
+                    name=f"{name}-worker-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            # Handshake: surface build errors (unknown policy, missing
+            # costs, unpicklable spec under spawn) at construction.
+            for w in range(self.num_workers):
+                reply = self._recv(w)
+                if reply[0] != "ready":
+                    raise RuntimeError(
+                        f"shard worker {w} failed to start: {reply[1]}"
+                    )
+        except BaseException:
+            self.close(graceful=False)
+            raise
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def _recv(self, w: int):
+        """Receive one reply from worker *w*, watching for death."""
+        conn = self._conns[w]
+        try:
+            while not conn.poll(_POLL_INTERVAL):
+                if not self._procs[w].is_alive():
+                    raise WorkerCrashed(
+                        f"shard worker {w} of pool {self.name!r} died "
+                        f"(exitcode {self._procs[w].exitcode})"
+                    )
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashed(
+                f"shard worker {w} of pool {self.name!r} closed its pipe: {exc}"
+            ) from exc
+        if isinstance(reply, tuple) and reply and reply[0] == "err":
+            raise WorkerCrashed(
+                f"shard worker {w} of pool {self.name!r} errored: {reply[1]}"
+            )
+        return reply
+
+    def _recv_bytes(self, w: int) -> bytes:
+        conn = self._conns[w]
+        try:
+            while not conn.poll(_POLL_INTERVAL):
+                if not self._procs[w].is_alive():
+                    raise WorkerCrashed(
+                        f"shard worker {w} of pool {self.name!r} died "
+                        f"(exitcode {self._procs[w].exitcode})"
+                    )
+            return conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashed(
+                f"shard worker {w} of pool {self.name!r} closed its pipe: {exc}"
+            ) from exc
+
+    def _send(self, w: int, msg) -> None:
+        try:
+            self._conns[w].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(
+                f"shard worker {w} of pool {self.name!r} is gone: {exc}"
+            ) from exc
+
+    def _shm_block(self, w: int, need: int):
+        """The worker's shared-memory block, (re)grown to *need* bytes;
+        returns ``(block, name_to_announce)`` — name is ``None`` when
+        the worker already holds the current block."""
+        from multiprocessing import shared_memory
+
+        block = self._shm[w]
+        if block is not None and block.size >= need:
+            return block, None
+        if block is not None:
+            block.close()
+            block.unlink()
+        size = max(need, 1 << 16)
+        block = shared_memory.SharedMemory(create=True, size=size)
+        self._shm[w] = block
+        return block, block.name
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def route(self, pages: np.ndarray) -> np.ndarray:
+        """Per-page worker ids (the precomputed splitmix64 table)."""
+        return self._page_worker[pages]
+
+    def apply(self, pages: np.ndarray, t0: int) -> np.ndarray:
+        """Serve one submission batch across the workers.
+
+        *pages* is the batch in submission order; request *i* carries
+        global time ``t0 + i``.  Returns the merged ``uint8`` hit-flag
+        array, index-aligned with *pages*.
+        """
+        pages = np.ascontiguousarray(pages, dtype=np.int64)
+        n = int(pages.size)
+        wids = self._page_worker[pages]
+        sends: List[Tuple[int, np.ndarray, bool]] = []
+        threshold = self._shm_threshold
+        for w in range(self.num_workers):
+            pos = np.nonzero(wids == w)[0]
+            if not pos.size:
+                continue
+            pos32 = pos.astype(np.int32)
+            wpages = pages[pos]
+            m = int(pos.size)
+            if threshold is not None and m >= threshold:
+                block, announce = self._shm_block(w, _SHM_BYTES_PER_REQ * m)
+                buf = block.buf
+                buf[: 8 * m] = wpages.astype(np.int64).tobytes()
+                buf[8 * m : 12 * m] = pos32.tobytes()
+                self._send(w, ("A", t0, m, announce))
+                sends.append((w, pos, True))
+            else:
+                self._send(w, ("a", t0, pos32.tobytes(), wpages.tobytes()))
+                sends.append((w, pos, False))
+        flags = np.empty(n, dtype=np.uint8)
+        for w, pos, via_shm in sends:
+            if via_shm:
+                self._recv_bytes(w)  # sync marker; flags live in shm
+                m = int(pos.size)
+                flags[pos] = np.frombuffer(
+                    self._shm[w].buf, dtype=np.uint8, count=m, offset=12 * m
+                )
+            else:
+                flags[pos] = np.frombuffer(self._recv_bytes(w), dtype=np.uint8)
+        return flags
+
+    def apply_detail(
+        self, pages: np.ndarray, t0: int
+    ) -> List[Tuple[bool, Optional[int], int]]:
+        """Serve one batch keeping per-request ``(hit, victim, shard)``."""
+        pages = np.ascontiguousarray(pages, dtype=np.int64)
+        wids = self._page_worker[pages]
+        sends: List[Tuple[int, np.ndarray]] = []
+        for w in range(self.num_workers):
+            pos = np.nonzero(wids == w)[0]
+            if not pos.size:
+                continue
+            self._send(
+                w,
+                ("d", t0, pos.astype(np.int32).tobytes(), pages[pos].tobytes()),
+            )
+            sends.append((w, pos))
+        out: List[Optional[Tuple[bool, Optional[int], int]]] = [None] * int(
+            pages.size
+        )
+        for w, pos in sends:
+            for i, tup in zip(pos.tolist(), self._recv(w)):
+                out[i] = tuple(tup)
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Scrape-time gather
+    # ------------------------------------------------------------------
+    def worker_snapshots(
+        self, best_effort: bool = False
+    ) -> List[Dict[str, object]]:
+        """One ground-truth snapshot per worker (see
+        ``_WorkerState.snapshot``); with *best_effort* dead workers are
+        skipped instead of raising."""
+        snaps: List[Dict[str, object]] = []
+        polled: List[int] = []
+        for w in range(self.num_workers):
+            try:
+                self._send(w, ("s",))
+                polled.append(w)
+            except WorkerCrashed:
+                if not best_effort:
+                    raise
+        for w in polled:
+            try:
+                snaps.append(self._recv(w))
+            except WorkerCrashed:
+                if not best_effort:
+                    raise
+        return snaps
+
+    def snapshot(self, best_effort: bool = False) -> Dict[str, object]:
+        """Merge the worker snapshots into one pool-level document."""
+        snaps = self.worker_snapshots(best_effort=best_effort)
+        hits = [0] * self.num_users
+        misses = [0] * self.num_users
+        window_bins: Dict[int, List[int]] = {}
+        shards: List[Dict[str, object]] = []
+        merged: Dict[str, object] = {
+            "workers": self.num_workers,
+            "served": 0,
+            "monitor_flags": 0,
+            "monitor_samples": 0,
+            "flight_len": 0,
+        }
+        for snap in snaps:
+            merged["served"] += snap["served"]
+            merged["monitor_flags"] += snap["monitor_flags"]
+            merged["monitor_samples"] += snap["monitor_samples"]
+            merged["flight_len"] += snap["flight_len"]
+            for i, h in enumerate(snap["hits"]):
+                hits[i] += h
+            for i, m in enumerate(snap["misses"]):
+                misses[i] += m
+            for idx, row in snap["window_bins"].items():
+                tgt = window_bins.setdefault(int(idx), [0] * self.num_users)
+                for i, v in enumerate(row):
+                    tgt[i] += v
+            shards.extend(snap["shards"])
+        shards.sort(key=lambda row: row["shard"])
+        merged.update(
+            {
+                "hits": hits,
+                "misses": misses,
+                "window_bins": window_bins,
+                "shards": shards,
+            }
+        )
+        return merged
+
+    def flight_windows(
+        self, best_effort: bool = False
+    ) -> List[Tuple[Dict[str, object], List[tuple]]]:
+        """Per-worker ``(meta, raw events)`` flight windows."""
+        out: List[Tuple[Dict[str, object], List[tuple]]] = []
+        polled: List[int] = []
+        for w in range(self.num_workers):
+            try:
+                self._send(w, ("f",))
+                polled.append(w)
+            except WorkerCrashed:
+                if not best_effort:
+                    raise
+        for w in polled:
+            try:
+                out.append(tuple(self._recv(w)))
+            except WorkerCrashed:
+                if not best_effort:
+                    raise
+        return out
+
+    def merged_flight_events(self, best_effort: bool = False) -> List[tuple]:
+        """All workers' windows k-way-merged by global time.
+
+        Every request appends exactly one event on exactly one worker,
+        so as long as no per-worker ring wrapped, the merge is the
+        *dense* global window — directly
+        :func:`~repro.obs.flight.replay_verify`-able.
+        """
+        windows = self.flight_windows(best_effort=best_effort)
+        return list(
+            heapq.merge(*(events for _meta, events in windows),
+                        key=lambda ev: ev[0])
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """All workers running and the pool not closed."""
+        return (
+            not self._closed
+            and bool(self._procs)
+            and all(p.is_alive() for p in self._procs)
+        )
+
+    def close(self, graceful: bool = True) -> None:
+        """Shut the workers down (idempotent).
+
+        Graceful close sends each live worker the close op and joins
+        it; anything unresponsive is terminated.  Shared-memory blocks
+        are unlinked last.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if graceful:
+            for w, conn in enumerate(self._conns):
+                try:
+                    conn.send(("c",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for w in range(len(self._conns)):
+                try:
+                    if self._conns[w].poll(1.0):
+                        self._conns[w].recv()
+                except (EOFError, OSError):
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for block in self._shm:
+            if block is not None:
+                block.close()
+                try:
+                    block.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._shm = [None] * len(self._shm)
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close(graceful=False)
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardWorkerPool(name={self.name!r}, W={self.num_workers}, "
+            f"S={self.num_shards}, alive={self.alive})"
+        )
+
+
+__all__ = ["ShardWorkerPool", "WorkerCrashed", "WorkerSpec"]

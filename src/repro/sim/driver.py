@@ -107,6 +107,7 @@ def simulate_many(
     record_events: bool = False,
     record_curve: bool = False,
     workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
     obs: Optional["Observability"] = None,
 ) -> List[GridRun]:
     """Run every (policy, k, trace) combination, optionally in parallel.
@@ -137,6 +138,11 @@ def simulate_many(
         ``ProcessPoolExecutor`` with that many workers; results are
         bit-identical to the serial run and come back in the same
         order.
+    chunksize:
+        Cells pickled per pool task (parallel runs only).  Defaults to
+        ``max(1, cells // (8 * workers))`` so large grids stop paying
+        one pickle round-trip per cell while keeping ~8 tasks per
+        worker for load balancing.
     obs:
         Telemetry bundle for the *grid* level: one ``sim.grid`` span
         around the whole product, a ``sim.cell`` event per completed
@@ -198,10 +204,16 @@ def simulate_many(
             outputs = [_run_cell(job) for job in jobs]
         else:
             workers = check_positive_int(workers, "workers")
+            if chunksize is None:
+                chunksize = max(1, len(jobs) // (8 * workers))
+            else:
+                chunksize = check_positive_int(chunksize, "chunksize")
             from concurrent.futures import ProcessPoolExecutor
 
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                outputs = list(pool.map(_run_cell, jobs))
+                outputs = list(
+                    pool.map(_run_cell, jobs, chunksize=chunksize)
+                )
 
         if obs.tracer.enabled:
             for (name, k, trace_index, _seed), (elapsed, result) in zip(

@@ -75,6 +75,70 @@ def test_single_shard_serve_matches_simulate(policy_name, trace_name):
         assert report.stats["misses"] == report.misses
 
 
+@pytest.mark.parametrize("policy_name", sorted(POLICY_REGISTRY))
+def test_parallel_serving_matches_simulate(policy_name):
+    """Equivalence under process parallelism, for every registered
+    policy: with one shard, serving at any worker count is bit-identical
+    to ``simulate()`` (per-tenant misses AND costs); with four shards,
+    per-tenant misses/costs are invariant across ``workers ∈ {1,2,4}``
+    (the global clock is assigned before routing, so each shard sees the
+    identical subsequence regardless of which process owns it)."""
+    trace = random_multi_tenant_trace(4, 60, 2000, seed=13)
+    costs = [MonomialCost(2)] * trace.num_users
+    k = 64
+    sim = simulate(
+        trace, make_policy(POLICY_REGISTRY[policy_name]), k, costs=costs
+    )
+    sim_cost = float(
+        sum(f.value(int(m)) for f, m in zip(costs, sim.user_misses))
+    )
+    for workers in (1, 2, 4):
+        report = serve_trace(
+            trace, policy_name, k, costs, num_shards=1,
+            policy_seed=SEED, workers=workers,
+        )
+        assert fingerprint(report.hits, report.misses, report.user_misses) == (
+            fingerprint(sim.hits, sim.misses, sim.user_misses)
+        ), f"{policy_name} with workers={workers} diverged from simulate()"
+        assert report.cost(costs) == sim_cost
+        assert report.stats["total_cost"] == sim_cost
+
+    if POLICY_REGISTRY[policy_name]().requires_future:
+        return  # offline policies are restricted to num_shards=1
+    sharded = [
+        serve_trace(
+            trace, policy_name, k, costs, num_shards=4,
+            policy_seed=SEED, workers=workers,
+        )
+        for workers in (1, 2, 4)
+    ]
+    base = sharded[0]
+    for report in sharded[1:]:
+        assert fingerprint(report.hits, report.misses, report.user_misses) == (
+            fingerprint(base.hits, base.misses, base.user_misses)
+        ), f"{policy_name} sharded serving depends on the worker count"
+        assert report.stats["total_cost"] == base.stats["total_cost"]
+        assert report.stats["tenants"] == base.stats["tenants"]
+
+
+def test_parallel_serving_windowed_sla_rows_match():
+    """Workers bin misses by the global window index, so merged
+    windowed SLA rows equal the single-ledger rows exactly."""
+    trace = random_multi_tenant_trace(4, 60, 3000, seed=5)
+    costs = [MonomialCost(2)] * trace.num_users
+    reports = [
+        serve_trace(
+            trace, "lru", 64, costs, num_shards=4, policy_seed=SEED,
+            window=256, workers=workers,
+        )
+        for workers in (1, 2, 4)
+    ]
+    base_rows = reports[0].stats["windowed_misses"]
+    assert len(base_rows) == -(-trace.length // 256)
+    for report in reports[1:]:
+        assert report.stats["windowed_misses"] == base_rows
+
+
 def test_batch_size_does_not_change_results():
     trace = TRACES["multi-tenant"]()
     costs = [MonomialCost(2)] * trace.num_users

@@ -1,0 +1,302 @@
+"""ShardWorkerPool mechanics: routing, the pipe/shm wire, scrape-time
+merges, per-worker flight windows, crash semantics, and the replay
+report's timing split.
+
+The equivalence of *results* under parallelism (every registry policy,
+workers x shards) lives in ``tests/test_serve_equivalence.py``; this
+file tests the pool machinery itself plus the failure paths that the
+equivalence suite never exercises — a worker dying mid-replay must fail
+awaiting clients with :class:`~repro.serve.ServerClosed`, auto-dump the
+surviving flight windows, and never hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cost_functions import MonomialCost
+from repro.obs import FlightRecorder, Observability, replay_verify
+from repro.obs.flight import load_flight
+from repro.serve import (
+    CacheServer,
+    ServerClosed,
+    ShardWorkerPool,
+    WorkerCrashed,
+    serve_trace,
+)
+from repro.serve.accounting import CostLedger
+from repro.serve.shard import page_hash, page_hash_array
+from repro.sim import simulate
+from repro.sim.driver import simulate_many
+from repro.workloads.builders import random_multi_tenant_trace, zipf_trace
+
+SEED = 7
+
+
+def make_pool(trace, costs, *, workers, shards=4, k=64, **kw):
+    return ShardWorkerPool(
+        "lru", workers, shards, k, trace.owners, costs,
+        policy_seed=SEED, **kw,
+    )
+
+
+def drive(pool, trace, batch=128):
+    """Feed the trace through the pool in batches; return merged flags."""
+    out = np.empty(trace.length, dtype=np.uint8)
+    for t0 in range(0, trace.length, batch):
+        chunk = trace.requests[t0 : t0 + batch]
+        out[t0 : t0 + len(chunk)] = pool.apply(chunk, t0)
+    return out
+
+
+def test_page_hash_array_matches_scalar():
+    pages = np.arange(0, 5000, 7, dtype=np.int64)
+    vec = page_hash_array(pages)
+    assert vec.dtype == np.uint64
+    assert [int(v) for v in vec] == [page_hash(int(p)) for p in pages]
+
+
+def test_pool_flags_invariant_across_workers_and_wire():
+    """The merged hit flags are bit-identical for any worker count and
+    for the pipe-payload vs shared-memory exchanges."""
+    trace = random_multi_tenant_trace(4, 50, 2000, seed=11)
+    costs = [MonomialCost(2)] * trace.num_users
+    base = None
+    for workers, shm_threshold in (
+        (1, None),
+        (2, None),
+        (4, None),
+        (2, 1),  # force every exchange through shared memory
+        (4, 64),  # mixed: small remainders by pipe, full batches by shm
+    ):
+        pool = make_pool(
+            trace, costs, workers=workers, shm_threshold=shm_threshold
+        )
+        try:
+            flags = drive(pool, trace)
+        finally:
+            pool.close()
+        if base is None:
+            base = flags
+        else:
+            assert np.array_equal(flags, base), (
+                f"workers={workers} shm_threshold={shm_threshold} diverged"
+            )
+    # Tie the pool to the (simulate-verified) serving path.
+    report = serve_trace(
+        trace, "lru", 64, costs, num_shards=4, policy_seed=SEED
+    )
+    assert int(base.sum()) == report.hits
+
+
+def test_pool_detail_path_matches_batch_path():
+    trace = zipf_trace(150, 1200, skew=1.2, seed=3)
+    costs = [MonomialCost(2)] * trace.num_users
+    pool_a = make_pool(trace, costs, workers=2)
+    pool_b = make_pool(trace, costs, workers=2)
+    try:
+        flags = drive(pool_a, trace, batch=97)
+        details = []
+        for t0 in range(0, trace.length, 97):
+            chunk = trace.requests[t0 : t0 + 97]
+            details.extend(pool_b.apply_detail(chunk, t0))
+        assert [bool(f) for f in flags] == [hit for hit, _v, _s in details]
+        # Each page's shard lives on the worker the routing table says.
+        wid_of = pool_a.route(trace.requests)
+        for (hit, victim, sid), wid in zip(details, wid_of):
+            assert sid % pool_a.num_workers == wid
+            assert victim is None or not hit
+    finally:
+        pool_a.close()
+        pool_b.close()
+
+
+def test_pool_snapshot_merges_to_single_ledger():
+    """The merged snapshot rebuilds, through ``CostLedger.
+    from_counters``, exactly the ledger a single-process server keeps."""
+    trace = random_multi_tenant_trace(4, 50, 2500, seed=9)
+    costs = [MonomialCost(2)] * trace.num_users
+    window = 256
+    pool = make_pool(trace, costs, workers=3, shards=5, window=window)
+    try:
+        flags = drive(pool, trace)
+        snap = pool.snapshot()
+    finally:
+        pool.close()
+    assert snap["workers"] == 3
+    assert snap["served"] == trace.length
+    assert sum(snap["hits"]) == int(flags.sum())
+    assert [row["shard"] for row in snap["shards"]] == list(range(5))
+    merged = CostLedger.from_counters(
+        trace.num_users, costs=costs, window=window,
+        hits=snap["hits"], misses=snap["misses"],
+        total_requests=snap["served"], window_bins=snap["window_bins"],
+    )
+    single = serve_trace(
+        trace, "lru", 64, costs, num_shards=5, policy_seed=SEED,
+        window=window,
+    )
+    assert merged.hits == single.hits
+    assert merged.misses == single.misses
+    assert [r["misses"] for r in merged.snapshot()["tenants"]] == [
+        r["misses"] for r in single.stats["tenants"]
+    ]
+    assert merged.windowed_miss_counts().tolist() == (
+        single.stats["windowed_misses"]
+    )
+
+
+def test_pool_flight_windows_replay_exactly():
+    """Each worker's sparse window replays bit-for-bit with
+    ``dense=False``; the k-way merge of all windows is the dense global
+    stream and replays with the default check."""
+    trace = random_multi_tenant_trace(3, 40, 1500, seed=21)
+    costs = [MonomialCost(2)] * trace.num_users
+    meta = {"policy": "lru", "k": 48, "num_shards": 4, "policy_seed": SEED}
+    pool = ShardWorkerPool(
+        "lru", 2, 4, 48, trace.owners, costs, policy_seed=SEED,
+        flight_capacity=trace.length, flight_meta=meta,
+    )
+    try:
+        drive(pool, trace)
+        windows = pool.flight_windows()
+        merged = pool.merged_flight_events()
+    finally:
+        pool.close()
+    assert len(windows) == 2
+    assert sum(len(events) for _m, events in windows) == trace.length
+    for w_meta, events in windows:
+        assert w_meta["dense"] is False
+        check = replay_verify(
+            events, "lru", 48, trace.owners, costs=costs,
+            num_shards=4, policy_seed=SEED, dense=False,
+        )
+        assert check.ok, check.mismatches
+    assert [ev[0] for ev in merged] == list(range(trace.length))
+    check = replay_verify(
+        merged, "lru", 48, trace.owners, costs=costs,
+        num_shards=4, policy_seed=SEED,
+    )
+    assert check.ok, check.mismatches
+
+
+def test_pool_construction_errors_surface():
+    """Worker build failures come back over the handshake as a
+    ``WorkerCrashed`` naming the cause, not a silent child death."""
+    trace = zipf_trace(50, 10, skew=1.0, seed=1)
+    with pytest.raises(WorkerCrashed, match="unknown policy"):
+        ShardWorkerPool("no-such-policy", 2, 4, 16, trace.owners)
+    # Future-dependent policies are single-shard only, same as the
+    # in-process ShardManager rule.
+    with pytest.raises(WorkerCrashed, match="num_shards=1"):
+        ShardWorkerPool(
+            "belady", 2, 4, 16, trace.owners, trace=trace, horizon=10
+        )
+
+
+def test_worker_crash_fails_futures_and_dumps_flight(tmp_path):
+    """Kill a worker mid-replay: awaiting clients get a ServerClosed
+    subclass (no hang), the server refuses new work, the surviving
+    flight windows are auto-dumped, and stop() still completes."""
+    trace = random_multi_tenant_trace(4, 60, 4000, seed=2)
+    costs = [MonomialCost(2)] * trace.num_users
+    dump = str(tmp_path / "crash-flight.jsonl")
+    obs = Observability()
+    obs.flight = FlightRecorder(capacity=8192, dump_path=dump)
+
+    async def run():
+        server = CacheServer(
+            "lru", 64, trace.owners, costs, num_shards=4,
+            policy_seed=SEED, workers=2, obs=obs,
+        )
+        await server.start()
+        try:
+            await server.request_many(trace.requests[:1000].tolist())
+            victim_proc = server._pool._procs[0]
+            victim_proc.kill()
+            victim_proc.join(timeout=10)
+            with pytest.raises(ServerClosed):
+                await asyncio.wait_for(
+                    server.request_many(trace.requests[1000:2000].tolist()),
+                    timeout=30,
+                )
+            # Ingress is closed: later submissions fail fast, not hang.
+            with pytest.raises(ServerClosed):
+                await asyncio.wait_for(server.request(5), timeout=30)
+        finally:
+            await asyncio.wait_for(server.stop(), timeout=30)
+        return server
+
+    server = asyncio.run(run())
+    assert obs.flight.last_dump_reason == "worker-crash"
+    events = load_flight(dump)
+    assert len(events.events) > 0
+    # Post-crash scrapes still answer from the cached best-effort view.
+    # Post-crash scrapes still answer from the surviving workers' view.
+    stats = server.stats()
+    assert stats["workers"] == 2
+    assert stats["requests"] > 0
+
+
+def test_replay_report_times_only_the_replay_window():
+    """Worker spawn and drain are reported separately and excluded from
+    the throughput window, so requests_per_sec measures serving alone
+    for both the in-process and the parallel path."""
+    trace = zipf_trace(200, 3000, skew=1.1, seed=8)
+    costs = [MonomialCost(2)] * trace.num_users
+    plain = serve_trace(trace, "lru", 64, costs, num_shards=2, workers=1)
+    parallel = serve_trace(trace, "lru", 64, costs, num_shards=2, workers=2)
+    for report in (plain, parallel):
+        assert report.elapsed > 0
+        assert report.startup_seconds >= 0
+        assert report.drain_seconds >= 0
+        assert report.requests_per_sec == pytest.approx(
+            trace.length / report.elapsed
+        )
+    assert plain.workers == 1
+    assert parallel.workers == 2
+    # Fork+handshake dwarfs one request; it must not leak into elapsed:
+    # both paths' per-request time stays within an order of magnitude
+    # (startup alone is ~30ms, >> the whole single-process replay).
+    assert parallel.startup_seconds > 0
+    ratio = parallel.elapsed / plain.elapsed
+    assert 0.02 < ratio < 50, (
+        f"replay-window timing diverged: {plain.elapsed:.4f}s vs "
+        f"{parallel.elapsed:.4f}s (is startup being counted?)"
+    )
+
+
+def test_simulate_many_chunksize_is_result_invariant():
+    traces = [zipf_trace(80, 400, skew=1.0, seed=s) for s in (1, 2)]
+    serial = simulate_many(["lru", "fifo"], [16, 32], traces, base_seed=3)
+    for chunksize in (1, 3):
+        parallel = simulate_many(
+            ["lru", "fifo"], [16, 32], traces, base_seed=3,
+            workers=2, chunksize=chunksize,
+        )
+        assert [
+            (r.policy, r.k, r.trace_index, r.seed, r.result.misses)
+            for r in parallel
+        ] == [
+            (r.policy, r.k, r.trace_index, r.seed, r.result.misses)
+            for r in serial
+        ]
+    with pytest.raises(ValueError):
+        simulate_many(["lru"], [16], traces, workers=2, chunksize=0)
+
+
+def test_repro_obs_off_parallel_serving(monkeypatch):
+    """REPRO_OBS=off must not break the parallel path (workers skip
+    timing/monitor/flight work entirely)."""
+    monkeypatch.setenv("REPRO_OBS", "off")
+    trace = zipf_trace(100, 800, skew=1.0, seed=4)
+    costs = [MonomialCost(2)] * trace.num_users
+    report = serve_trace(
+        trace, "lru", 32, costs, num_shards=2, policy_seed=SEED, workers=2
+    )
+    assert report.hits + report.misses == trace.length
+    assert report.stats["workers"] == 2
