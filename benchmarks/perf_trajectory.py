@@ -32,6 +32,12 @@ recorder (<5% attached on the hot 4-shard serve case, <3% residue
 after detach — both asserted in-run) and, informationally, a
 streaming Theorem-1.1 auditor riding the same run.
 
+A sixth section measures the out-of-core columnar path
+(``repro.sim.colstore``): streamed-from-disk vs in-RAM simulation
+throughput (>=0.5x bar), ring- vs pipe-transport serving from a
+reader (counters asserted identical), and the flat-memory claim as a
+hard peak-RSS bound on a subprocess streaming a 5M-request store.
+
 A fifth section measures process-parallel serving
 (``CacheServer(workers=W)``): hot-case throughput at workers 1/2/4
 with 4 shards, all worker counts interleaved rep by rep.  The
@@ -90,6 +96,14 @@ OBS_ENABLED_BAR = 0.05
 # an unconditional `is not None` branch when not.
 FLIGHT_ENABLED_BAR = 0.05
 FLIGHT_DISABLED_BAR = 0.03
+
+# Out-of-core bars.  Streaming a hot 50k simulation from a columnar
+# store (mmap batches + store open) must keep at least half the
+# in-RAM throughput; the flat-memory claim is a hard RSS bound on a
+# subprocess streaming a trace 100x larger than the 50k timing shape.
+OUTOFCORE_STREAM_BAR = 0.5
+OUTOFCORE_RSS_REQUESTS = 5_000_000
+OUTOFCORE_RSS_BOUND_MB = 300
 
 CASES = {
     "mixed": {"skew": 0.9, "k": 256},
@@ -558,9 +572,215 @@ def parallel_serving_rows(trace, k: int, reps: int):
     }
 
 
+def outofcore_rows(trace, k: int, reps: int):
+    """Columnar-store section: streamed vs in-RAM simulate throughput,
+    ring- vs pipe-transport serving from a reader, and the flat-memory
+    claim as a subprocess peak-RSS bound.
+
+    Throughput rows interleave in-RAM and streamed reps (and ring and
+    pipe reps) round by round, like every other section.  The RSS rows
+    stream a trace 100x the timing shape (:data:`OUTOFCORE_RSS_REQUESTS`
+    requests) in a child process that reports its own
+    ``getrusage(RUSAGE_SELF).ru_maxrss``; the streamed bound is
+    asserted, the in-RAM row (which materializes the column first) is
+    recorded for contrast.
+    """
+    import subprocess
+    import tempfile
+
+    from repro.sim import open_trace, write_columnar
+
+    reps = max(reps, 5)
+    rows = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = os.path.join(tmp, "hot")
+        reader = write_columnar(trace, store)
+
+        # -- simulate: in-RAM vs streamed, interleaved -------------
+        sim_rows = []
+        for policy_name in SERVE_POLICIES:
+            costs = [MonomialCost(2)] * trace.num_users
+            factory = POLICY_REGISTRY[policy_name]
+            best = {"in_ram": 0.0, "streamed": 0.0}
+            for _ in range(reps):
+                for mode in ("in_ram", "streamed"):
+                    src = trace if mode == "in_ram" else open_trace(store)
+                    start = time.perf_counter()
+                    simulate(src, factory(), k, costs=costs, validate=False)
+                    dt = time.perf_counter() - start
+                    best[mode] = max(best[mode], trace.length / dt)
+            ratio = best["streamed"] / best["in_ram"]
+            sim_rows.append(
+                {
+                    "policy": policy_name,
+                    "in_ram_rps": round(best["in_ram"]),
+                    "streamed_rps": round(best["streamed"]),
+                    "streamed_over_in_ram": round(ratio, 2),
+                    "in_ram_bytes_per_request": int(
+                        trace.requests.dtype.itemsize
+                    ),
+                    "streamed_bytes_per_request": reader.nbytes_per_request,
+                }
+            )
+            print(
+                f"outofcore sim {policy_name:14s} "
+                f"in-ram={best['in_ram'] / 1e3:7.0f}k "
+                f"streamed={best['streamed'] / 1e3:7.0f}k "
+                f"ratio={ratio:.2f}x"
+            )
+            assert ratio >= OUTOFCORE_STREAM_BAR, (
+                f"streamed {policy_name} at {ratio:.2f}x of in-RAM, below "
+                f"the {OUTOFCORE_STREAM_BAR}x bar"
+            )
+        rows["simulate"] = sim_rows
+
+        # -- serving: ring vs pipe transport from a reader ---------
+        serve_rows = []
+        costs = [MonomialCost(2)] * trace.num_users
+        for policy_name in SERVE_POLICIES:
+            best = {"ring": 0.0, "pipe": 0.0}
+            fingerprints = {}
+            for _ in range(reps):
+                for transport in ("ring", "pipe"):
+                    report = serve_trace(
+                        open_trace(store), policy_name, k, costs,
+                        num_shards=4, batch=256, policy_seed=0,
+                        validate=False, workers=2, transport=transport,
+                    )
+                    best[transport] = max(
+                        best[transport], report.requests_per_sec
+                    )
+                    fingerprints[transport] = (
+                        report.hits,
+                        report.misses,
+                        tuple(report.user_misses.tolist()),
+                    )
+            assert fingerprints["ring"] == fingerprints["pipe"], policy_name
+            delta = 100.0 * (best["ring"] / best["pipe"] - 1.0)
+            serve_rows.append(
+                {
+                    "policy": policy_name,
+                    "num_shards": 4,
+                    "workers": 2,
+                    "ring_rps": round(best["ring"]),
+                    "pipe_rps": round(best["pipe"]),
+                    "ring_vs_pipe_pct": round(delta, 1),
+                }
+            )
+            print(
+                f"outofcore serve {policy_name:14s} "
+                f"ring={best['ring'] / 1e3:6.0f}k "
+                f"pipe={best['pipe'] / 1e3:6.0f}k "
+                f"ring-vs-pipe={delta:+.1f}%"
+            )
+        rows["serving"] = serve_rows
+
+        # -- flat memory: subprocess peak RSS on a 100x trace ------
+        big_store = os.path.join(tmp, "big")
+        big = zipf_trace(
+            NUM_PAGES, OUTOFCORE_RSS_REQUESTS, skew=2.0, seed=0
+        )
+        write_columnar(big, big_store)
+        del big
+        child = (
+            "import json, resource, sys\n"
+            "from repro.policies import POLICY_REGISTRY\n"
+            "from repro.sim import open_trace, simulate\n"
+            "mode, store, k = sys.argv[1], sys.argv[2], int(sys.argv[3])\n"
+            "src = open_trace(store)\n"
+            "if mode == 'in_ram':\n"
+            "    src = src.materialize()\n"
+            "r = simulate(src, POLICY_REGISTRY['lru'](), k, validate=False)\n"
+            "json.dump({'misses': r.misses, 'peak_kb':\n"
+            "    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss},\n"
+            "    sys.stdout)\n"
+        )
+        rss_rows = []
+        misses = {}
+        for mode in ("in_ram", "streamed"):
+            out = subprocess.run(
+                [sys.executable, "-c", child, mode, big_store, str(k)],
+                check=True, capture_output=True, text=True,
+                env={
+                    **os.environ,
+                    "PYTHONPATH": str(
+                        Path(__file__).resolve().parent.parent / "src"
+                    ),
+                },
+            ).stdout
+            got = json.loads(out)
+            misses[mode] = got["misses"]
+            peak_mb = got["peak_kb"] / 1024.0
+            rss_rows.append(
+                {
+                    "mode": mode,
+                    "requests": OUTOFCORE_RSS_REQUESTS,
+                    "peak_rss_mb": round(peak_mb, 1),
+                }
+            )
+            print(
+                f"outofcore rss {mode:9s} {OUTOFCORE_RSS_REQUESTS} requests "
+                f"peak={peak_mb:.0f}MB"
+            )
+        assert misses["in_ram"] == misses["streamed"], misses
+        streamed_mb = rss_rows[-1]["peak_rss_mb"]
+        assert streamed_mb < OUTOFCORE_RSS_BOUND_MB, (
+            f"streamed peak RSS {streamed_mb:.0f}MB >= "
+            f"{OUTOFCORE_RSS_BOUND_MB}MB bound"
+        )
+        rows["peak_rss"] = rss_rows
+
+    # Ring serving from disk vs PR5's in-RAM workers=2 snapshot —
+    # informational, like every cross-run reference here.
+    prev = Path("BENCH_PR5.json")
+    if prev.exists():
+        prev_rows = json.loads(prev.read_text())["parallel_serving"]["rows"]
+        prev_w2 = {
+            r["policy"]: r["serve_rps"]
+            for r in prev_rows
+            if r["case"] == "hot" and r["workers"] == 2
+        }
+        vs_prev = []
+        for r in serve_rows:
+            if r["policy"] in prev_w2:
+                vs_prev.append(
+                    {
+                        "policy": r["policy"],
+                        "pr5_pickle_rps": prev_w2[r["policy"]],
+                        "ring_rps": r["ring_rps"],
+                        "delta_pct": round(
+                            100.0
+                            * (r["ring_rps"] / prev_w2[r["policy"]] - 1.0),
+                            2,
+                        ),
+                    }
+                )
+        rows["vs_bench_pr5"] = vs_prev
+        for r in vs_prev:
+            print(
+                f"outofcore vs-PR5 {r['policy']:14s} "
+                f"pr5-pickle={r['pr5_pickle_rps'] / 1e3:6.0f}k "
+                f"ring={r['ring_rps'] / 1e3:6.0f}k "
+                f"delta={r['delta_pct']:+.1f}%"
+            )
+
+    return {
+        "benchmark": (
+            "out-of-core columnar traces: streamed vs in-RAM simulate, "
+            "ring vs pipe worker transport from a reader, subprocess "
+            "peak RSS on a 100x trace"
+        ),
+        "bars": {
+            "streamed_over_in_ram": OUTOFCORE_STREAM_BAR,
+            "streamed_peak_rss_mb": OUTOFCORE_RSS_BOUND_MB,
+        },
+        **rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR5.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_PR6.json", help="output JSON path")
     parser.add_argument("--reps", type=int, default=3, help="timing reps (best-of)")
     args = parser.parse_args(argv)
 
@@ -656,6 +876,7 @@ def main(argv=None) -> int:
         },
         "rows": flight_rows,
     }
+    report["outofcore"] = outofcore_rows(hot_trace, hot["k"], args.reps)
 
     # Cross-run reference against the previous PR's snapshot, recorded
     # informationally only: machine-to-machine / run-to-run variance on

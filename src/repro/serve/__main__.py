@@ -6,7 +6,7 @@ Two subcommands::
     python -m repro.serve serve --policy alg-discrete --k 256 \\
         --tenants 4 --pages-per-tenant 500 --beta 2 --port 9731
 
-    # Replay a CSV trace (.gz accepted) against a running server:
+    # Replay a CSV (.gz ok) or columnar trace against a running server:
     python -m repro.serve replay --host 127.0.0.1 --port 9731 trace.csv.gz
 
 The ``serve`` universe is ``tenants * pages-per-tenant`` pages owned in
@@ -70,6 +70,7 @@ async def _serve(args: argparse.Namespace) -> int:
         obs=obs,
         monitor_every=args.monitor_every,
         workers=args.workers,
+        transport=args.transport,
         shm_threshold=args.shm_threshold,
     )
     await server.start()
@@ -121,9 +122,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--shards; 1 = in-process)",
     )
     serve_p.add_argument(
+        "--transport", choices=("ring", "pipe"), default="ring",
+        help="worker-exchange transport: persistent shared-memory ring "
+        "(default) or framed pipe payloads",
+    )
+    serve_p.add_argument(
         "--shm-threshold", type=int, default=4096, metavar="N",
-        help="per-worker batch size at which worker exchanges switch "
-        "from pipe payloads to shared memory",
+        help="pipe transport only: per-worker batch size at which an "
+        "exchange escalates to the shared-memory ring",
     )
     serve_p.add_argument("--tenants", type=int, default=4)
     serve_p.add_argument("--pages-per-tenant", type=int, default=500)
@@ -170,8 +176,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="auditor lookahead window (default 2*k)",
     )
 
-    replay_p = sub.add_parser("replay", help="replay a CSV trace over TCP")
-    replay_p.add_argument("trace", help="page,tenant CSV path (.gz accepted)")
+    replay_p = sub.add_parser(
+        "replay", help="replay a CSV or columnar trace over TCP"
+    )
+    replay_p.add_argument(
+        "trace",
+        help="page,tenant CSV path (.gz accepted) or a columnar trace "
+        "directory (streamed, never materialized)",
+    )
     replay_p.add_argument("--host", default="127.0.0.1")
     replay_p.add_argument("--port", type=int, required=True)
     replay_p.add_argument("--batch", type=int, default=256)

@@ -16,9 +16,14 @@ serving order — the server's single consumer guarantees it):
 * :func:`replay_tcp` — the same replay over the line-delimited JSON
   TCP front end (used by the CI smoke job).
 
-CSV traces — including ``.gz``-compressed ones — replay via
-:func:`load_trace_file`, which routes through
-:mod:`repro.sim.trace_io`.
+On-disk traces replay via :func:`load_trace_file`: ``page,tenant``
+CSVs — including ``.gz``-compressed ones — route through
+:mod:`repro.sim.trace_io` and materialize, while columnar trace
+directories (:mod:`repro.sim.colstore`) open as a
+:class:`~repro.sim.colstore.TraceReader` and **stream**:
+:func:`replay` feeds reader batches straight off the mmap'd segments,
+so a replay's client-side footprint is bounded by the batch size, not
+the trace length.
 
 :func:`serve_trace` is the one-call convenience wrapped in
 ``asyncio.run``: build a server, replay a trace, stop, return the
@@ -43,6 +48,7 @@ from repro.core.cost_functions import CostFunction
 from repro.obs import Observability
 from repro.serve.server import CacheServer
 from repro.serve.shard import PolicySpec
+from repro.sim.colstore import TraceReader, is_columnar, open_trace
 from repro.sim.trace import Trace
 from repro.sim.trace_io import load_csv
 from repro.util.rng import RandomSource, ensure_rng
@@ -102,15 +108,32 @@ class ReplayReport:
         )
 
 
+def _batch_views(trace: Union[Trace, TraceReader], batch: int):
+    """Page-array batches in trace order: slices of the in-RAM request
+    array, or zero-copy segment views off a columnar reader."""
+    if isinstance(trace, Trace):
+        requests = trace.requests
+        for lo in range(0, requests.size, batch):
+            yield requests[lo : lo + batch]
+    else:
+        for _t0, chunk in trace.batches(batch):
+            yield chunk
+
+
 async def replay(
     server: CacheServer,
-    trace: Trace,
+    trace: Union[Trace, TraceReader],
     *,
     batch: int = 256,
     rate: Optional[float] = None,
     pipeline: int = 4,
 ) -> ReplayReport:
     """Feed *trace* through a started *server*, in order.
+
+    *trace* may be an in-RAM :class:`~repro.sim.trace.Trace` or a
+    columnar :class:`~repro.sim.colstore.TraceReader` — a reader is
+    consumed batch-by-batch off its mmap'd segments, so the client
+    never holds more than one segment resident.
 
     Parameters
     ----------
@@ -127,9 +150,8 @@ async def replay(
     pipeline = check_positive_int(pipeline, "pipeline")
     if rate is not None:
         rate = check_positive(rate, "rate")
-    requests = trace.requests
-    owners = trace.owners
-    T = requests.size
+    owners = np.asarray(trace.owners)
+    T = trace.length
     user_misses = np.zeros(max(trace.num_users, 1), dtype=np.int64)
     hits = 0
 
@@ -142,8 +164,7 @@ async def replay(
     start = time.perf_counter()
     inflight: List[tuple] = []  # (future, pages) in submission order
     sent = 0
-    for lo in range(0, T, batch):
-        pages = requests[lo : lo + batch]
+    for pages in _batch_views(trace, batch):
         if rate is not None:
             target = start + sent / rate
             delay = target - time.perf_counter()
@@ -236,20 +257,20 @@ async def replay_stream(
 async def replay_tcp(
     host: str,
     port: int,
-    trace: Trace,
+    trace: Union[Trace, TraceReader],
     *,
     batch: int = 256,
 ) -> Dict[str, object]:
-    """Replay *trace* over the TCP front end; returns the final
-    ``/stats`` document plus client-side ``client_hits`` /
-    ``client_misses`` totals (summed from batch responses)."""
+    """Replay *trace* (in-RAM or a streaming columnar reader) over the
+    TCP front end; returns the final ``/stats`` document plus
+    client-side ``client_hits`` / ``client_misses`` totals (summed from
+    batch responses)."""
     batch = check_positive_int(batch, "batch")
     reader, writer = await asyncio.open_connection(host, port)
     hits = misses = 0
     try:
-        requests = trace.requests
-        for lo in range(0, requests.size, batch):
-            pages = requests[lo : lo + batch].tolist()
+        for chunk in _batch_views(trace, batch):
+            pages = chunk.tolist()
             writer.write(
                 json.dumps({"op": "batch", "pages": pages}).encode() + b"\n"
             )
@@ -273,13 +294,23 @@ async def replay_tcp(
     return stats
 
 
-def load_trace_file(path: str, name: Optional[str] = None) -> Trace:
-    """Load a replayable trace from a ``page,tenant`` CSV (``.gz`` ok)."""
+def load_trace_file(
+    path: str, name: Optional[str] = None
+) -> Union[Trace, TraceReader]:
+    """Load a replayable trace from disk.
+
+    A ``page,tenant`` CSV (``.gz`` ok) materializes to a
+    :class:`~repro.sim.trace.Trace`; a columnar trace directory
+    (:mod:`repro.sim.colstore`) opens as a streaming
+    :class:`~repro.sim.colstore.TraceReader`.
+    """
+    if is_columnar(path):
+        return open_trace(path)
     return load_csv(path, name=name or path).trace
 
 
 def serve_trace(
-    trace: Union[Trace, str],
+    trace: Union[Trace, TraceReader, str],
     policy: PolicySpec,
     k: int,
     costs: Optional[Sequence[CostFunction]] = None,
@@ -296,17 +327,23 @@ def serve_trace(
     obs: Optional["Observability"] = None,
     monitor_every: int = 1024,
     workers: int = 1,
+    transport: str = "ring",
     shm_threshold: Optional[int] = 4096,
 ) -> ReplayReport:
-    """Build a server, replay *trace* (a :class:`Trace` or a CSV path)
+    """Build a server, replay *trace* (a :class:`Trace`, a columnar
+    :class:`~repro.sim.colstore.TraceReader`, or a path to either)
     through it, stop it, and return the :class:`ReplayReport` — the
-    serving counterpart of :func:`repro.sim.engine.simulate`.  Pass
-    ``obs`` to run the replay under a specific telemetry bundle (the
+    serving counterpart of :func:`repro.sim.engine.simulate`.  A
+    reader/columnar path streams: client-side memory is bounded by the
+    batch size, not the trace length (offline ``requires_future``
+    policies still need a materialized :class:`Trace`).  Pass ``obs``
+    to run the replay under a specific telemetry bundle (the
     observability-overhead benchmarks do); ``workers > 1`` serves the
-    shard set process-parallel (results are bit-identical for any
-    worker count).  Startup (worker spawn) and drain are timed into the
-    report's ``startup_seconds``/``drain_seconds`` and excluded from
-    the throughput window."""
+    shard set process-parallel over the given *transport* (results are
+    bit-identical for any worker count and either transport).  Startup
+    (worker spawn) and drain are timed into the report's
+    ``startup_seconds``/``drain_seconds`` and excluded from the
+    throughput window."""
     if isinstance(trace, str):
         trace = load_trace_file(trace)
 
@@ -314,19 +351,20 @@ def serve_trace(
         server = CacheServer(
             policy,
             k,
-            trace.owners,
+            np.asarray(trace.owners),
             costs,
             num_shards=num_shards,
             queue_limit=queue_limit,
             tenant_inflight=tenant_inflight,
             window=window,
             policy_seed=policy_seed,
-            trace=trace,
+            trace=trace if isinstance(trace, Trace) else None,
             horizon=trace.length,
             validate=validate,
             obs=obs,
             monitor_every=monitor_every,
             workers=workers,
+            transport=transport,
             shm_threshold=shm_threshold,
         )
         t0 = time.perf_counter()

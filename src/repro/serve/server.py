@@ -184,10 +184,17 @@ class CacheServer:
         and results are bit-identical for any ``W`` (the global clock
         is assigned before routing).  Scrape paths merge the workers'
         ledgers/registries, keeping ``stats``/``metrics`` exact.
+    transport:
+        Worker-exchange transport (parallel mode only).  ``"ring"``
+        (default) moves every batch through a persistent per-worker
+        shared-memory ring — the pipe carries only 1-byte doorbells;
+        ``"pipe"`` frames batches into a reusable staging buffer sent
+        over the pipe, escalating to the ring at ``shm_threshold``.
+        Results are bit-identical either way.
     shm_threshold:
-        Per-worker batch size at or above which worker exchanges use a
-        shared-memory block instead of pipe payloads (parallel mode
-        only); ``None`` disables shared memory.
+        Pipe-transport only: per-worker batch size at or above which an
+        exchange uses the shared-memory ring anyway; ``None`` keeps
+        everything on the pipe.  Ignored under ``transport="ring"``.
     obs:
         Telemetry bundle (:class:`~repro.obs.Observability`).  Defaults
         to a fresh, env-gated bundle per server so collector metric
@@ -219,6 +226,7 @@ class CacheServer:
         obs: Optional[Observability] = None,
         monitor_every: int = 1024,
         workers: int = 1,
+        transport: str = "ring",
         shm_threshold: Optional[int] = 4096,
     ) -> None:
         self.name = name
@@ -237,6 +245,11 @@ class CacheServer:
         self.workers = min(
             check_positive_int(workers, "workers"), self.shards.num_shards
         )
+        if transport not in ("ring", "pipe"):
+            raise ValueError(
+                f"transport must be 'ring' or 'pipe', got {transport!r}"
+            )
+        self._transport = transport
         self._shm_threshold = shm_threshold
         # The pool rebuilds the shard set from the same spec, so keep it.
         self._policy_spec = policy
@@ -354,6 +367,7 @@ class CacheServer:
                 monitor=self.obs.monitor is not None
                 and self._monitor_every > 0,
                 monitor_every=self._monitor_every,
+                transport=self._transport,
                 shm_threshold=self._shm_threshold,
                 name=self.name,
             )

@@ -20,20 +20,34 @@ of ``W`` (test-enforced by ``tests/test_serve_equivalence.py``).
 Routing is batched and buffer-flat.  A precomputed page→worker table
 (the vectorized splitmix64 hash of the whole page universe) splits a
 submission into per-worker position/page arrays, and each worker
-receives **one message per batch** — the raw ``int64`` page buffer
-plus the ``int32`` submission positions — never one pickle per
-request.  Replies are flat ``uint8`` hit-flag buffers scattered back
-into submission order.  Batches at or above ``shm_threshold``
-requests skip the pipe payload entirely: pages/positions are written
-into a per-worker :class:`multiprocessing.shared_memory.SharedMemory`
-block and the worker writes its flags into the same block, so the
-pipe carries only a header.
+receives **one exchange per batch** — never one pickle per request,
+and on the hot path never a pickle at all:
+
+* ``transport="ring"`` (the default) — each worker owns one
+  **persistent shared-memory ring** created lazily at first use and
+  grown in place on demand.  Batches are framed directly into the
+  ring's data region (``[nbytes][t0][n][pages int64*n][pos int32*n]``,
+  8-aligned), the pipe carries only a **9-byte doorbell** naming the
+  record's ring offset, and the worker frames its hit flags into the
+  reply region the same way.  No allocation and no serialization per
+  batch on either side.
+* ``transport="pipe"`` — batches are framed into a **preallocated
+  per-worker staging buffer** (same record layout) and sent as one
+  ``send_bytes`` payload; batches at or above ``shm_threshold``
+  requests still go through the ring.  This is the fallback for
+  platforms where POSIX shared memory is unavailable, and the
+  reference point for the ring-vs-pipe invariance tests.
+
+Pipes remain the **control plane** in both modes: construction
+handshake, detail/snapshot/flight gathers, ring (re)announcements,
+and shutdown ride pickled control frames; data exchanges never do.
 
 Exchanges are strictly synchronous request/reply per worker, and both
 the serve consumer's ``_process`` and the scrape paths run without
 awaiting — under asyncio's single thread that means data and control
 messages can never interleave on a pipe, so the protocol needs no
-locks.
+locks, and a ring never holds more than one record in flight (the
+cursors still advance ring-style so the layout is general).
 
 Scrape-time merging mirrors the in-process design ("exactness via
 scrape-time collectors", DESIGN.md): workers report ground truth —
@@ -54,6 +68,8 @@ workers' flight windows.
 from __future__ import annotations
 
 import heapq
+import pickle
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -79,9 +95,44 @@ class WorkerCrashed(ServerClosed):
 
 #: Seconds between liveness checks while waiting on a worker reply.
 _POLL_INTERVAL = 0.1
-#: Per-request bytes in a shared-memory exchange: int64 page + int32
-#: position + uint8 reply flag.
-_SHM_BYTES_PER_REQ = 13
+
+#: Worker transports accepted by :class:`ShardWorkerPool`.
+TRANSPORTS = ("ring", "pipe")
+
+# --- Ring block layout -------------------------------------------------
+# [0]  magic                 [8]  data_cap   [16] reply_cap
+# [24] next data offset (parent, debug)
+# [40] next reply offset (worker, debug)
+# [64, 64+data_cap)              data records (parent -> worker)
+# [64+data_cap, +reply_cap)      reply records (worker -> parent)
+# Records are 8-aligned ([nbytes:int64][payload...]) and never wrap: a
+# record that does not fit at the current offset restarts at the region
+# base.  The record's offset rides the 1-byte doorbell / reply frame on
+# the pipe, so reader position never depends on ring state — exchanges
+# are strictly synchronous (one outstanding record per direction), and
+# the header offsets exist for post-mortem inspection only.
+_RING_MAGIC = 0x52504C52494E4731  # "RPLRING1"
+_RING_HEADER = 64
+_DATA_REC_HEADER = 24  # nbytes + t0 + n
+_REPLY_REC_HEADER = 16  # nbytes + n
+_DEFAULT_DATA_CAP = 1 << 20
+_DEFAULT_REPLY_CAP = 1 << 17
+
+#: Pipe-transport data frame: tag byte + 7 pad (8-aligns the payload
+#: within the frame) + t0 + n, then pages/pos.
+_PIPE_HDR = 24
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _data_record_bytes(m: int) -> int:
+    return _pad8(_DATA_REC_HEADER + 12 * m)
+
+
+def _reply_record_bytes(m: int) -> int:
+    return _pad8(_REPLY_REC_HEADER + m)
 
 
 @dataclass
@@ -302,18 +353,73 @@ class _WorkerState:
         return dict(self.flight.meta), list(self.flight.ring)
 
 
+class _WorkerRing:
+    """Worker-side view of the shared ring (read data, write replies)."""
+
+    def __init__(self, name: str) -> None:
+        from multiprocessing import shared_memory
+
+        # Attaching re-registers the segment with the resource tracker,
+        # but workers share the parent's tracker process (its fd rides
+        # both fork and spawn), so the duplicate collapses in the
+        # tracker's name set and the parent's unlink stays the one
+        # true unregister — do NOT unregister here, that would strip
+        # the parent's entry and make its unlink a tracker error.
+        self.shm = shared_memory.SharedMemory(name=name)
+        buf = self.shm.buf
+        magic, self.data_cap, self.reply_cap = struct.unpack_from("<qqq", buf, 0)
+        if magic != _RING_MAGIC:
+            raise ValueError(f"bad ring magic {magic:#x}")
+        self.buf = buf
+        self.reply_off = 0
+
+    def read_batch(self, off: int) -> Tuple[int, List[int], List[int]]:
+        """Decode the data record at region offset *off* (from the
+        doorbell frame)."""
+        buf = self.buf
+        base = _RING_HEADER + off
+        t0, m = struct.unpack_from("<qq", buf, base + 8)
+        pages = np.frombuffer(
+            buf, dtype=np.int64, count=m, offset=base + _DATA_REC_HEADER
+        ).tolist()
+        pos = np.frombuffer(
+            buf, dtype=np.int32, count=m,
+            offset=base + _DATA_REC_HEADER + 8 * m,
+        ).tolist()
+        return t0, pages, pos
+
+    def write_reply(self, flags: bytearray) -> int:
+        """Frame the hit flags into the reply region; returns the
+        record's offset (sent back on the reply frame)."""
+        m = len(flags)
+        nbytes = _reply_record_bytes(m)
+        off = self.reply_off
+        if off + nbytes > self.reply_cap:  # restart at the region base
+            off = 0
+        base = _RING_HEADER + self.data_cap + off
+        struct.pack_into("<qq", self.buf, base, nbytes, m)
+        self.buf[base + _REPLY_REC_HEADER : base + _REPLY_REC_HEADER + m] = flags
+        self.reply_off = off + nbytes
+        struct.pack_into("<q", self.buf, 40, self.reply_off)
+        return off
+
+    def close(self) -> None:
+        self.buf = None
+        self.shm.close()
+
+
 def _worker_main(conn, spec: WorkerSpec) -> None:
     """Worker process entry point: build the shard group, serve the
-    pipe protocol until told to close.  Any build/serve exception is
-    reported back (tag ``"err"``) instead of dying silently."""
+    frame protocol until told to close.  Any build/serve exception is
+    reported back (pickled ``"err"`` for control ops, a ``b"E"`` frame
+    for data ops) instead of dying silently."""
     import signal
 
     try:  # the parent owns shutdown; workers ignore terminal SIGINT
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
-    shm = None
-    shm_buf = None
+    ring: Optional[_WorkerRing] = None
     try:
         state = _WorkerState(spec)
         conn.send(("ready", spec.worker_id))
@@ -323,67 +429,71 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
         finally:
             conn.close()
         return
+    reply_kind = "pickle"
     try:
         while True:
-            msg = conn.recv()
-            tag = msg[0]
-            if tag == "a":  # apply: pipe-payload batch
-                _, t0, pos_b, pages_b = msg
-                pos = np.frombuffer(pos_b, dtype=np.int32).tolist()
-                pages = np.frombuffer(pages_b, dtype=np.int64).tolist()
+            frame = conn.recv_bytes()
+            tag = frame[:1]
+            if tag == b"g":  # ring doorbell: batch is in the data ring
+                reply_kind = "bytes"
+                if ring is None:
+                    raise RuntimeError("ring doorbell before ring announce")
+                off = struct.unpack_from("<q", frame, 1)[0]
+                t0, pages, pos = ring.read_batch(off)
                 flags = state.apply(pages, [t0 + p for p in pos])
-                conn.send_bytes(flags)
-            elif tag == "A":  # apply: shared-memory batch
-                _, t0, n, shm_name = msg
-                if shm_name is not None:
-                    from multiprocessing import shared_memory
-
-                    if shm is not None:
-                        shm.close()
-                    shm = shared_memory.SharedMemory(name=shm_name)
-                    try:  # the parent owns the segment's lifetime
-                        from multiprocessing import resource_tracker
-
-                        resource_tracker.unregister(
-                            shm._name, "shared_memory"  # noqa: SLF001
-                        )
-                    except Exception:  # pragma: no cover - tracker quirk
-                        pass
-                    shm_buf = shm.buf
+                roff = ring.write_reply(flags)
+                conn.send_bytes(b"r" + struct.pack("<q", roff))
+            elif tag == b"p":  # pipe-framed batch
+                reply_kind = "bytes"
+                t0, m = struct.unpack_from("<qq", frame, 8)
                 pages = np.frombuffer(
-                    shm_buf, dtype=np.int64, count=n
+                    frame, dtype=np.int64, count=m, offset=_PIPE_HDR
                 ).tolist()
                 pos = np.frombuffer(
-                    shm_buf, dtype=np.int32, count=n, offset=8 * n
+                    frame, dtype=np.int32, count=m, offset=_PIPE_HDR + 8 * m
                 ).tolist()
                 flags = state.apply(pages, [t0 + p for p in pos])
-                shm_buf[12 * n : 13 * n] = flags
-                conn.send_bytes(b"R")
-            elif tag == "d":  # apply with per-request detail
-                _, t0, pos_b, pages_b = msg
-                pos = np.frombuffer(pos_b, dtype=np.int32).tolist()
-                pages = np.frombuffer(pages_b, dtype=np.int64).tolist()
-                conn.send(state.apply_detail(pages, [t0 + p for p in pos]))
-            elif tag == "s":  # snapshot (scrape-time gather)
-                conn.send(state.snapshot())
-            elif tag == "f":  # flight window gather
-                conn.send(state.flight_window())
-            elif tag == "c":  # close
-                conn.send(("bye", state.served))
-                return
+                conn.send_bytes(b"F" + bytes(flags))
+            elif tag == b"!":  # control op (pickled)
+                reply_kind = "pickle"
+                msg = pickle.loads(frame[1:])
+                op = msg[0]
+                if op == "d":  # apply with per-request detail
+                    _, t0, pos_b, pages_b = msg
+                    pos = np.frombuffer(pos_b, dtype=np.int32).tolist()
+                    pages = np.frombuffer(pages_b, dtype=np.int64).tolist()
+                    conn.send(state.apply_detail(pages, [t0 + p for p in pos]))
+                elif op == "s":  # snapshot (scrape-time gather)
+                    conn.send(state.snapshot())
+                elif op == "f":  # flight window gather
+                    conn.send(state.flight_window())
+                elif op == "ring":  # (re)announce the shared ring block
+                    if ring is not None:
+                        ring.close()
+                    ring = _WorkerRing(msg[1])
+                    conn.send(("ok",))
+                elif op == "c":  # close
+                    conn.send(("bye", state.served))
+                    return
+                else:  # pragma: no cover - protocol bug guard
+                    conn.send(("err", f"unknown op {op!r}"))
             else:  # pragma: no cover - protocol bug guard
-                conn.send(("err", f"unknown tag {tag!r}"))
+                reply_kind = "bytes"
+                conn.send_bytes(b"E" + f"unknown tag {tag!r}".encode())
     except (EOFError, KeyboardInterrupt):  # parent went away
         pass
     except Exception as exc:  # noqa: BLE001 - surfaced to the parent
+        msg = f"{type(exc).__name__}: {exc}"
         try:
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            if reply_kind == "bytes":
+                conn.send_bytes(b"E" + msg.encode())
+            else:
+                conn.send(("err", msg))
         except (BrokenPipeError, OSError):
             pass
     finally:
-        if shm is not None:
-            shm_buf = None
-            shm.close()
+        if ring is not None:
+            ring.close()
         conn.close()
 
 
@@ -404,10 +514,17 @@ class ShardWorkerPool:
     monitor / monitor_every:
         Attach per-worker invariant monitors sampling each worker's own
         policies every ``monitor_every // W`` of its requests.
+    transport:
+        ``"ring"`` (default) exchanges every batch through the
+        persistent per-worker shared-memory ring; ``"pipe"`` frames
+        batches into a preallocated staging buffer sent over the pipe,
+        escalating to the ring at ``shm_threshold`` requests.  Results
+        are bit-identical either way (test-enforced).
     shm_threshold:
-        Per-worker batch size (requests) at or above which the
-        exchange goes through a shared-memory block instead of the
-        pipe payload; ``None`` disables shared memory.
+        Pipe-transport only: per-worker batch size (requests) at or
+        above which the exchange goes through the ring anyway;
+        ``None`` keeps everything on the pipe.  Ignored under
+        ``transport="ring"``.
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (policy factories need not pickle), else ``spawn``.
@@ -432,6 +549,7 @@ class ShardWorkerPool:
         flight_meta: Optional[Dict[str, object]] = None,
         monitor: bool = False,
         monitor_every: int = 0,
+        transport: str = "ring",
         shm_threshold: Optional[int] = None,
         start_method: Optional[str] = None,
         name: str = "pool",
@@ -440,8 +558,13 @@ class ShardWorkerPool:
 
         num_workers = check_positive_int(num_workers, "num_workers")
         num_shards = check_positive_int(num_shards, "num_shards")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
         self.name = name
         self.num_shards = num_shards
+        self.transport = transport
         #: Effective worker count (a shard is never split).
         self.num_workers = min(num_workers, num_shards)
         self.num_users = int(np.asarray(owners).max()) + 1
@@ -467,7 +590,15 @@ class ShardWorkerPool:
         ctx = mp.get_context(start_method)
         self._conns = []
         self._procs = []
-        self._shm: List[Optional[object]] = [None] * self.num_workers
+        #: Per-worker ring state: {block, data_cap, reply_cap, head,
+        #: reply_tail}; created lazily on first use, grown in place.
+        self._rings: List[Optional[Dict[str, object]]] = (
+            [None] * self.num_workers
+        )
+        #: Per-worker pipe-transport staging buffers (reused, grown).
+        self._staging: List[bytearray] = [
+            bytearray(0) for _ in range(self.num_workers)
+        ]
         self._closed = False
         specs = []
         for w in range(self.num_workers):
@@ -526,7 +657,7 @@ class ShardWorkerPool:
     # Wire helpers
     # ------------------------------------------------------------------
     def _recv(self, w: int):
-        """Receive one reply from worker *w*, watching for death."""
+        """Receive one pickled reply from worker *w*, watching for death."""
         conn = self._conns[w]
         try:
             while not conn.poll(_POLL_INTERVAL):
@@ -547,6 +678,7 @@ class ShardWorkerPool:
         return reply
 
     def _recv_bytes(self, w: int) -> bytes:
+        """Receive one data-plane reply frame, watching for death."""
         conn = self._conns[w]
         try:
             while not conn.poll(_POLL_INTERVAL):
@@ -555,36 +687,139 @@ class ShardWorkerPool:
                         f"shard worker {w} of pool {self.name!r} died "
                         f"(exitcode {self._procs[w].exitcode})"
                     )
-            return conn.recv_bytes()
+            frame = conn.recv_bytes()
         except (EOFError, OSError) as exc:
             raise WorkerCrashed(
                 f"shard worker {w} of pool {self.name!r} closed its pipe: {exc}"
             ) from exc
+        if frame[:1] == b"E":
+            raise WorkerCrashed(
+                f"shard worker {w} of pool {self.name!r} errored: "
+                f"{frame[1:].decode(errors='replace')}"
+            )
+        return frame
 
-    def _send(self, w: int, msg) -> None:
+    def _send_bytes(self, w: int, buf, size: Optional[int] = None) -> None:
         try:
-            self._conns[w].send(msg)
+            if size is None:
+                self._conns[w].send_bytes(buf)
+            else:
+                self._conns[w].send_bytes(buf, 0, size)
         except (BrokenPipeError, OSError) as exc:
             raise WorkerCrashed(
                 f"shard worker {w} of pool {self.name!r} is gone: {exc}"
             ) from exc
 
-    def _shm_block(self, w: int, need: int):
-        """The worker's shared-memory block, (re)grown to *need* bytes;
-        returns ``(block, name_to_announce)`` — name is ``None`` when
-        the worker already holds the current block."""
+    def _send_control(self, w: int, msg: tuple) -> None:
+        self._send_bytes(w, b"!" + pickle.dumps(msg))
+
+    # ------------------------------------------------------------------
+    # Ring management (parent side)
+    # ------------------------------------------------------------------
+    def _ensure_ring(self, w: int, data_need: int, reply_need: int) -> None:
+        """Make worker *w*'s ring hold records of the given sizes,
+        creating or growing the block (and announcing it over the
+        control plane) when required."""
+        ring = self._rings[w]
+        if (
+            ring is not None
+            and ring["data_cap"] >= data_need
+            and ring["reply_cap"] >= reply_need
+        ):
+            return
         from multiprocessing import shared_memory
 
-        block = self._shm[w]
-        if block is not None and block.size >= need:
-            return block, None
-        if block is not None:
+        data_cap = _DEFAULT_DATA_CAP
+        while data_cap < data_need:
+            data_cap <<= 1
+        reply_cap = _DEFAULT_REPLY_CAP
+        while reply_cap < reply_need:
+            reply_cap <<= 1
+        if ring is not None:  # growing: keep the larger of each region
+            data_cap = max(data_cap, int(ring["data_cap"]))
+            reply_cap = max(reply_cap, int(ring["reply_cap"]))
+        block = shared_memory.SharedMemory(
+            create=True, size=_RING_HEADER + data_cap + reply_cap
+        )
+        struct.pack_into(
+            "<qqqqqqq", block.buf, 0,
+            _RING_MAGIC, data_cap, reply_cap, 0, 0, 0, 0,
+        )
+        self._send_control(w, ("ring", block.name))
+        try:
+            self._recv(w)  # ("ok",)
+        except BaseException:
             block.close()
             block.unlink()
-        size = max(need, 1 << 16)
-        block = shared_memory.SharedMemory(create=True, size=size)
-        self._shm[w] = block
-        return block, block.name
+            raise
+        if ring is not None:
+            ring["block"].close()
+            try:
+                ring["block"].unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._rings[w] = {
+            "block": block,
+            "data_cap": data_cap,
+            "reply_cap": reply_cap,
+            "data_off": 0,
+        }
+
+    def _ring_send(self, w: int, t0: int, wpages: np.ndarray, pos: np.ndarray) -> None:
+        """Frame one batch into worker *w*'s data ring and ring the
+        doorbell carrying the record offset (the only pipe traffic for
+        a ring exchange)."""
+        m = int(wpages.size)
+        nbytes = _data_record_bytes(m)
+        self._ensure_ring(w, nbytes, _reply_record_bytes(m))
+        ring = self._rings[w]
+        buf = ring["block"].buf
+        off = int(ring["data_off"])
+        if off + nbytes > int(ring["data_cap"]):  # restart at the base
+            off = 0
+        base = _RING_HEADER + off
+        struct.pack_into("<qqq", buf, base, nbytes, t0, m)
+        np.frombuffer(buf, dtype=np.int64, count=m, offset=base + _DATA_REC_HEADER)[
+            :
+        ] = wpages
+        np.frombuffer(
+            buf, dtype=np.int32, count=m, offset=base + _DATA_REC_HEADER + 8 * m
+        )[:] = pos
+        ring["data_off"] = off + nbytes
+        struct.pack_into("<q", buf, 24, ring["data_off"])
+        self._send_bytes(w, b"g" + struct.pack("<q", off))
+
+    def _ring_read_reply(self, w: int, m: int, off: int) -> np.ndarray:
+        """Decode the reply record at region offset *off* (from the
+        worker's reply frame)."""
+        ring = self._rings[w]
+        buf = ring["block"].buf
+        base = _RING_HEADER + int(ring["data_cap"]) + off
+        n = struct.unpack_from("<q", buf, base + 8)[0]
+        if n != m:  # pragma: no cover - protocol bug guard
+            raise WorkerCrashed(
+                f"shard worker {w} reply length {n} != expected {m}"
+            )
+        return np.frombuffer(
+            buf, dtype=np.uint8, count=m, offset=base + _REPLY_REC_HEADER
+        )
+
+    def _pipe_send(self, w: int, t0: int, wpages: np.ndarray, pos: np.ndarray) -> None:
+        """Frame one batch into the reusable staging buffer and send it
+        as a single payload — no pickling, no per-batch allocation once
+        the buffer has grown to the working batch size."""
+        m = int(wpages.size)
+        need = _PIPE_HDR + 12 * m
+        buf = self._staging[w]
+        if len(buf) < need:
+            buf = self._staging[w] = bytearray(max(need, 4096))
+        buf[0:1] = b"p"
+        struct.pack_into("<qq", buf, 8, t0, m)
+        np.frombuffer(buf, dtype=np.int64, count=m, offset=_PIPE_HDR)[:] = wpages
+        np.frombuffer(buf, dtype=np.int32, count=m, offset=_PIPE_HDR + 8 * m)[
+            :
+        ] = pos
+        self._send_bytes(w, buf, need)
 
     # ------------------------------------------------------------------
     # Serving
@@ -605,39 +840,40 @@ class ShardWorkerPool:
         wids = self._page_worker[pages]
         sends: List[Tuple[int, np.ndarray, bool]] = []
         threshold = self._shm_threshold
+        via_ring_always = self.transport == "ring"
         for w in range(self.num_workers):
             pos = np.nonzero(wids == w)[0]
             if not pos.size:
                 continue
-            pos32 = pos.astype(np.int32)
-            wpages = pages[pos]
             m = int(pos.size)
-            if threshold is not None and m >= threshold:
-                block, announce = self._shm_block(w, _SHM_BYTES_PER_REQ * m)
-                buf = block.buf
-                buf[: 8 * m] = wpages.astype(np.int64).tobytes()
-                buf[8 * m : 12 * m] = pos32.tobytes()
-                self._send(w, ("A", t0, m, announce))
-                sends.append((w, pos, True))
+            wpages = pages[pos]
+            via_ring = via_ring_always or (
+                threshold is not None and m >= threshold
+            )
+            if via_ring:
+                self._ring_send(w, t0, wpages, pos)
             else:
-                self._send(w, ("a", t0, pos32.tobytes(), wpages.tobytes()))
-                sends.append((w, pos, False))
+                self._pipe_send(w, t0, wpages, pos)
+            sends.append((w, pos, via_ring))
         flags = np.empty(n, dtype=np.uint8)
-        for w, pos, via_shm in sends:
-            if via_shm:
-                self._recv_bytes(w)  # sync marker; flags live in shm
-                m = int(pos.size)
-                flags[pos] = np.frombuffer(
-                    self._shm[w].buf, dtype=np.uint8, count=m, offset=12 * m
-                )
+        for w, pos, via_ring in sends:
+            frame = self._recv_bytes(w)
+            if via_ring:
+                # b"r" + offset: the flags live in the reply ring.
+                roff = struct.unpack_from("<q", frame, 1)[0]
+                flags[pos] = self._ring_read_reply(w, int(pos.size), roff)
             else:
-                flags[pos] = np.frombuffer(self._recv_bytes(w), dtype=np.uint8)
+                flags[pos] = np.frombuffer(frame, dtype=np.uint8, offset=1)
         return flags
 
     def apply_detail(
         self, pages: np.ndarray, t0: int
     ) -> List[Tuple[bool, Optional[int], int]]:
-        """Serve one batch keeping per-request ``(hit, victim, shard)``."""
+        """Serve one batch keeping per-request ``(hit, victim, shard)``.
+
+        Detail exchanges ride the control plane (pickled): they return
+        heterogeneous tuples, and the single-request path that uses
+        them is not the throughput path."""
         pages = np.ascontiguousarray(pages, dtype=np.int64)
         wids = self._page_worker[pages]
         sends: List[Tuple[int, np.ndarray]] = []
@@ -645,7 +881,7 @@ class ShardWorkerPool:
             pos = np.nonzero(wids == w)[0]
             if not pos.size:
                 continue
-            self._send(
+            self._send_control(
                 w,
                 ("d", t0, pos.astype(np.int32).tobytes(), pages[pos].tobytes()),
             )
@@ -671,7 +907,7 @@ class ShardWorkerPool:
         polled: List[int] = []
         for w in range(self.num_workers):
             try:
-                self._send(w, ("s",))
+                self._send_control(w, ("s",))
                 polled.append(w)
             except WorkerCrashed:
                 if not best_effort:
@@ -731,7 +967,7 @@ class ShardWorkerPool:
         polled: List[int] = []
         for w in range(self.num_workers):
             try:
-                self._send(w, ("f",))
+                self._send_control(w, ("f",))
                 polled.append(w)
             except WorkerCrashed:
                 if not best_effort:
@@ -774,8 +1010,8 @@ class ShardWorkerPool:
         """Shut the workers down (idempotent).
 
         Graceful close sends each live worker the close op and joins
-        it; anything unresponsive is terminated.  Shared-memory blocks
-        are unlinked last.
+        it; anything unresponsive is terminated.  Ring blocks are
+        unlinked last.
         """
         if self._closed:
             return
@@ -783,7 +1019,7 @@ class ShardWorkerPool:
         if graceful:
             for w, conn in enumerate(self._conns):
                 try:
-                    conn.send(("c",))
+                    conn.send_bytes(b"!" + pickle.dumps(("c",)))
                 except (BrokenPipeError, OSError):
                     pass
             for w in range(len(self._conns)):
@@ -802,14 +1038,14 @@ class ShardWorkerPool:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
-        for block in self._shm:
-            if block is not None:
-                block.close()
+        for ring in self._rings:
+            if ring is not None:
+                ring["block"].close()
                 try:
-                    block.unlink()
+                    ring["block"].unlink()
                 except FileNotFoundError:  # pragma: no cover
                     pass
-        self._shm = [None] * len(self._shm)
+        self._rings = [None] * len(self._rings)
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
@@ -820,8 +1056,9 @@ class ShardWorkerPool:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShardWorkerPool(name={self.name!r}, W={self.num_workers}, "
-            f"S={self.num_shards}, alive={self.alive})"
+            f"S={self.num_shards}, transport={self.transport!r}, "
+            f"alive={self.alive})"
         )
 
 
-__all__ = ["ShardWorkerPool", "WorkerCrashed", "WorkerSpec"]
+__all__ = ["ShardWorkerPool", "TRANSPORTS", "WorkerCrashed", "WorkerSpec"]

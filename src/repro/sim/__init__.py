@@ -4,9 +4,20 @@
 :mod:`repro.sim.policy` — the eviction-policy protocol;
 :mod:`repro.sim.engine` — the simulation loop (fast + reference engines);
 :mod:`repro.sim.driver` — the parallel multi-run grid driver;
+:mod:`repro.sim.colstore` — out-of-core columnar traces + converters;
 :mod:`repro.sim.metrics` — cost / windowed / fairness metrics.
 """
 
+from repro.sim.colstore import (
+    ColumnarTraceWriter,
+    SpillableIdMap,
+    TraceReader,
+    convert_csv,
+    convert_kv_log,
+    is_columnar,
+    open_trace,
+    write_columnar,
+)
 from repro.sim.driver import GridRun, simulate_many
 from repro.sim.engine import ENGINES, EvictionEvent, SimResult, replay_evictions, simulate
 from repro.sim.metrics import (
@@ -40,6 +51,14 @@ __all__ = [
     "load_csv",
     "save_csv",
     "round_trip",
+    "ColumnarTraceWriter",
+    "SpillableIdMap",
+    "TraceReader",
+    "convert_csv",
+    "convert_kv_log",
+    "is_columnar",
+    "open_trace",
+    "write_columnar",
     "total_cost",
     "per_user_costs",
     "cost_of_misses",

@@ -78,9 +78,30 @@ def _build_policy(factory: Callable[..., EvictionPolicy], seed: int) -> Eviction
     return factory()
 
 
+def _resolve_trace(trace):
+    """Materialize a cell's trace spec.
+
+    Strings are on-disk traces resolved *inside the worker process* —
+    a columnar directory opens as a streaming
+    :class:`~repro.sim.colstore.TraceReader` (the trace never rides a
+    pickle and never materializes), anything else loads as a
+    ``page,tenant`` CSV.  ``Trace``/reader objects pass through.
+    """
+    if isinstance(trace, str):
+        from repro.sim.colstore import is_columnar, open_trace
+
+        if is_columnar(trace):
+            return open_trace(trace)
+        from repro.sim.trace_io import load_csv
+
+        return load_csv(trace).trace
+    return trace
+
+
 def _run_cell(job: Tuple) -> Tuple[float, SimResult]:
     """Top-level worker so process pools can unpickle the call."""
     spec, k, trace, costs, seed, engine, record_events, record_curve = job
+    trace = _resolve_trace(trace)
     _name, factory = _resolve_factory(spec)
     policy = _build_policy(factory, seed)
     start = time.perf_counter()
@@ -99,7 +120,7 @@ def _run_cell(job: Tuple) -> Tuple[float, SimResult]:
 def simulate_many(
     policies: Sequence[PolicySpec],
     ks: Sequence[int],
-    traces: Sequence[Trace],
+    traces: Sequence[Union[Trace, str]],
     *,
     costs: CostsSpec = None,
     engine: str = "auto",
@@ -119,7 +140,13 @@ def simulate_many(
     ks:
         Cache capacities.
     traces:
-        Traces; each cell records the index of the trace it ran.
+        Traces; each cell records the index of the trace it ran.  An
+        entry may also be a *path string* — resolved inside the worker
+        process (columnar directories stream via
+        :class:`~repro.sim.colstore.TraceReader`; anything else loads
+        as CSV), so parallel grids over huge on-disk traces ship a
+        path per cell instead of pickling the requests.  A ``costs``
+        callable receives the unresolved path for such entries.
     costs:
         ``None``, one cost list shared by every trace, or a callable
         ``trace -> costs`` evaluated once per trace in the parent

@@ -143,7 +143,15 @@ def simulate(
     Parameters
     ----------
     trace:
-        The request sequence and ownership map.
+        The request sequence and ownership map — an in-RAM
+        :class:`~repro.sim.trace.Trace` or a streaming
+        :class:`~repro.sim.colstore.TraceReader` (the out-of-core
+        path: batches are consumed without materializing the request
+        column; results are bit-identical to the in-RAM engines,
+        enforced by ``tests/test_colstore.py`` for every registered
+        policy).  Readers support the fast engine only and cannot
+        record the miss curve or run offline (``requires_future``)
+        policies, since both need the whole trace resident.
     policy:
         Any :class:`~repro.sim.policy.EvictionPolicy`.  It is ``reset``
         before the run, so instances may be reused across calls.
@@ -184,6 +192,27 @@ def simulate(
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     k = check_positive_int(k, "k")
+    streaming = not isinstance(trace, Trace)
+    if streaming:
+        if not hasattr(trace, "batches"):
+            raise TypeError(
+                f"trace must be a Trace or a TraceReader, got {type(trace).__name__}"
+            )
+        if engine == "reference":
+            raise ValueError(
+                "streaming simulate supports the fast engine only "
+                "(materialize() the reader for engine='reference')"
+            )
+        if record_curve:
+            raise ValueError(
+                "record_curve needs the whole trace resident; "
+                "materialize() the reader first"
+            )
+        if policy.requires_future:
+            raise ValueError(
+                f"{policy.name} is offline (requires_future) and needs the "
+                f"materialized trace"
+            )
     num_users = trace.num_users
     if policy.requires_costs:
         if costs is None:
@@ -193,7 +222,7 @@ def simulate(
 
     ctx = SimContext(
         k=k,
-        owners=trace.owners,
+        owners=np.asarray(trace.owners),
         num_users=num_users,
         costs=costs,
         trace=trace if policy.requires_future else None,
@@ -212,7 +241,12 @@ def simulate(
             source=f"sim:{engine}",
             trace=trace.name,
         )
-    run = _simulate_reference if engine == "reference" else _simulate_fast
+    if streaming:
+        run = _simulate_stream
+    elif engine == "reference":
+        run = _simulate_reference
+    else:
+        run = _simulate_fast
     if not (obs.tracer.enabled or obs.registry.enabled):
         policy.reset(ctx)
         return run(trace, policy, k, record_events, record_curve, validate, flight)
@@ -480,6 +514,157 @@ def _simulate_fast(
         final_cache=np.flatnonzero(res_arr).tolist(),
         events=events,
         miss_curve=curve,
+    )
+
+
+def _simulate_stream(
+    reader,
+    policy: EvictionPolicy,
+    k: int,
+    record_events: bool,
+    record_curve: bool,
+    validate: bool,
+    flight: Optional[FlightRecorder] = None,
+) -> SimResult:
+    """Out-of-core engine: the fast engine's hit-run scanner applied
+    batch by batch to a :class:`~repro.sim.colstore.TraceReader`.
+
+    Correctness leans on the ``on_hit_batch`` contract — a batch
+    delivery must be observably identical to the per-hit loop
+    (:mod:`repro.sim.policy`, enforced by the engine-equivalence
+    suite) — so a maximal hit run split at a batch boundary reaches
+    the policy as two calls with the same net effect, and the
+    per-tenant counters are bit-identical to the in-RAM engines no
+    matter the batch size.  Memory is bounded by one reader batch
+    plus the residency arrays (page universe), never the trace length.
+    """
+    num_users = reader.num_users
+    num_pages = reader.num_pages
+    owners = np.asarray(reader.owners)
+
+    res_arr = np.zeros(max(num_pages, 1), dtype=bool)
+    res_list = [False] * max(num_pages, 1)
+    size = 0
+    hits = 0
+    user_misses = np.zeros(max(num_users, 1), dtype=np.int64)
+    events: Optional[List[EvictionEvent]] = [] if record_events else None
+
+    deliver_hits = not policy.ignores_hits
+    on_hit = policy.on_hit
+    on_hit_batch = policy.on_hit_batch
+    on_insert = policy.on_insert
+
+    fl = flight.append if flight is not None else None
+    fl_extend = flight.extend if flight is not None else None
+    fl_zero = repeat(0)
+    probe = flight is not None and has_budget_probe(policy)
+    owners_l = owners.tolist() if flight is not None else None
+    if flight is not None:
+        flight.bind(owners_l)
+
+    for base, chunk in reader.batches():
+        req_list = chunk.tolist()
+        B = len(req_list)
+        t = 0
+        vector_mode = False
+        while t < B:
+            # ---- scan for the next miss within this batch ----
+            nm = t
+            escalate = vector_mode
+            if not escalate:
+                walk_end = t + _WALK_LIMIT
+                if walk_end > B:
+                    walk_end = B
+                while nm < walk_end and res_list[req_list[nm]]:
+                    nm += 1
+                escalate = nm == walk_end and nm < B
+            if escalate:
+                chunk_sz = _CHUNK_START
+                while nm < B:
+                    block = res_arr[chunk[nm : nm + chunk_sz]]
+                    j = int(block.argmin())
+                    if block[j]:
+                        nm += block.size
+                        if chunk_sz < _CHUNK_CAP:
+                            chunk_sz <<= 1
+                    else:
+                        nm += j
+                        break
+
+            run_len = nm - t
+            vector_mode = run_len >= _WALK_LIMIT
+            if run_len:
+                hits += run_len
+                if deliver_hits:
+                    if run_len == 1:
+                        on_hit(req_list[t], base + t)
+                    else:
+                        on_hit_batch(req_list[t:nm], base + t)
+                if fl_extend is not None:
+                    fl_extend(
+                        zip(range(base + t, base + nm), req_list[t:nm], fl_zero)
+                    )
+            if nm >= B:
+                break
+
+            # ---- miss: identical mechanics to the in-RAM engines ----
+            page = req_list[nm]
+            gt = base + nm
+            user_misses[owners[page]] += 1
+            if size < k:
+                res_arr[page] = True
+                res_list[page] = True
+                size += 1
+                on_insert(page, gt)
+                if fl is not None:
+                    record_miss(
+                        fl, policy, probe, owners_l[page], gt, page, 0, None, None
+                    )
+            else:
+                victim = policy.choose_victim(page, gt)
+                if validate:
+                    if victim < 0 or victim >= num_pages or not res_list[victim]:
+                        raise RuntimeError(
+                            f"{policy.name} evicted non-resident page {victim} "
+                            f"at t={gt}"
+                        )
+                    if victim == page:
+                        raise RuntimeError(
+                            f"{policy.name} evicted the requested page {page} "
+                            f"at t={gt}"
+                        )
+                b_before = (
+                    float(policy.budget_of(victim))
+                    if fl is not None and probe
+                    else None
+                )
+                res_arr[victim] = False
+                res_list[victim] = False
+                policy.on_evict(victim, gt)
+                res_arr[page] = True
+                res_list[page] = True
+                on_insert(page, gt)
+                if events is not None:
+                    events.append(
+                        EvictionEvent(t=gt, requested=page, victim=victim)
+                    )
+                if fl is not None:
+                    record_miss(
+                        fl, policy, probe, owners_l[page], gt, page, 0,
+                        victim, b_before,
+                    )
+            t = nm + 1
+
+    return SimResult(
+        policy_name=policy.name,
+        trace_name=reader.name,
+        k=k,
+        hits=hits,
+        misses=int(user_misses.sum()),
+        user_misses=user_misses,
+        final_cache=np.flatnonzero(res_arr).tolist(),
+        events=events,
+        miss_curve=None,
     )
 
 

@@ -170,6 +170,19 @@ class Trace:
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
+    def to_columnar(self, path: str, **kwargs):
+        """Persist as an out-of-core columnar store; returns a
+        :class:`~repro.sim.colstore.TraceReader` over it.
+
+        Shorthand for :func:`repro.sim.colstore.write_columnar` —
+        JSON (:meth:`save`) suits small fixture traces, the columnar
+        store is the format for anything measured in millions of
+        requests (4 bytes/request, streamable without loading).
+        """
+        from repro.sim.colstore import write_columnar
+
+        return write_columnar(self, path, **kwargs)
+
     def to_json(self) -> str:
         """Serialise to a compact JSON document."""
         return json.dumps(

@@ -1,4 +1,4 @@
-"""ShardWorkerPool mechanics: routing, the pipe/shm wire, scrape-time
+"""ShardWorkerPool mechanics: routing, the ring/pipe wire, scrape-time
 merges, per-worker flight windows, crash semantics, and the replay
 report's timing split.
 
@@ -61,36 +61,88 @@ def test_page_hash_array_matches_scalar():
 
 
 def test_pool_flags_invariant_across_workers_and_wire():
-    """The merged hit flags are bit-identical for any worker count and
-    for the pipe-payload vs shared-memory exchanges."""
+    """The merged hit flags are bit-identical for any worker count, for
+    the ring vs pipe transports, and for the pipe's ring-escalation
+    threshold — at W in {1, 2, 4} (the transport-invariance matrix)."""
     trace = random_multi_tenant_trace(4, 50, 2000, seed=11)
     costs = [MonomialCost(2)] * trace.num_users
     base = None
-    for workers, shm_threshold in (
-        (1, None),
-        (2, None),
-        (4, None),
-        (2, 1),  # force every exchange through shared memory
-        (4, 64),  # mixed: small remainders by pipe, full batches by shm
-    ):
-        pool = make_pool(
-            trace, costs, workers=workers, shm_threshold=shm_threshold
-        )
-        try:
-            flags = drive(pool, trace)
-        finally:
-            pool.close()
-        if base is None:
-            base = flags
-        else:
-            assert np.array_equal(flags, base), (
-                f"workers={workers} shm_threshold={shm_threshold} diverged"
+    for workers in (1, 2, 4):
+        for transport, shm_threshold in (
+            ("ring", None),  # everything through the shared-memory ring
+            ("pipe", None),  # everything framed over the pipe
+            ("pipe", 1),  # pipe mode, every exchange escalated to ring
+            ("pipe", 64),  # mixed: small remainders pipe, full batches ring
+        ):
+            pool = make_pool(
+                trace, costs, workers=workers,
+                transport=transport, shm_threshold=shm_threshold,
             )
-    # Tie the pool to the (simulate-verified) serving path.
+            try:
+                flags = drive(pool, trace)
+            finally:
+                pool.close()
+            if base is None:
+                base = flags
+            else:
+                assert np.array_equal(flags, base), (
+                    f"workers={workers} transport={transport} "
+                    f"shm_threshold={shm_threshold} diverged"
+                )
+    # Tie the pool to the (simulate-verified) serving path, over both
+    # transports end to end.
     report = serve_trace(
         trace, "lru", 64, costs, num_shards=4, policy_seed=SEED
     )
     assert int(base.sum()) == report.hits
+    piped = serve_trace(
+        trace, "lru", 64, costs, num_shards=4, policy_seed=SEED,
+        workers=2, transport="pipe",
+    )
+    assert piped.hits == report.hits
+    assert piped.user_misses.tolist() == report.user_misses.tolist()
+
+
+def test_ring_grows_for_oversized_batches():
+    """A single exchange larger than the initial ring capacity grows
+    the block in place (old block unlinked, cursors reset) and the
+    flags still match a small-batch drive."""
+    from repro.serve import workers as workers_mod
+
+    trace = random_multi_tenant_trace(3, 80, 4000, seed=17)
+    costs = [MonomialCost(2)] * trace.num_users
+    small = make_pool(trace, costs, workers=2)
+    big = make_pool(trace, costs, workers=2)
+    try:
+        # Shrink the initial capacities so a 4000-request trace in two
+        # submissions forces the growth path without a huge trace.
+        old_data, old_reply = (
+            workers_mod._DEFAULT_DATA_CAP, workers_mod._DEFAULT_REPLY_CAP
+        )
+        workers_mod._DEFAULT_DATA_CAP = 1 << 10
+        workers_mod._DEFAULT_REPLY_CAP = 1 << 7
+        try:
+            flags_big = drive(big, trace, batch=trace.length // 2 + 1)
+        finally:
+            workers_mod._DEFAULT_DATA_CAP = old_data
+            workers_mod._DEFAULT_REPLY_CAP = old_reply
+        flags_small = drive(small, trace, batch=64)
+        assert np.array_equal(flags_big, flags_small)
+        assert all(
+            ring is not None and ring["data_cap"] >= 1 << 10
+            for ring in big._rings
+        )
+    finally:
+        small.close()
+        big.close()
+
+
+def test_transport_validated():
+    trace = zipf_trace(50, 100, skew=1.0, seed=1)
+    with pytest.raises(ValueError, match="transport"):
+        make_pool(trace, None, workers=2, transport="carrier-pigeon")
+    with pytest.raises(ValueError, match="transport"):
+        CacheServer("lru", 16, trace.owners, transport="smoke-signal")
 
 
 def test_pool_detail_path_matches_batch_path():

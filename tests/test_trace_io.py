@@ -7,7 +7,7 @@ import pytest
 
 from repro.analysis.sweep import run_sweep
 from repro.sim.trace import Trace
-from repro.sim.trace_io import load_csv, round_trip, save_csv
+from repro.sim.trace_io import load_csv, main, round_trip, save_csv
 
 
 class TestLoadCsv:
@@ -93,6 +93,57 @@ class TestGzip:
         save_csv(tiny_trace, str(packed))
         with gzip.open(packed, "rt", encoding="utf-8") as fh:
             assert fh.read() == plain.read_text()
+
+
+class TestConvertCli:
+    CSV = "page,tenant\na,x\nb,y\na,x\nc,y\nb,y\n"
+
+    def test_csv_columnar_csv_round_trip(self, tmp_path, capsys):
+        src = tmp_path / "in.csv"
+        src.write_text(self.CSV)
+        col = tmp_path / "col"
+        out = tmp_path / "out.csv"
+        assert main(["convert", str(src), str(col)]) == 0
+        assert "wrote 5 requests" in capsys.readouterr().out
+        assert main(["convert", str(col), str(out)]) == 0
+        # The exported CSV reloads to the identical trace + vocabulary.
+        a = load_csv(io.StringIO(self.CSV))
+        b = load_csv(str(out))
+        assert a.trace.requests.tolist() == b.trace.requests.tolist()
+        assert a.trace.owners.tolist() == b.trace.owners.tolist()
+        assert a.page_labels == b.page_labels
+        assert a.tenant_labels == b.tenant_labels
+
+    def test_export_limit(self, tmp_path, capsys):
+        src = tmp_path / "in.csv"
+        src.write_text(self.CSV)
+        col = tmp_path / "col"
+        out = tmp_path / "out.csv"
+        main(["convert", str(src), str(col)])
+        main(["convert", str(col), str(out), "--limit", "2"])
+        assert load_csv(str(out)).trace.length == 2
+
+    def test_kv_log_ingest(self, tmp_path, capsys):
+        src = tmp_path / "log.csv"
+        src.write_text(
+            "100,alpha,8,64,cA,get,0\n"
+            "101,beta,8,64,cB,get,0\n"
+            "102,alpha,8,64,cA,get,0\n"
+        )
+        col = tmp_path / "col"
+        assert main(["convert", str(src), str(col), "--kv-log"]) == 0
+        assert "2 pages, 2 tenants" in capsys.readouterr().out
+
+    def test_info(self, tmp_path, capsys):
+        src = tmp_path / "in.csv"
+        src.write_text(self.CSV)
+        col = tmp_path / "col"
+        main(["convert", str(src), str(col)])
+        capsys.readouterr()
+        assert main(["info", str(col)]) == 0
+        out = capsys.readouterr().out
+        assert "5 requests" in out
+        assert "labels: stored" in out
 
 
 def _parallel_cell(a, seed):
