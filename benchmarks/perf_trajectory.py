@@ -38,6 +38,13 @@ throughput (>=0.5x bar), ring- vs pipe-transport serving from a
 reader (counters asserted identical), and the flat-memory claim as a
 hard peak-RSS bound on a subprocess streaming a 5M-request store.
 
+A seventh section measures the cache-network layer (``repro.net``):
+serial hierarchy throughput per admission strategy on a 3-level path,
+per-node process-parallel vs serial (fingerprints asserted identical),
+and the flat-memory claim as a hard peak-RSS bound on a subprocess
+streaming a 10M-request columnar store through the path with per-node
+Prometheus scrapes and a clean flight replay on every node's window.
+
 A fifth section measures process-parallel serving
 (``CacheServer(workers=W)``): hot-case throughput at workers 1/2/4
 with 4 shards, all worker counts interleaved rep by rep.  The
@@ -104,6 +111,14 @@ FLIGHT_DISABLED_BAR = 0.03
 OUTOFCORE_STREAM_BAR = 0.5
 OUTOFCORE_RSS_REQUESTS = 5_000_000
 OUTOFCORE_RSS_BOUND_MB = 300
+
+# Cache-network section: a 3-level path streaming a 10M-request store
+# (the ISSUE acceptance shape) must stay flat-RSS while scraping
+# per-node metrics and keeping every node's flight window replayable.
+NET_DEPTH = 3
+NET_STRATEGIES = ["lce", "lcd", "edge"]
+NET_RSS_REQUESTS = 10_000_000
+NET_RSS_BOUND_MB = 300
 
 CASES = {
     "mixed": {"skew": 0.9, "k": 256},
@@ -778,9 +793,176 @@ def outofcore_rows(trace, k: int, reps: int):
     }
 
 
+def network_rows(trace, k: int, reps: int):
+    """Cache-network section: serial hierarchy throughput per admission
+    strategy, per-node process-parallel vs serial with fingerprints
+    asserted identical, and the acceptance demo — a 3-node path
+    streaming a :data:`NET_RSS_REQUESTS`-request columnar store at
+    flat RSS with per-node Prometheus scrapes and a clean flight
+    replay on every node's window, all in a child process that
+    reports its own peak RSS.
+    """
+    import subprocess
+    import tempfile
+
+    from repro.net import NetworkSim, path_topology
+    from repro.sim import write_columnar
+
+    per_level = max(1, k // NET_DEPTH)
+    topo = path_topology(NET_DEPTH, per_level)
+
+    def run(strategy, workers=None):
+        sim = NetworkSim(topo, "lru", strategy=strategy, validate=False)
+        start = time.perf_counter()
+        result = sim.run(trace, workers=workers)
+        dt = time.perf_counter() - start
+        return result, trace.length / dt
+
+    rows = {}
+
+    # -- serial throughput per admission strategy, interleaved -----
+    serial_rows = []
+    best = {s: 0.0 for s in NET_STRATEGIES}
+    results = {}
+    for _ in range(reps):
+        for strategy in NET_STRATEGIES:
+            result, rps = run(strategy)
+            best[strategy] = max(best[strategy], rps)
+            results[strategy] = result
+    for strategy in NET_STRATEGIES:
+        result = results[strategy]
+        serial_rows.append(
+            {
+                "strategy": strategy,
+                "nodes": NET_DEPTH,
+                "k_per_level": per_level,
+                "net_rps": round(best[strategy]),
+                "network_hit_ratio": round(result.network_hit_ratio, 4),
+                "latency_mean": round(result.latency.mean(), 3),
+            }
+        )
+        print(
+            f"net   serial {strategy:9s} rps={best[strategy] / 1e3:7.0f}k "
+            f"hit={result.network_hit_ratio:.3f} "
+            f"lat={result.latency.mean():.2f}"
+        )
+    rows["serial"] = serial_rows
+
+    # -- per-node parallel vs serial: identical, speedup recorded --
+    best_par = 0.0
+    for _ in range(reps):
+        par, rps = run("lce", workers="per-node")
+        best_par = max(best_par, rps)
+    ser = results["lce"]
+    assert list(par.origin_fetches) == list(ser.origin_fetches)
+    assert [n.final_cache for n in par.nodes] == [
+        n.final_cache for n in ser.nodes
+    ]
+    assert par.latency == ser.latency
+    speedup = best_par / best["lce"]
+    rows["parallel"] = {
+        "strategy": "lce",
+        "workers": "per-node",
+        "net_rps": round(best_par),
+        "speedup_vs_serial": round(speedup, 2),
+        "fingerprints": "identical",
+    }
+    print(
+        f"net   per-node lce rps={best_par / 1e3:7.0f}k "
+        f"speedup={speedup:.2f}x (fingerprints identical)"
+    )
+
+    # -- acceptance: 10M-request store, flat RSS, scrape + replay --
+    with tempfile.TemporaryDirectory() as tmp:
+        store = os.path.join(tmp, "big")
+        big = zipf_trace(NUM_PAGES, NET_RSS_REQUESTS, skew=2.0, seed=0)
+        write_columnar(big, store)
+        del big
+        # The streaming run carries bounded flight rings (they wrap —
+        # a wrapped ring cannot replay, by design); the replay check
+        # runs on a prefix-complete capture of exactly ring capacity,
+        # where every node's window starts at t=0 by construction.
+        child = (
+            "import json, resource, sys\n"
+            "import numpy as np\n"
+            "from repro.net import NetworkSim, path_topology\n"
+            "from repro.obs import Observability\n"
+            "from repro.obs.export import render_prometheus\n"
+            "from repro.obs.flight import verify_flight\n"
+            "from repro.sim import open_trace\n"
+            "from repro.sim.trace import Trace\n"
+            "store, per_level = sys.argv[1], int(sys.argv[2])\n"
+            "topo = path_topology(3, per_level)\n"
+            "reader = open_trace(store)\n"
+            "obs = Observability.enabled()\n"
+            "sim = NetworkSim(topo, 'lru', strategy='lcd', obs=obs,\n"
+            "                 flight_capacity=1 << 14, validate=False)\n"
+            "result = sim.run(reader)\n"
+            "result.check_conservation()\n"
+            "text = render_prometheus(obs.registry)\n"
+            "scraped = all(\n"
+            "    'net_node_hits_total{node=\"%s\"}' % n.name in text\n"
+            "    for n in result.nodes)\n"
+            "W = 1 << 14\n"
+            "_t0, head = next(iter(open_trace(store).batches(W)))\n"
+            "prefix = Trace(np.asarray(head[:W]), reader.owners)\n"
+            "psim = NetworkSim(topo, 'lru', strategy='lcd',\n"
+            "                  flight_capacity=W, validate=False)\n"
+            "psim.run(prefix)\n"
+            "replays = [verify_flight(fl, reader.owners).ok\n"
+            "           for fl in psim.flights.values()]\n"
+            "json.dump({'served': result.network_hits + result.origin_total,\n"
+            "    'scraped': scraped, 'replays': replays, 'peak_kb':\n"
+            "    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss},\n"
+            "    sys.stdout)\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", child, store, str(per_level)],
+            check=True, capture_output=True, text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(
+                    Path(__file__).resolve().parent.parent / "src"
+                ),
+            },
+        ).stdout
+        got = json.loads(out)
+        peak_mb = got["peak_kb"] / 1024.0
+        assert got["served"] == NET_RSS_REQUESTS, got
+        assert got["scraped"], "per-node Prometheus series missing"
+        assert got["replays"] and all(got["replays"]), got["replays"]
+        assert peak_mb < NET_RSS_BOUND_MB, (
+            f"network streaming peak RSS {peak_mb:.0f}MB >= "
+            f"{NET_RSS_BOUND_MB}MB bound"
+        )
+        rows["peak_rss"] = {
+            "requests": NET_RSS_REQUESTS,
+            "nodes": NET_DEPTH,
+            "peak_rss_mb": round(peak_mb, 1),
+            "per_node_scrape": True,
+            "flight_replays_ok": len(got["replays"]),
+        }
+        print(
+            f"net   rss {NET_RSS_REQUESTS} requests through "
+            f"{NET_DEPTH}-node path peak={peak_mb:.0f}MB, "
+            f"{len(got['replays'])} node windows replay clean"
+        )
+
+    return {
+        "benchmark": (
+            "cache-network hierarchies: serial throughput per admission "
+            "strategy, per-node parallel vs serial, subprocess peak RSS "
+            "streaming a 10M-request store with per-node scrapes and "
+            "flight replays"
+        ),
+        "bars": {"streamed_peak_rss_mb": NET_RSS_BOUND_MB},
+        **rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR6.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_PR7.json", help="output JSON path")
     parser.add_argument("--reps", type=int, default=3, help="timing reps (best-of)")
     args = parser.parse_args(argv)
 
@@ -877,6 +1059,7 @@ def main(argv=None) -> int:
         "rows": flight_rows,
     }
     report["outofcore"] = outofcore_rows(hot_trace, hot["k"], args.reps)
+    report["network"] = network_rows(hot_trace, hot["k"], args.reps)
 
     # Cross-run reference against the previous PR's snapshot, recorded
     # informationally only: machine-to-machine / run-to-run variance on

@@ -26,6 +26,7 @@ from repro import (
     core,
     experiments,
     multipool,
+    net,
     obs,
     policies,
     serve,
@@ -65,6 +66,7 @@ __all__ = [
     "analysis",
     "experiments",
     "multipool",
+    "net",
     "obs",
     "serve",
     "util",

@@ -8,7 +8,9 @@ alpha=1 linear reduction, E7 Claim 2.3, E8 the section-5 multi-pool
 future work, E9 throughput, E10 derivative-mode ablation, E11 workload
 sensitivity, E12 adversarial instance search, E13 randomization vs
 oblivious/adaptive adversaries, E14 the budget-index scaling ablation,
-E15 the BBN fractional LP lineage.
+E15 the BBN fractional LP lineage, E16 serving, E17 observability
+overhead, E18 the live lower-bound audit, E19 the price of
+distribution across a cache hierarchy.
 """
 
 from repro.experiments.base import ExperimentOutput

@@ -20,6 +20,7 @@ from repro.experiments import (
     e16_serving,
     e17_obs_overhead,
     e18_audit_lower_bound,
+    e19_network,
     e2_invariants,
     e3_bicriteria,
     e4_lower_bound,
@@ -50,6 +51,7 @@ _MODULES = (
     e16_serving,
     e17_obs_overhead,
     e18_audit_lower_bound,
+    e19_network,
 )
 
 EXPERIMENTS: Dict[str, Tuple[Callable[..., ExperimentOutput], str]] = {

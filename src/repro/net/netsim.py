@@ -1,0 +1,809 @@
+"""The cache-network simulation engine.
+
+:class:`NetworkSim` drives any registered eviction policy *per node*
+over a :class:`~repro.sim.trace.Trace` or a streaming
+:class:`~repro.sim.colstore.TraceReader`, under a pluggable routing +
+admission strategy pair (:mod:`repro.net.strategies`) on a
+:class:`~repro.net.topology.Topology`.
+
+Per-request mechanics
+---------------------
+1. The request enters at an **ingress** node (leaf choice is
+   pluggable: hash of the page, round-robin, tenant-affine, or a
+   callable).
+2. It walks its probe route toward the origin.  At each cache: a
+   bounded ingress queue may **reject** it (the request bypasses that
+   cache — no probe, no admission, and the node's hit/miss ledgers do
+   not move); otherwise the cache is probed — a **hit** serves the
+   request, a **miss** forwards it upstream.  The origin always
+   serves.
+3. On the way back, the **admission strategy** picks which missing
+   caches store a copy.  Each admission runs the engine's exact miss
+   mechanics against that node's policy (space → insert; full → the
+   policy's ``choose_victim`` + evict + insert), so per-node behaviour
+   is attributable to the policy alone — the same engine/policy split
+   as :mod:`repro.sim.engine`.
+4. End-to-end **latency** (read delays of every link crossed, both
+   directions) lands in an exact :class:`~repro.net.metrics.LatencyDist`;
+   admissions charge their node's uplink ``write_delay`` to the
+   write-cost ledger (write-behind — not on the request path).
+
+Degenerate equivalence (test-enforced for every registered policy):
+a single-node topology run is **bit-identical** to
+:func:`repro.sim.engine.simulate` — same hits, misses, per-tenant miss
+vector, and final cache — because the walk + admission mechanics above
+collapse to exactly the engine's loop when there is one cache and the
+strategy admits on every miss.
+
+Observability: pass ``flight_capacity`` to attach one
+:class:`~repro.obs.flight.FlightRecorder` per node.  A node's window
+holds its hits and its *admitted* misses — an engine-compatible
+decision stream (every recorded miss inserted), so
+:func:`repro.obs.flight.verify_flight` replays any node of any
+strategy bit-for-bit with ``dense=False`` sparse global clocks.
+Registry metrics are per-node labelled (``net_node_hits_total{node=}``
+…), so a Prometheus scrape shows the whole hierarchy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.cost_functions import CostFunction
+from repro.net.metrics import LatencyDist, NetResult, NodeStats
+from repro.net.strategies import (
+    AdmissionStrategy,
+    RouteToOrigin,
+    RoutingStrategy,
+    make_routing,
+    make_strategy,
+)
+from repro.net.topology import Topology
+from repro.obs import Observability, default_observability
+from repro.obs.flight import FlightRecorder, has_budget_probe, record_miss
+from repro.sim.policy import EvictionPolicy, SimContext
+from repro.sim.trace import Trace
+from repro.util.rng import derive_seed
+from repro.util.validation import check_positive_int
+
+#: Requests consumed per zero-copy batch view.
+DEFAULT_BATCH = 1 << 16
+
+#: Ingress assignment modes (besides an explicit callable).
+INGRESS_MODES = ("auto", "hash", "rr", "tenant")
+
+PolicySpec = Union[str, Callable[..., EvictionPolicy]]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _page_hash(page: int) -> int:
+    # Splitmix64 finalizer — same placement hash as repro.serve.shard,
+    # so ingress routing is stable across processes and runs.
+    x = (page + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+class _NodeState:
+    """Runtime state of one cache node (engine mechanics, stepwise)."""
+
+    __slots__ = (
+        "node_id", "name", "k", "policy", "res", "size", "validate",
+        "hits", "misses", "rejected", "admissions", "evictions",
+        "tenant_hits", "tenant_misses", "tenant_rejected", "write_cost",
+        "uplink_write_delay",
+        "queue_capacity", "drain_rate", "queue_len", "queue_last_t",
+        "queue_peak", "flight", "fl_append", "fl_probe",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        name: str,
+        k: int,
+        policy: EvictionPolicy,
+        num_pages: int,
+        num_users: int,
+        uplink_write_delay: float,
+        queue_capacity: Optional[int],
+        drain_rate: float,
+        validate: bool,
+    ) -> None:
+        self.node_id = node_id
+        self.name = name
+        self.k = k
+        self.policy = policy
+        self.res = [False] * max(num_pages, 1)
+        self.size = 0
+        self.validate = validate
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+        self.admissions = 0
+        self.evictions = 0
+        self.write_cost = 0.0
+        self.tenant_hits = np.zeros(max(num_users, 1), dtype=np.int64)
+        self.tenant_misses = np.zeros(max(num_users, 1), dtype=np.int64)
+        self.tenant_rejected = np.zeros(max(num_users, 1), dtype=np.int64)
+        self.uplink_write_delay = uplink_write_delay
+        self.queue_capacity = queue_capacity
+        self.drain_rate = drain_rate
+        self.queue_len = 0.0
+        self.queue_last_t = 0
+        self.queue_peak = 0.0
+        self.flight: Optional[FlightRecorder] = None
+        self.fl_append = None
+        self.fl_probe = False
+
+    # -- queue ----------------------------------------------------------
+    def queue_admits(self, t: int) -> bool:
+        """Deterministic fluid queue: drains ``drain_rate`` per unit of
+        global clock; an arrival that finds it full is rejected."""
+        q = self.queue_len - (t - self.queue_last_t) * self.drain_rate
+        if q < 0.0:
+            q = 0.0
+        self.queue_last_t = t
+        if q >= self.queue_capacity:
+            self.queue_len = q
+            return False
+        q += 1.0
+        self.queue_len = q
+        if q > self.queue_peak:
+            self.queue_peak = q
+        return True
+
+    # -- engine mechanics ----------------------------------------------
+    def insert(self, page: int, tenant: int, t: int) -> None:
+        """Admit *page*: the reference engine's miss path, stepwise."""
+        policy = self.policy
+        if self.size < self.k:
+            self.res[page] = True
+            self.size += 1
+            policy.on_insert(page, t)
+            self.admissions += 1
+            if self.fl_append is not None:
+                record_miss(
+                    self.fl_append, policy, self.fl_probe,
+                    tenant, t, page, 0, None, None,
+                )
+            return
+        victim = policy.choose_victim(page, t)
+        if self.validate:
+            if victim < 0 or victim >= len(self.res) or not self.res[victim]:
+                raise RuntimeError(
+                    f"{policy.name}@{self.name} evicted non-resident page "
+                    f"{victim} at t={t}"
+                )
+            if victim == page:
+                raise RuntimeError(
+                    f"{policy.name}@{self.name} evicted the requested page "
+                    f"{page} at t={t}"
+                )
+        b_before = (
+            float(policy.budget_of(victim))
+            if self.fl_append is not None and self.fl_probe
+            else None
+        )
+        self.res[victim] = False
+        policy.on_evict(victim, t)
+        self.res[page] = True
+        policy.on_insert(page, t)
+        self.evictions += 1
+        self.admissions += 1
+        if self.fl_append is not None:
+            record_miss(
+                self.fl_append, policy, self.fl_probe,
+                tenant, t, page, 0, victim, b_before,
+            )
+
+    def stats(self, policy_name: str) -> NodeStats:
+        return NodeStats(
+            node_id=self.node_id,
+            name=self.name,
+            k=self.k,
+            policy=policy_name,
+            hits=self.hits,
+            misses=self.misses,
+            rejected=self.rejected,
+            admissions=self.admissions,
+            evictions=self.evictions,
+            write_cost=self.write_cost,
+            tenant_hits=self.tenant_hits,
+            tenant_misses=self.tenant_misses,
+            tenant_rejected=self.tenant_rejected,
+            final_cache=[p for p, r in enumerate(self.res) if r],
+            queue_peak=self.queue_peak,
+        )
+
+
+def _iter_batches(
+    trace, batch: int
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Uniform ``(t0, pages)`` batch view over a Trace or a TraceReader."""
+    if isinstance(trace, Trace):
+        requests = trace.requests
+        for lo in range(0, requests.size, batch):
+            yield lo, requests[lo : lo + batch]
+        return
+    if not hasattr(trace, "batches"):
+        raise TypeError(
+            f"trace must be a Trace or a TraceReader, got {type(trace).__name__}"
+        )
+    yield from trace.batches(batch)
+
+
+class NetworkSim:
+    """A configured cache network, ready to drive traces.
+
+    Parameters
+    ----------
+    topology:
+        The cache network (:class:`~repro.net.topology.Topology`).
+    policy:
+        Default eviction policy per node — a registry name or factory.
+        Nodes with a :attr:`~repro.net.topology.NodeSpec.policy`
+        override use their own instead.
+    costs:
+        Per-tenant cost functions; required by ``requires_costs``
+        policies and by the cost aggregation helpers on the result.
+    strategy:
+        Admission strategy — name, factory, or instance (default
+        ``"lce"``).
+    routing:
+        ``"to-origin"`` (default) or ``"nearest-copy"`` — name,
+        factory, or instance.
+    ingress:
+        How requests pick their entry leaf: ``"auto"`` (single leaf →
+        that leaf; else ``"hash"``), ``"hash"`` (splitmix64 of the
+        page — stable, locality-preserving), ``"rr"`` (round-robin by
+        global clock), ``"tenant"`` (owner id modulo leaves), or a
+        callable ``(page, t) -> node_id``.
+    policy_seed:
+        Base seed for stochastic node policies: node *v*'s instance is
+        built with ``rng=policy_seed + v`` (the
+        :class:`~repro.serve.shard.ShardManager` convention, so node
+        windows replay under the same seeds).
+    seed:
+        Seed for stochastic *admission* strategies (per-node streams).
+    validate:
+        Check victims are resident (disable only in benchmarks).
+    obs:
+        Telemetry bundle; defaults to the process default.  Counters
+        are per-node labelled; one ``net.run`` span wraps each run.
+    flight_capacity:
+        When set, attach one FlightRecorder of this capacity per cache
+        node (``self.flights[node_id]``); windows replay-verify via
+        :func:`repro.obs.flight.verify_flight`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: PolicySpec = "lru",
+        *,
+        costs: Optional[Sequence[CostFunction]] = None,
+        strategy: Union[str, AdmissionStrategy] = "lce",
+        routing: Union[str, RoutingStrategy] = "to-origin",
+        ingress: Union[str, Callable[[int, int], int]] = "auto",
+        policy_seed: Optional[int] = None,
+        seed: int = 0,
+        validate: bool = True,
+        obs: Optional[Observability] = None,
+        flight_capacity: Optional[int] = None,
+    ) -> None:
+        self.topology = topology
+        self.policy_spec = policy
+        self.costs = costs
+        self.strategy = make_strategy(strategy)
+        self.routing = make_routing(routing)
+        if not (callable(ingress) or ingress in INGRESS_MODES):
+            raise ValueError(
+                f"ingress must be callable or one of {INGRESS_MODES}, "
+                f"got {ingress!r}"
+            )
+        self.ingress_mode = ingress
+        self.policy_seed = policy_seed
+        self.seed = seed
+        self.validate = validate
+        self.obs = obs
+        self.flight_capacity = (
+            None
+            if flight_capacity is None
+            else check_positive_int(flight_capacity, "flight_capacity")
+        )
+        #: Per-node flight recorders from the most recent run.
+        self.flights: Dict[int, FlightRecorder] = {}
+
+    # ------------------------------------------------------------------
+    def _build_policy(self, spec: PolicySpec, node_id: int) -> EvictionPolicy:
+        from repro.serve.shard import make_policy_instance
+
+        if isinstance(spec, str):
+            from repro.policies import POLICY_REGISTRY
+
+            try:
+                factory: Callable[..., EvictionPolicy] = POLICY_REGISTRY[spec]
+            except KeyError:
+                known = ", ".join(sorted(POLICY_REGISTRY))
+                raise KeyError(
+                    f"unknown policy {spec!r}; known: {known}"
+                ) from None
+        else:
+            factory = spec
+        seed = None if self.policy_seed is None else self.policy_seed + node_id
+        return make_policy_instance(factory, seed)
+
+    def _ingress_fn(
+        self, trace, owners: np.ndarray
+    ) -> Callable[[int, int], int]:
+        leaves = self.topology.ingress
+        mode = self.ingress_mode
+        if callable(mode):
+            return mode
+        if mode == "auto":
+            mode = "hash" if len(leaves) > 1 else "single"
+        if mode == "single" or len(leaves) == 1:
+            only = leaves[0]
+            return lambda page, t: only
+        n = len(leaves)
+        if mode == "hash":
+            return lambda page, t: leaves[_page_hash(page) % n]
+        if mode == "rr":
+            return lambda page, t: leaves[t % n]
+        # tenant-affine: every tenant enters at a fixed leaf.
+        return lambda page, t: leaves[int(owners[page]) % n]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace,
+        batch: int = DEFAULT_BATCH,
+        workers: Optional[str] = None,
+    ) -> NetResult:
+        """Drive *trace* (a Trace or streaming TraceReader) through the
+        network; returns a :class:`~repro.net.metrics.NetResult`.
+
+        ``workers="per-node"`` runs the process-parallel pipeline (one
+        OS process per cache node, pipes as links) — path topologies
+        with ``local`` admission strategies only; see
+        :mod:`repro.net.parallel`.
+        """
+        if workers is not None:
+            if workers != "per-node":
+                raise ValueError(
+                    f"workers must be None or 'per-node', got {workers!r}"
+                )
+            from repro.net.parallel import run_parallel
+
+            result = run_parallel(self, trace, batch=batch)
+            obs = self.obs if self.obs is not None else default_observability()
+            self._export_metrics(obs, result)
+            return result
+        obs = self.obs if self.obs is not None else default_observability()
+        if not (obs.tracer.enabled or obs.registry.enabled):
+            return self._run_serial(trace, batch)
+        with obs.tracer.span(
+            "net.run",
+            strategy=self.strategy.name,
+            routing=self.routing.name,
+            nodes=len(self.topology.cache_nodes),
+            trace=getattr(trace, "name", "trace"),
+        ) as span:
+            result = self._run_serial(trace, batch)
+            span.set(
+                hits=result.network_hits,
+                origin=result.origin_total,
+                rejected=result.rejected_total,
+            )
+        self._export_metrics(obs, result)
+        return result
+
+    def _export_metrics(self, obs: Observability, result: NetResult) -> None:
+        reg = obs.registry
+        if not reg.enabled:
+            return
+        reg.counter("net_runs_total", "Network simulation runs").inc()
+        reg.counter("net_requests_total", "Requests routed through the network").inc(
+            result.total_requests
+        )
+        reg.counter("net_origin_fetches_total", "Requests served by the origin").inc(
+            result.origin_total
+        )
+        hits = reg.counter(
+            "net_node_hits_total", "Cache hits per network node", labels=("node",)
+        )
+        misses = reg.counter(
+            "net_node_misses_total", "Cache misses per network node", labels=("node",)
+        )
+        rejected = reg.counter(
+            "net_node_rejected_total",
+            "Queue rejections per network node",
+            labels=("node",),
+        )
+        occupancy = reg.gauge(
+            "net_node_occupancy", "Resident pages per network node", labels=("node",)
+        )
+        for n in result.nodes:
+            hits.labels(node=n.name).inc(n.hits)
+            misses.labels(node=n.name).inc(n.misses)
+            rejected.labels(node=n.name).inc(n.rejected)
+            occupancy.labels(node=n.name).set(n.occupancy)
+        reg.gauge("net_latency_mean", "Mean end-to-end latency").set(
+            result.latency.mean()
+        )
+        reg.gauge("net_latency_p99", "p99 end-to-end latency").set(
+            result.latency.quantile(0.99)
+        )
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, trace, batch: int) -> NetResult:
+        topo = self.topology
+        num_users = trace.num_users
+        num_pages = trace.num_pages
+        owners = np.asarray(trace.owners)
+        owners_l = owners.tolist()
+        horizon = trace.length
+
+        cache_nodes = topo.cache_nodes
+        multi = len(cache_nodes) > 1
+        states: Dict[int, _NodeState] = {}
+        instances: Dict[int, EvictionPolicy] = {}
+        for spec in cache_nodes:
+            inst = self._build_policy(spec.policy or self.policy_spec, spec.node_id)
+            if inst.requires_costs and self.costs is None:
+                raise ValueError(f"{inst.name} requires cost functions")
+            if inst.requires_future:
+                if multi:
+                    raise ValueError(
+                        f"{inst.name} is offline (requires_future); offline "
+                        f"policies only run on single-node topologies"
+                    )
+                if not isinstance(trace, Trace):
+                    raise ValueError(
+                        f"{inst.name} needs the materialized trace; "
+                        f"materialize() the reader first"
+                    )
+            ctx = SimContext(
+                k=spec.k,
+                owners=owners,
+                num_users=num_users,
+                costs=self.costs,
+                trace=trace if inst.requires_future else None,
+                num_pages=num_pages,
+                horizon=horizon,
+            )
+            inst.reset(ctx)
+            instances[spec.node_id] = inst
+            up = topo.uplink(spec.node_id)
+            states[spec.node_id] = _NodeState(
+                spec.node_id,
+                spec.name,
+                spec.k,
+                inst,
+                num_pages,
+                num_users,
+                up.write_delay if up is not None else 0.0,
+                spec.queue_capacity,
+                spec.drain_rate,
+                self.validate,
+            )
+        if self.costs is not None and len(self.costs) < num_users:
+            raise ValueError(
+                f"need {num_users} cost functions, got {len(self.costs)}"
+            )
+
+        self.flights = {}
+        if self.flight_capacity is not None:
+            for spec in cache_nodes:
+                st = states[spec.node_id]
+                fl = FlightRecorder(capacity=self.flight_capacity)
+                fl.bind(owners_l)
+                fl.note_config(
+                    policy=instances[spec.node_id].name,
+                    k=spec.k,
+                    num_shards=1,
+                    source=f"net:{spec.name}",
+                    trace=getattr(trace, "name", "trace"),
+                    dense=False,
+                    policy_seed=(
+                        None
+                        if self.policy_seed is None
+                        else self.policy_seed + spec.node_id
+                    ),
+                )
+                st.flight = fl
+                st.fl_append = fl.append
+                st.fl_probe = has_budget_probe(instances[spec.node_id])
+                self.flights[spec.node_id] = fl
+
+        strategy = self.strategy
+        strategy.reset(topo, self.seed)
+        routing = self.routing
+        routing.reset(topo, lambda v, page: states[v].res[page])
+        walk_to_origin = isinstance(routing, RouteToOrigin)
+
+        ingress_of = self._ingress_fn(trace, owners)
+        origin = topo.origin
+        routes = {v: topo.route(v) for v in topo.ingress}
+        prefix = {v: topo.prefix_read_delay(v) for v in topo.ingress}
+        # Pair delays over tree edges, both directions (nearest-copy
+        # paths cross edges downward too).
+        pair_delay: Dict[Tuple[int, int], float] = {}
+        for link in topo.links:
+            pair_delay[(link.src, link.dst)] = link.read_delay
+            pair_delay[(link.dst, link.src)] = link.read_delay
+
+        latency = LatencyDist()
+        origin_fetches = np.zeros(max(num_users, 1), dtype=np.int64)
+        total = 0
+        miss_path: List[int] = []
+
+        for base, chunk in _iter_batches(trace, batch):
+            pages = chunk.tolist()
+            for i, page in enumerate(pages):
+                t = base + i
+                tenant = owners_l[page]
+                v0 = ingress_of(page, t)
+                del miss_path[:]
+                hit_node = -1
+                lat = 0.0
+
+                if walk_to_origin:
+                    route = routes[v0]
+                    pre = prefix[v0]
+                    for j, v in enumerate(route):
+                        if v == origin:
+                            lat = pre[j]
+                            break
+                        st = states[v]
+                        if st.queue_capacity is not None and not st.queue_admits(t):
+                            st.rejected += 1
+                            st.tenant_rejected[tenant] += 1
+                            continue
+                        if st.res[page]:
+                            st.hits += 1
+                            st.tenant_hits[tenant] += 1
+                            st.policy.on_hit(page, t)
+                            if st.fl_append is not None:
+                                st.fl_append((t, page, 0))
+                            hit_node = v
+                            lat = pre[j]
+                            break
+                        st.misses += 1
+                        st.tenant_misses[tenant] += 1
+                        miss_path.append(v)
+                else:
+                    # Strategy-chosen route; if every probed cache
+                    # rejects or misses and the route did not end at
+                    # the origin (a rejected holder), continue from its
+                    # last node along the tree toward the origin.
+                    route = list(routing.route(v0, page))
+                    if route[-1] != origin:
+                        tail = topo.route(route[-1])[1:]
+                        route.extend(tail)
+                    prev = None
+                    for v in route:
+                        if prev is not None:
+                            lat += pair_delay[(prev, v)]
+                        prev = v
+                        if v == origin:
+                            break
+                        st = states[v]
+                        if st.queue_capacity is not None and not st.queue_admits(t):
+                            st.rejected += 1
+                            st.tenant_rejected[tenant] += 1
+                            continue
+                        if st.res[page]:
+                            st.hits += 1
+                            st.tenant_hits[tenant] += 1
+                            st.policy.on_hit(page, t)
+                            if st.fl_append is not None:
+                                st.fl_append((t, page, 0))
+                            hit_node = v
+                            break
+                        st.misses += 1
+                        st.tenant_misses[tenant] += 1
+                        miss_path.append(v)
+
+                if hit_node < 0:
+                    hit_node = origin
+                    origin_fetches[tenant] += 1
+                latency.add(2.0 * lat)
+
+                if miss_path:
+                    for v in strategy.admit(miss_path, hit_node, page, t):
+                        st = states[v]
+                        st.insert(page, tenant, t)
+                        st.write_cost += st.uplink_write_delay
+            total += len(pages)
+
+        node_stats = [
+            states[spec.node_id].stats(instances[spec.node_id].name)
+            for spec in cache_nodes
+        ]
+        return NetResult(
+            topology_repr=repr(topo),
+            strategy=strategy.name,
+            routing=routing.name,
+            trace_name=getattr(trace, "name", "trace"),
+            total_requests=total,
+            nodes=node_stats,
+            origin_fetches=origin_fetches,
+            latency=latency,
+            write_cost=sum(n.write_cost for n in node_stats),
+        )
+
+
+def simulate_network(
+    topology: Topology,
+    trace,
+    policy: PolicySpec = "lru",
+    *,
+    costs: Optional[Sequence[CostFunction]] = None,
+    strategy: Union[str, AdmissionStrategy] = "lce",
+    routing: Union[str, RoutingStrategy] = "to-origin",
+    ingress: Union[str, Callable[[int, int], int]] = "auto",
+    policy_seed: Optional[int] = None,
+    seed: int = 0,
+    validate: bool = True,
+    batch: int = DEFAULT_BATCH,
+    workers: Optional[str] = None,
+    obs: Optional[Observability] = None,
+    flight_capacity: Optional[int] = None,
+) -> NetResult:
+    """One-shot convenience wrapper around :class:`NetworkSim`."""
+    sim = NetworkSim(
+        topology,
+        policy,
+        costs=costs,
+        strategy=strategy,
+        routing=routing,
+        ingress=ingress,
+        policy_seed=policy_seed,
+        seed=seed,
+        validate=validate,
+        obs=obs,
+        flight_capacity=flight_capacity,
+    )
+    return sim.run(trace, batch=batch, workers=workers)
+
+
+# ----------------------------------------------------------------------
+# Grid driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NetGridRun:
+    """One completed cell of a :func:`network_many` grid."""
+
+    topology_index: int
+    strategy: str
+    trace_index: int
+    policy: str
+    seed: int
+    elapsed: float
+    result: NetResult
+
+
+def _run_net_cell(job: Tuple) -> Tuple[float, NetResult]:
+    """Top-level worker so process pools can unpickle the call."""
+    (topology, strategy, trace, policy, costs, routing, ingress, seed) = job
+    from repro.sim.driver import resolve_trace
+
+    trace = resolve_trace(trace)
+    start = time.perf_counter()
+    result = simulate_network(
+        topology,
+        trace,
+        policy,
+        costs=costs,
+        strategy=strategy,
+        routing=routing,
+        ingress=ingress,
+        policy_seed=seed,
+        seed=seed,
+    )
+    return time.perf_counter() - start, result
+
+
+def network_many(
+    topologies: Sequence[Topology],
+    strategies: Sequence[str],
+    traces: Sequence,
+    *,
+    policy: PolicySpec = "lru",
+    costs=None,
+    routing: str = "to-origin",
+    ingress: Union[str, Callable[[int, int], int]] = "auto",
+    base_seed: int = 0,
+    workers: Optional[int] = None,
+) -> List[NetGridRun]:
+    """Run every (topology, strategy, trace) combination, optionally in
+    parallel — the network analogue of
+    :func:`repro.sim.driver.simulate_many`.
+
+    Trace entries may be *path strings* (columnar directories stream
+    via per-cell :class:`~repro.sim.colstore.TraceReader`\\ s opened
+    inside the worker process, CSVs load there too), so parallel grids
+    over on-disk traces ship a path per cell instead of pickling
+    requests — the multi-core sweep mode ROADMAP item 5 calls for.
+    ``costs`` follows :func:`~repro.sim.driver.simulate_many`: one list
+    for all traces, or a callable evaluated per trace in the parent
+    (path entries are opened header-only first, so the callable sees
+    ``num_users``).
+
+    Cells are numbered in ``itertools.product`` order; cell *i* runs
+    under ``derive_seed(base_seed, i)`` (both the policy seed and the
+    admission-strategy seed), and results come back in product order
+    regardless of *workers*.
+    """
+    if not topologies:
+        raise ValueError("topologies must be non-empty")
+    if not strategies:
+        raise ValueError("strategies must be non-empty")
+    if not traces:
+        raise ValueError("traces must be non-empty")
+    from repro.sim.driver import costs_per_trace
+
+    per_trace = costs_per_trace(costs, traces)
+
+    jobs: List[Tuple] = []
+    meta: List[Tuple[int, str, int, int]] = []
+    for cell_index, (ti, strategy, xi) in enumerate(
+        itertools.product(range(len(topologies)), strategies, range(len(traces)))
+    ):
+        seed = derive_seed(base_seed, cell_index)
+        meta.append((ti, strategy, xi, seed))
+        jobs.append(
+            (
+                topologies[ti],
+                strategy,
+                traces[xi],
+                policy,
+                per_trace[xi],
+                routing,
+                ingress,
+                seed,
+            )
+        )
+
+    if workers is None:
+        outputs = [_run_net_cell(job) for job in jobs]
+    else:
+        workers = check_positive_int(workers, "workers")
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outputs = list(pool.map(_run_net_cell, jobs))
+
+    policy_name = policy if isinstance(policy, str) else getattr(
+        policy, "name", getattr(policy, "__name__", repr(policy))
+    )
+    return [
+        NetGridRun(
+            topology_index=ti,
+            strategy=strategy,
+            trace_index=xi,
+            policy=policy_name,
+            seed=seed,
+            elapsed=elapsed,
+            result=result,
+        )
+        for (ti, strategy, xi, seed), (elapsed, result) in zip(meta, outputs)
+    ]
+
+
+__all__ = [
+    "DEFAULT_BATCH",
+    "INGRESS_MODES",
+    "NetGridRun",
+    "NetworkSim",
+    "network_many",
+    "simulate_network",
+]

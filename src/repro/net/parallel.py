@@ -1,0 +1,361 @@
+"""Process-parallel network simulation: one worker per node, pipes as
+links.
+
+The serial engine walks each request through every cache level in one
+process.  On a *path* topology the levels form a natural pipeline: the
+edge process decides hit/miss/reject for its arrivals and forwards the
+requests it could not serve to the next level's process over an OS
+pipe — exactly the shape of the physical system, where a miss *is* a
+message to the upstream cache.  The origin end drains in the parent,
+which also streams the trace in (colstore readers batch straight from
+disk, so RSS stays flat at any trace length).
+
+Bit-identical to serial (test-enforced) under the conditions the
+pipeline needs:
+
+* **path topology** — each node has exactly one upstream, so the
+  forwarded stream preserves global clock order and every node sees
+  the same arrival sequence as in the serial walk;
+* **to-origin routing** — nearest-copy needs residency of *other*
+  nodes, which a per-node process cannot see;
+* **local admission** (``strategy.local``) — each node decides from
+  its own miss, its own RNG stream, and the one forwarded bit
+  ``missed_below``; ``lcd``/``probcache`` need the hit position and
+  stay serial-only;
+* **online policies** — ``requires_future`` policies need the
+  materialized trace and run serially.
+
+Per-node mechanics reuse :class:`repro.net.netsim._NodeState` — the
+same residency/insert/evict/queue code the serial engine runs, so
+equivalence is by construction, not by parallel reimplementation.
+Flight recorders ride along: each worker records its own window and
+ships the ring back at EOF.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.net.metrics import LatencyDist, NetResult, NodeStats
+from repro.net.strategies import RouteToOrigin
+from repro.obs.flight import FlightRecorder, has_budget_probe
+from repro.sim.policy import SimContext
+
+__all__ = ["run_parallel"]
+
+
+def _node_worker(recv, send, result, cfg) -> None:
+    """One cache level: consume arrivals, forward what it cannot serve."""
+    from repro.net.netsim import _NodeState, NetworkSim
+
+    try:
+        topo = cfg["topology"]
+        node_id = cfg["node_id"]
+        spec = topo.node(node_id)
+        owners = cfg["owners"]
+        owners_l = owners.tolist()
+        num_pages = cfg["num_pages"]
+        num_users = cfg["num_users"]
+
+        sim = NetworkSim.__new__(NetworkSim)
+        sim.policy_seed = cfg["policy_seed"]
+        policy = NetworkSim._build_policy(
+            sim, cfg["policy_spec"], node_id
+        )
+        ctx = SimContext(
+            k=spec.k,
+            owners=owners,
+            num_users=num_users,
+            costs=cfg["costs"],
+            trace=None,
+            num_pages=num_pages,
+            horizon=cfg["horizon"],
+        )
+        policy.reset(ctx)
+        up = topo.uplink(node_id)
+        st = _NodeState(
+            node_id,
+            spec.name,
+            spec.k,
+            policy,
+            num_pages,
+            num_users,
+            up.write_delay if up is not None else 0.0,
+            spec.queue_capacity,
+            spec.drain_rate,
+            cfg["validate"],
+        )
+        fl: Optional[FlightRecorder] = None
+        if cfg["flight_capacity"]:
+            fl = FlightRecorder(capacity=cfg["flight_capacity"])
+            fl.bind(owners_l)
+            fl.note_config(**cfg["flight_meta"])
+            st.flight = fl
+            st.fl_append = fl.append
+            st.fl_probe = has_budget_probe(policy)
+
+        strategy = cfg["strategy"]
+        strategy.reset(topo, cfg["seed"])
+        admit_local = strategy.admit_local
+
+        res = st.res
+        queue_capacity = st.queue_capacity
+        tenant_hits = st.tenant_hits
+        tenant_misses = st.tenant_misses
+        tenant_rejected = st.tenant_rejected
+        fl_append = st.fl_append
+        on_hit = policy.on_hit
+        uplink_wd = st.uplink_write_delay
+
+        while True:
+            msg = recv.recv()
+            kind = msg[0]
+            if kind == "eof":
+                send.send(("eof",))
+                break
+            if kind == "b":  # ingress batch: (base, pages), flags False
+                base, pages = msg[1], msg[2]
+                items = [
+                    (base + i, page, False) for i, page in enumerate(pages)
+                ]
+            else:  # forwarded batch: (ts, pages, flags)
+                items = list(zip(msg[1], msg[2], msg[3]))
+            out_t: List[int] = []
+            out_p: List[int] = []
+            out_f: List[bool] = []
+            for t, page, missed_below in items:
+                if queue_capacity is not None and not st.queue_admits(t):
+                    st.rejected += 1
+                    tenant_rejected[owners_l[page]] += 1
+                    out_t.append(t)
+                    out_p.append(page)
+                    out_f.append(missed_below)
+                    continue
+                if res[page]:
+                    st.hits += 1
+                    tenant_hits[owners_l[page]] += 1
+                    on_hit(page, t)
+                    if fl_append is not None:
+                        fl_append((t, page, 0))
+                    continue
+                st.misses += 1
+                tenant_misses[owners_l[page]] += 1
+                if admit_local(node_id, missed_below, page, t):
+                    st.insert(page, owners_l[page], t)
+                    st.write_cost += uplink_wd
+                out_t.append(t)
+                out_p.append(page)
+                out_f.append(True)
+            if out_t:
+                send.send(("f", out_t, out_p, out_f))
+
+        stats = st.stats(policy.name)
+        result.send(
+            (
+                "ok",
+                {
+                    "stats": stats,
+                    "flight_ring": list(fl.ring) if fl is not None else None,
+                    "flight_meta": dict(fl.meta) if fl is not None else None,
+                },
+            )
+        )
+    except Exception as exc:  # pragma: no cover - error path
+        try:
+            send.send(("eof",))
+        except Exception:
+            pass
+        result.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+def run_parallel(sim, trace, batch: Optional[int] = None) -> NetResult:
+    """Run *sim* over *trace* with one OS process per cache node.
+
+    Called via ``NetworkSim.run(trace, workers="per-node")``; see the
+    module docstring for the (validated) preconditions.
+    """
+    import multiprocessing as mp
+
+    from repro.net.netsim import DEFAULT_BATCH, _iter_batches
+
+    if batch is None:
+        batch = DEFAULT_BATCH
+    topo = sim.topology
+    if not topo.is_path():
+        raise ValueError(
+            "workers='per-node' needs a path topology (one ingress, "
+            "linear chain); run tree/star topologies serially"
+        )
+    if not isinstance(sim.routing, RouteToOrigin):
+        raise ValueError(
+            f"workers='per-node' supports to-origin routing only, "
+            f"got {sim.routing.name!r}"
+        )
+    if not sim.strategy.local:
+        raise ValueError(
+            f"admission strategy {sim.strategy.name!r} is not local "
+            f"(needs the hit position); run it serially"
+        )
+
+    owners = np.ascontiguousarray(np.asarray(trace.owners, dtype=np.int64))
+    owners_l = owners.tolist()
+    num_users = trace.num_users
+    num_pages = trace.num_pages
+    horizon = trace.length
+
+    cache_nodes = topo.cache_nodes
+    # Parent-side dry build: surface bad specs / offline policies before
+    # forking, and learn each node's policy name for the ledgers.
+    names: Dict[int, str] = {}
+    for spec in cache_nodes:
+        inst = sim._build_policy(spec.policy or sim.policy_spec, spec.node_id)
+        if inst.requires_future:
+            raise ValueError(
+                f"{inst.name} is offline (requires_future); offline "
+                f"policies do not run under workers='per-node'"
+            )
+        if inst.requires_costs and sim.costs is None:
+            raise ValueError(f"{inst.name} requires cost functions")
+        names[spec.node_id] = inst.name
+    if sim.costs is not None and len(sim.costs) < num_users:
+        raise ValueError(
+            f"need {num_users} cost functions, got {len(sim.costs)}"
+        )
+
+    ingress = topo.ingress[0]
+    route = topo.route(ingress)
+    prefix = topo.prefix_read_delay(ingress)
+    pos = {v: j for j, v in enumerate(route)}
+    # Worker order along the chain, ingress first.
+    chain = [v for v in route if v != topo.origin]
+
+    start_method = (
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+    ctx = mp.get_context(start_method)
+    links = [ctx.Pipe(duplex=False) for _ in range(len(chain) + 1)]
+    results = {v: ctx.Pipe(duplex=False) for v in chain}
+    procs = []
+    for i, v in enumerate(chain):
+        spec = topo.node(v)
+        cfg = {
+            "topology": topo,
+            "node_id": v,
+            "policy_spec": spec.policy or sim.policy_spec,
+            "policy_seed": sim.policy_seed,
+            "costs": sim.costs,
+            "strategy": sim.strategy,
+            "seed": sim.seed,
+            "owners": owners,
+            "num_pages": num_pages,
+            "num_users": num_users,
+            "horizon": horizon,
+            "validate": sim.validate,
+            "flight_capacity": sim.flight_capacity,
+            "flight_meta": {
+                "policy": names[v],
+                "k": spec.k,
+                "num_shards": 1,
+                "source": f"net:{spec.name}",
+                "trace": getattr(trace, "name", "trace"),
+                "dense": False,
+                **(
+                    {"policy_seed": sim.policy_seed + v}
+                    if sim.policy_seed is not None
+                    else {}
+                ),
+            },
+        }
+        p = ctx.Process(
+            target=_node_worker,
+            args=(links[i][0], links[i + 1][1], results[v][1], cfg),
+            daemon=True,
+            name=f"net-node-{spec.name}",
+        )
+        p.start()
+        procs.append(p)
+
+    feed_err: List[BaseException] = []
+
+    def _feed() -> None:
+        send = links[0][1]
+        try:
+            for base, chunk in _iter_batches(trace, batch):
+                send.send(("b", base, chunk.tolist()))
+            send.send(("eof",))
+        except BaseException as exc:  # pragma: no cover - error path
+            feed_err.append(exc)
+            try:
+                send.send(("eof",))
+            except Exception:
+                pass
+
+    feeder = threading.Thread(target=_feed, name="net-feeder", daemon=True)
+    feeder.start()
+
+    # Drain the top of the chain: whatever no cache served hits the
+    # origin here, in global clock order.
+    top = links[-1][0]
+    origin_fetches = np.zeros(max(num_users, 1), dtype=np.int64)
+    origin_count = 0
+    while True:
+        msg = top.recv()
+        if msg[0] == "eof":
+            break
+        for page in msg[2]:
+            origin_fetches[owners_l[page]] += 1
+        origin_count += len(msg[2])
+    feeder.join()
+    if feed_err:  # pragma: no cover - error path
+        raise feed_err[0]
+
+    payloads: Dict[int, dict] = {}
+    errors: List[str] = []
+    for v in chain:
+        status, payload = results[v][0].recv()
+        if status == "ok":
+            payloads[v] = payload
+        else:  # pragma: no cover - error path
+            errors.append(f"{topo.node(v).name}: {payload}")
+    for p in procs:
+        p.join()
+    for conns in links:
+        conns[0].close()
+        conns[1].close()
+    for conns in results.values():
+        conns[0].close()
+        conns[1].close()
+    if errors:  # pragma: no cover - error path
+        raise RuntimeError("network worker failed: " + "; ".join(errors))
+
+    sim.flights = {}
+    nodes: List[NodeStats] = []
+    latency = LatencyDist()
+    for spec in cache_nodes:
+        payload = payloads[spec.node_id]
+        stats: NodeStats = payload["stats"]
+        nodes.append(stats)
+        latency.add(2.0 * prefix[pos[spec.node_id]], stats.hits)
+        if payload["flight_ring"] is not None:
+            fl = FlightRecorder(capacity=sim.flight_capacity)
+            fl.bind(owners_l)
+            fl.note_config(**payload["flight_meta"])
+            fl.extend(payload["flight_ring"])
+            sim.flights[spec.node_id] = fl
+    latency.add(2.0 * prefix[-1], origin_count)
+
+    total = sum(n.hits for n in nodes) + origin_count
+    return NetResult(
+        topology_repr=repr(topo),
+        strategy=sim.strategy.name,
+        routing=sim.routing.name,
+        trace_name=getattr(trace, "name", "trace"),
+        total_requests=total,
+        nodes=nodes,
+        origin_fetches=origin_fetches,
+        latency=latency,
+        write_cost=sum(n.write_cost for n in nodes),
+    )

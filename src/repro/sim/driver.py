@@ -78,14 +78,16 @@ def _build_policy(factory: Callable[..., EvictionPolicy], seed: int) -> Eviction
     return factory()
 
 
-def _resolve_trace(trace):
-    """Materialize a cell's trace spec.
+def resolve_trace(trace):
+    """Materialize a trace spec.
 
-    Strings are on-disk traces resolved *inside the worker process* —
-    a columnar directory opens as a streaming
-    :class:`~repro.sim.colstore.TraceReader` (the trace never rides a
-    pickle and never materializes), anything else loads as a
-    ``page,tenant`` CSV.  ``Trace``/reader objects pass through.
+    Strings are on-disk traces — a columnar directory opens as a
+    streaming :class:`~repro.sim.colstore.TraceReader` (the trace never
+    rides a pickle and never materializes), anything else loads as a
+    ``page,tenant`` CSV.  ``Trace``/reader objects pass through.  Grid
+    drivers call this *inside the worker process* so path cells ship a
+    string instead of the requests; it is public so experiments and the
+    network CLI resolve specs the same way.
     """
     if isinstance(trace, str):
         from repro.sim.colstore import is_columnar, open_trace
@@ -98,10 +100,28 @@ def _resolve_trace(trace):
     return trace
 
 
+#: Backwards-compatible private alias (pre-PR7 name).
+_resolve_trace = resolve_trace
+
+
+def costs_per_trace(costs: CostsSpec, traces: Sequence) -> List[Optional[Sequence[object]]]:
+    """Evaluate a ``costs`` spec against every trace in a grid.
+
+    ``None`` and plain sequences broadcast to every trace.  A callable
+    is evaluated once per trace in the parent process; *path* entries
+    are resolved first (columnar directories open as header-only
+    streaming readers — cheap), so the callable always sees an object
+    with ``num_users`` rather than a raw string.
+    """
+    if not callable(costs):
+        return [costs for _ in traces]
+    return [costs(resolve_trace(trace)) for trace in traces]
+
+
 def _run_cell(job: Tuple) -> Tuple[float, SimResult]:
     """Top-level worker so process pools can unpickle the call."""
     spec, k, trace, costs, seed, engine, record_events, record_curve = job
-    trace = _resolve_trace(trace)
+    trace = resolve_trace(trace)
     _name, factory = _resolve_factory(spec)
     policy = _build_policy(factory, seed)
     start = time.perf_counter()
@@ -145,12 +165,13 @@ def simulate_many(
         process (columnar directories stream via
         :class:`~repro.sim.colstore.TraceReader`; anything else loads
         as CSV), so parallel grids over huge on-disk traces ship a
-        path per cell instead of pickling the requests.  A ``costs``
-        callable receives the unresolved path for such entries.
+        path per cell instead of pickling the requests.
     costs:
         ``None``, one cost list shared by every trace, or a callable
         ``trace -> costs`` evaluated once per trace in the parent
-        process.
+        process via :func:`costs_per_trace` (path entries are resolved
+        to header-only readers first, so the callable sees
+        ``num_users``).
     engine:
         Forwarded to :func:`repro.sim.engine.simulate`.
     base_seed:
@@ -189,12 +210,7 @@ def simulate_many(
     if not traces:
         raise ValueError("traces must be non-empty")
 
-    if callable(costs):
-        costs_per_trace: List[Optional[Sequence[object]]] = [
-            costs(trace) for trace in traces
-        ]
-    else:
-        costs_per_trace = [costs for _ in traces]
+    per_trace_costs = costs_per_trace(costs, traces)
 
     jobs: List[Tuple] = []
     meta: List[Tuple[str, int, int, int]] = []
@@ -209,7 +225,7 @@ def simulate_many(
                 spec,
                 int(k),
                 traces[trace_index],
-                costs_per_trace[trace_index],
+                per_trace_costs[trace_index],
                 seed,
                 engine,
                 record_events,
@@ -272,4 +288,10 @@ def simulate_many(
     ]
 
 
-__all__ = ["GridRun", "PolicySpec", "simulate_many"]
+__all__ = [
+    "GridRun",
+    "PolicySpec",
+    "costs_per_trace",
+    "resolve_trace",
+    "simulate_many",
+]

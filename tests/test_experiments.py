@@ -13,7 +13,7 @@ from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 
 class TestRegistry:
     def test_all_nine_registered(self):
-        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 19))
+        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 20))
 
     def test_titles_nonempty(self):
         for _fn, title in EXPERIMENTS.values():
@@ -114,3 +114,21 @@ class TestE13:
         # Separation visible in the rows.
         for row in out.rows:
             assert row["rand_marking_miss_rate"] < row["lru_miss_rate"]
+
+
+class TestE19:
+    def test_e19_price_of_distribution(self):
+        out = run_experiment("e19", quick=True)
+        assert out.ok, out.render()
+        lce = [r for r in out.rows if r["strategy"] == "lce"]
+        lcd = {
+            (r["workload"]): r for r in out.rows if r["strategy"] == "lcd"
+        }
+        for row in lce:
+            # LCD never pays more than LCE for the same workload, and
+            # replication makes LCE pay over the single box on Zipf.
+            assert lcd[row["workload"]]["price"] <= row["price"]
+            if row["workload"].startswith("zipf"):
+                assert row["price"] >= 1.0
+            else:
+                assert row["price"] == 1.0
