@@ -160,8 +160,15 @@ class _NodeState:
         return True
 
     # -- engine mechanics ----------------------------------------------
-    def insert(self, page: int, tenant: int, t: int) -> None:
-        """Admit *page*: the reference engine's miss path, stepwise."""
+    def insert(self, page: int, tenant: int, t: int) -> bool:
+        """Admit *page*: the reference engine's miss path, stepwise.
+
+        Returns whether a copy was actually stored — a no-op (``False``)
+        when the page is already resident, so an admission strategy that
+        nominates the same node twice cannot corrupt occupancy or evict
+        the page it is admitting."""
+        if self.res[page]:
+            return False
         policy = self.policy
         if self.size < self.k:
             self.res[page] = True
@@ -173,7 +180,7 @@ class _NodeState:
                     self.fl_append, policy, self.fl_probe,
                     tenant, t, page, 0, None, None,
                 )
-            return
+            return True
         victim = policy.choose_victim(page, t)
         if self.validate:
             if victim < 0 or victim >= len(self.res) or not self.res[victim]:
@@ -202,6 +209,7 @@ class _NodeState:
                 self.fl_append, policy, self.fl_probe,
                 tenant, t, page, 0, victim, b_before,
             )
+        return True
 
     def stats(self, policy_name: str) -> NodeStats:
         return NodeStats(
@@ -346,7 +354,19 @@ class NetworkSim:
         leaves = self.topology.ingress
         mode = self.ingress_mode
         if callable(mode):
-            return mode
+            valid = frozenset(leaves)
+
+            def checked(page: int, t: int, _fn=mode) -> int:
+                v = _fn(page, t)
+                if v not in valid:
+                    raise ValueError(
+                        f"ingress callable returned {v!r} at t={t}; must "
+                        f"be an ingress leaf of the topology "
+                        f"({sorted(valid)})"
+                    )
+                return v
+
+            return checked
         if mode == "auto":
             mode = "hash" if len(leaves) > 1 else "single"
         if mode == "single" or len(leaves) == 1:
@@ -583,18 +603,25 @@ class NetworkSim:
                     # Strategy-chosen route; if every probed cache
                     # rejects or misses and the route did not end at
                     # the origin (a rejected holder), continue from its
-                    # last node along the tree toward the origin.
+                    # last node along the tree toward the origin.  The
+                    # continuation recrosses nodes between the LCA and
+                    # the holder: they are traversed again (latency)
+                    # but never probed or queue-charged twice.
                     route = list(routing.route(v0, page))
                     if route[-1] != origin:
                         tail = topo.route(route[-1])[1:]
                         route.extend(tail)
                     prev = None
+                    visited = set()
                     for v in route:
                         if prev is not None:
                             lat += pair_delay[(prev, v)]
                         prev = v
                         if v == origin:
                             break
+                        if v in visited:
+                            continue
+                        visited.add(v)
                         st = states[v]
                         if st.queue_capacity is not None and not st.queue_admits(t):
                             st.rejected += 1
@@ -620,8 +647,8 @@ class NetworkSim:
                 if miss_path:
                     for v in strategy.admit(miss_path, hit_node, page, t):
                         st = states[v]
-                        st.insert(page, tenant, t)
-                        st.write_cost += st.uplink_write_delay
+                        if st.insert(page, tenant, t):
+                            st.write_cost += st.uplink_write_delay
             total += len(pages)
 
         node_stats = [

@@ -144,8 +144,8 @@ def _node_worker(recv, send, result, cfg) -> None:
                 st.misses += 1
                 tenant_misses[owners_l[page]] += 1
                 if admit_local(node_id, missed_below, page, t):
-                    st.insert(page, owners_l[page], t)
-                    st.write_cost += uplink_wd
+                    if st.insert(page, owners_l[page], t):
+                        st.write_cost += uplink_wd
                 out_t.append(t)
                 out_p.append(page)
                 out_f.append(True)

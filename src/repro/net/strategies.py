@@ -6,9 +6,10 @@ mirroring the icarus strategy taxonomy the ROADMAP points at:
 * **Routing** — which node sequence the request probes on its way to a
   copy.  ``to-origin`` walks the ingress node's tree route upward and
   stops at the first cache holding the page (the origin always does);
-  ``nearest-copy`` is the oracle variant that jumps to the closest
-  holder anywhere in the tree (fewest hops from the ingress, ties to
-  the smaller node id) and falls back to the origin route.
+  ``nearest-copy`` is the oracle variant that jumps to the cheapest
+  holder anywhere in the tree (smallest cumulative link read delay
+  from the ingress, ties to the smaller node id) and falls back to
+  the origin route when no holder beats it.
 
 * **Admission** — after the fetch, which probed caches store a copy.
   ``lce`` (leave-copy-everywhere) admits at every cache that missed;
@@ -22,15 +23,18 @@ mirroring the icarus strategy taxonomy the ROADMAP points at:
 Admission strategies declare ``local``: ``True`` means the decision at
 a node depends only on that node's own miss (plus its private RNG), so
 the process-parallel pipeline (:mod:`repro.net.parallel`) can run it
-per node without feedback messages; ``lcd`` and ``probcache`` need the
-hit position and are serial-only.
+per node without feedback messages.  ``lcd`` is serial-only because
+its decision is anchored at the hit (admit one hop below it);
+``probcache`` because its per-path draws come from one shared RNG
+stream, coupling the decisions along a path.
 
-Determinism: stochastic strategies draw from per-node
+Determinism: local stochastic strategies (``prob``) draw from per-node
 :func:`numpy.random.Generator` streams derived with
 :func:`repro.util.rng.derive_seed` from the simulation seed and the
-node id.  A node draws exactly once per miss it serves, in global
+node id — a node draws exactly once per miss it serves, in global
 clock order, so serial and parallel runs see identical streams
-(test-enforced).
+(test-enforced).  ``probcache`` draws from one stream shared across
+the whole network, one draw per missing cache in walk order.
 """
 
 from __future__ import annotations
@@ -77,12 +81,15 @@ class RouteToOrigin(RoutingStrategy):
 
 
 class NearestCopy(RoutingStrategy):
-    """Oracle routing to the closest holder anywhere in the tree.
+    """Oracle routing to the cheapest holder anywhere in the tree.
 
-    Scans every cache node holding the page, picks the fewest tree
-    hops from the ingress (ties to the smaller node id), and probes
-    the intermediate nodes of the ingress→holder tree path.  With no
-    holder, identical to :class:`RouteToOrigin`'s full route."""
+    Scans every cache node holding the page, picks the smallest
+    cumulative link ``read_delay`` from the ingress (ties to the
+    smaller node id), and probes the intermediate nodes of the
+    ingress→holder tree path.  With no holder — or when the plain
+    to-origin route is strictly cheaper than every holder, which
+    heterogeneous link delays allow — identical to
+    :class:`RouteToOrigin`'s full route."""
 
     name = "nearest-copy"
 
@@ -104,13 +111,14 @@ class NearestCopy(RoutingStrategy):
         holds = self.holds
         topo = self.topology
         best: Optional[int] = None
-        best_d = -1
+        best_d = 0.0
+        # _cache_ids ascend, so the first minimum ties to the smaller id.
         for v in self._cache_ids:
             if holds(v, page):
-                d = topo.hops(ingress, v)
+                d = topo.path_delay(ingress, v)
                 if best is None or d < best_d:
                     best, best_d = v, d
-        if best is None:
+        if best is None or topo.path_delay(ingress, topo.origin) < best_d:
             return topo.route(ingress)
         return self._tree_path(ingress, best)
 
@@ -239,7 +247,7 @@ class ProbCache(AdmissionStrategy):
 
     The admission probability at a missing cache grows with (a) the
     cache capacity accumulated between the edge and that cache relative
-    to the whole fetch path (the *TimesIn* weight — paths through
+    to the whole miss path (the *TimesIn* weight — paths through
     well-provisioned regions cache more aggressively) and (b) the
     node's proximity to the edge (copies belong near clients):
 
@@ -249,11 +257,15 @@ class ProbCache(AdmissionStrategy):
             \\frac{\\sum_{i \\le j} k_{v_i}}{t_w \\bar k L}
             \\cdot \\frac{L - j}{L}\\Big)
 
-    for miss-path position ``j`` (edge-most = 0) on a fetch path of
-    ``L`` hops with mean cache size :math:`\\bar k`.  One RNG draw per
-    missing cache, edge-most first, from a single stream — the decision
-    needs the hit position, so the strategy is serial-only
-    (``local = False``).
+    for miss-path position ``j`` (edge-most = 0) on a miss path of
+    ``L`` caches with mean capacity :math:`\\bar k` over those caches —
+    a simplification of the published rule, which normalizes over the
+    full fetch path including the cache that served the hit
+    (``hit_node`` is accepted for interface compatibility but unused).
+    One RNG draw per missing cache, edge-most first, from a single
+    stream shared across the network — that stream couples the
+    decisions along a path, which is what makes the strategy
+    serial-only (``local = False``).
     """
 
     name = "probcache"

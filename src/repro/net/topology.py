@@ -117,8 +117,9 @@ class Topology:
     * ``route(v)`` — the node sequence from *v* up to the origin;
     * ``prefix_read_delay(v)`` — cumulative one-way read delay along
       that route (index *i* = delay from *v* to ``route(v)[i]``);
-    * all-pairs tree hop distances (``hops``) backing nearest-copy
-      routing and the parallel driver's sanity checks.
+    * all-pairs tree hop distances (``hops``) and read-delay distances
+      (``path_delay``) backing nearest-copy routing and the parallel
+      driver's sanity checks.
 
     ``ingress`` lists the nodes where client requests may enter: the
     leaves of the tree (cache nodes with no children).
@@ -194,23 +195,29 @@ class Topology:
         if not self.ingress:
             raise ValueError("topology has no ingress (leaf cache) nodes")
 
-        # All-pairs hop distance over the undirected tree (node counts
-        # are small by construction; O(V^2) is fine and keeps lookups
-        # branch-free in the per-request path).
+        # All-pairs hop and read-delay distances over the undirected
+        # tree (node counts are small by construction; O(V^2) is fine
+        # and keeps lookups branch-free in the per-request path).
         V = len(self.nodes)
         depth = [len(r) - 1 for r in self._routes]
         self._hops = [[0] * V for _ in range(V)]
+        self._path_delay = [[0.0] * V for _ in range(V)]
         for a in range(V):
+            pa = self._prefix_delay[a]
             for b in range(a + 1, V):
                 ra, rb = self._routes[a], self._routes[b]
+                pb = self._prefix_delay[b]
                 anc = {v: i for i, v in enumerate(ra)}
                 for j, v in enumerate(rb):
                     if v in anc:
                         d = anc[v] + j
+                        w = pa[anc[v]] + pb[j]
                         break
                 else:  # pragma: no cover - unreachable in a validated tree
                     d = depth[a] + depth[b]
+                    w = pa[-1] + pb[-1]
                 self._hops[a][b] = self._hops[b][a] = d
+                self._path_delay[a][b] = self._path_delay[b][a] = w
 
     # ------------------------------------------------------------------
     # Shape accessors
@@ -257,6 +264,11 @@ class Topology:
     def hops(self, a: int, b: int) -> int:
         """Hop distance between two nodes over the undirected tree."""
         return self._hops[a][b]
+
+    def path_delay(self, a: int, b: int) -> float:
+        """Cumulative one-way link ``read_delay`` along the tree path
+        between two nodes — the metric nearest-copy routing minimizes."""
+        return self._path_delay[a][b]
 
     def is_path(self) -> bool:
         """True for a linear chain (one ingress, every node <=1 child)."""

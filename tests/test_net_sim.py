@@ -151,6 +151,18 @@ class TestStrategyBehaviour:
         )
         assert near.latency.mean() <= up.latency.mean()
 
+    def test_nearest_copy_with_queues_keeps_ledgers_consistent(self, trace):
+        # Bounded queues make holders reject mid-route; the continued
+        # walk must keep per-node accounting single-counted (validate
+        # stays on and would trip on a double admission).
+        topo = tree_topology(2, 2, K).with_queues(3, drain_rate=0.7)
+        net = simulate_network(
+            topo, trace, "lru", strategy="lce", routing="nearest-copy"
+        )
+        net.check_conservation()
+        for n in net.nodes:
+            assert n.arrivals <= trace.length
+
     def test_per_node_policy_override(self, trace):
         topo = path_topology(2, K)
         from dataclasses import replace
@@ -184,6 +196,56 @@ class TestStrategyBehaviour:
     def test_bad_ingress_mode(self, trace):
         with pytest.raises(ValueError, match="ingress"):
             NetworkSim(path_topology(2, K), ingress="nope")
+
+    def test_ingress_callable_must_return_a_leaf(self, trace):
+        topo = tree_topology(2, 2, K)
+        root = topo.cache_nodes[-1].node_id
+        assert root not in topo.ingress
+        for bad in (99, root):
+            net = NetworkSim(topo, "lru", ingress=lambda page, t: bad)
+            with pytest.raises(ValueError, match="ingress leaf"):
+                net.run(trace)
+
+    def test_rejected_holder_is_not_probed_twice(self):
+        # Regression: nearest-copy routes leaf0 -> root -> leaf1 for
+        # the copy at leaf1; leaf1's stuck queue rejects, and the walk
+        # continues toward the origin *through the root again*.  The
+        # revisited root must not be re-probed (double miss) or
+        # re-admitted (double insert used to evict the page it had just
+        # admitted, tripping validate=True), though the detour's link
+        # crossings still count toward latency.
+        from repro.net.topology import Link, NodeSpec, Topology
+        from repro.sim.trace import Trace
+
+        nodes = [
+            NodeSpec(0, "leaf0", 1),
+            NodeSpec(1, "leaf1", 1, queue_capacity=1, drain_rate=1e-9),
+            NodeSpec(2, "root", 1),
+            NodeSpec(3, "origin", 0),
+        ]
+        links = [Link(0, 2), Link(1, 2), Link(2, 3)]
+        topo = Topology(nodes, links)
+        # t=0,1 prime leaf1 (copy of page 5 + full queue); t=2 makes
+        # the root hold 6; t=3 probes 5 from leaf0 and hits the
+        # rejecting holder.
+        trace = Trace(np.array([5, 5, 6, 5]), np.zeros(7, dtype=np.int64))
+        net = simulate_network(
+            topo,
+            trace,
+            "lru",
+            strategy="lce",
+            routing="nearest-copy",
+            ingress=lambda page, t: 1 if t < 2 else 0,
+        )
+        net.check_conservation()
+        root = net.node("root")
+        # One probe per request that reached it: t=0, t=2, t=3.
+        assert root.misses == 3
+        assert root.occupancy == len(root.final_cache) == 1
+        assert net.node("leaf1").rejected == 1
+        # The t=3 detour leaf0->root->leaf1->root->origin crosses four
+        # unit links each way.
+        assert net.latency.max() == 8.0
 
 
 class TestFlightReplay:

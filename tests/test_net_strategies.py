@@ -18,7 +18,13 @@ from repro.net.strategies import (
     make_routing,
     make_strategy,
 )
-from repro.net.topology import path_topology, tree_topology
+from repro.net.topology import (
+    Link,
+    NodeSpec,
+    Topology,
+    path_topology,
+    tree_topology,
+)
 
 
 @pytest.fixture
@@ -48,8 +54,50 @@ class TestRouting:
         holders = {1, 2}
         r = NearestCopy()
         r.reset(topo, lambda v, page: v in holders)
-        # 0->2 is 1 hop; 0->1 is 2 hops: hop count wins first.
+        # 0->2 costs 1 read delay; 0->1 costs 2: the cheaper copy wins.
         assert r.route(0, 0)[-1] == 2
+
+    def test_nearest_copy_minimizes_delay_not_hops(self):
+        # Leaves 0,1 under mid 2, root 3, origin 4.  Holders 1 and 3
+        # are both two hops from leaf 0, but the sibling leaf sits
+        # behind an expensive link — cumulative read delay decides.
+        nodes = [
+            NodeSpec(0, "a", 4),
+            NodeSpec(1, "b", 4),
+            NodeSpec(2, "mid", 4),
+            NodeSpec(3, "root", 4),
+            NodeSpec(4, "origin", 0),
+        ]
+        links = [
+            Link(0, 2, read_delay=1.0),
+            Link(1, 2, read_delay=9.0),
+            Link(2, 3, read_delay=1.0),
+            Link(3, 4, read_delay=1.0),
+        ]
+        topo = Topology(nodes, links)
+        r = NearestCopy()
+        r.reset(topo, lambda v, page: v in {1, 3})
+        assert r.route(0, 0) == (0, 2, 3)
+
+    def test_nearest_copy_prefers_cheap_origin_over_costly_holder(self):
+        # The only holder is the sibling leaf behind two expensive
+        # links; the origin route is strictly cheaper, so the oracle
+        # must not detour to the copy.
+        nodes = [
+            NodeSpec(0, "a", 4),
+            NodeSpec(1, "b", 4),
+            NodeSpec(2, "hub", 4),
+            NodeSpec(3, "origin", 0),
+        ]
+        links = [
+            Link(0, 2, read_delay=5.0),
+            Link(1, 2, read_delay=5.0),
+            Link(2, 3, read_delay=1.0),
+        ]
+        topo = Topology(nodes, links)
+        r = NearestCopy()
+        r.reset(topo, lambda v, page: v == 1)
+        assert r.route(0, 0) == topo.route(0) == (0, 2, 3)
 
     def test_nearest_copy_falls_back_to_origin(self, path3):
         r = NearestCopy()

@@ -108,6 +108,18 @@ class TestShape:
         assert topo.hops(l0, l1) == 2
         assert topo.hops(l0, l0) == 0
 
+    def test_path_delay_symmetric_and_additive(self):
+        topo = tree_topology(2, 2, 4, read_delay=2.0, origin_delay=7.0)
+        for a in range(topo.num_nodes):
+            assert topo.path_delay(a, a) == 0.0
+            for b in range(topo.num_nodes):
+                assert topo.path_delay(a, b) == topo.path_delay(b, a)
+        # siblings: two read_delay=2 links through their parent
+        l0, l1 = topo.ingress[0], topo.ingress[1]
+        assert topo.path_delay(l0, l1) == 4.0
+        # leaf -> origin matches the route's prefix delay
+        assert topo.path_delay(l0, topo.origin) == topo.prefix_read_delay(l0)[-1]
+
     def test_parent_children(self):
         topo = path_topology(2, 4)
         assert topo.parent(0) == 1
