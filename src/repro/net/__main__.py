@@ -27,7 +27,6 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.net.netsim import simulate_network
 from repro.net.strategies import ROUTING_REGISTRY, STRATEGY_REGISTRY
 from repro.net.topology import (
     Topology,
@@ -126,22 +125,31 @@ def _resolve_cli_trace(args: argparse.Namespace):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.analysis.report import ascii_table
+    from repro.net.netsim import NetworkSim
 
     topo = _build_topology(args)
     if args.queue_capacity is not None:
         topo = topo.with_queues(args.queue_capacity, args.drain_rate)
     trace = _resolve_cli_trace(args)
-    result = simulate_network(
+    obs = None
+    if args.trace_jsonl:
+        from repro.obs import JsonlSink, Observability
+
+        obs = Observability.enabled(sink=JsonlSink(args.trace_jsonl))
+    sim = NetworkSim(
         topo,
-        trace,
         args.policy,
         strategy=args.strategy,
         routing=args.routing,
         policy_seed=args.seed,
         seed=args.seed,
-        workers=args.workers,
+        obs=obs,
+        profile=args.profile,
     )
+    result = sim.run(trace, workers=args.workers)
     result.check_conservation()
+    if obs is not None:
+        obs.tracer.close()
 
     print(repr(topo))
     print(
@@ -164,6 +172,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"p99={lat.quantile(0.99):.3f}  max={lat.max():.3f}  "
         f"write_cost={result.write_cost:.1f}"
     )
+    if sim.profiles:
+        counts = " ".join(
+            f"{name}={sum(folded.values())}"
+            for name, folded in sorted(sim.profiles.items())
+        )
+        print(f"profile samples: {counts}")
+        if args.profile_out:
+            from repro.obs.prof import merge_folded, render_folded
+
+            merged = merge_folded(sim.profiles)
+            with open(args.profile_out, "w", encoding="utf-8") as fh:
+                for line in render_folded(merged):
+                    fh.write(line + "\n")
+            print(f"merged folded stacks -> {args.profile_out}")
+    if args.trace_jsonl:
+        print(
+            f"spans -> {args.trace_jsonl}*  "
+            f"(merge: python -m repro.obs trace {args.trace_jsonl}*)"
+        )
     if args.json:
         doc = {
             "topology": repr(topo),
@@ -240,6 +267,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="one process per level (path topologies, local strategies)",
     )
     run_p.add_argument("--json", default=None, help="dump full result JSON")
+    run_p.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="JSONL span sink; per-node spills land at PATH.w<node>",
+    )
+    run_p.add_argument(
+        "--profile", nargs="?", const=True, default=None, type=float,
+        metavar="INTERVAL",
+        help="sampling profiler per process (optional interval, seconds)",
+    )
+    run_p.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write the merged folded stacks here",
+    )
 
     topo_p = sub.add_parser("topology", help="emit a topology JSON")
     _add_topology_args(topo_p)

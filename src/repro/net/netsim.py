@@ -285,6 +285,17 @@ class NetworkSim:
     obs:
         Telemetry bundle; defaults to the process default.  Counters
         are per-node labelled; one ``net.run`` span wraps each run.
+        When the tracer has a file sink, ``workers="per-node"`` runs
+        also propagate distributed span context over the links and
+        spill per-node spans next to the parent file (see
+        :mod:`repro.obs.distrib`); when ``obs.timeline`` is set, a
+        registry snapshot lands on it after every run.
+    profile:
+        ``True`` (default 5 ms interval) or a float interval in
+        seconds: attach a :class:`~repro.obs.prof.SamplingProfiler`
+        to each run — per node-process under ``workers="per-node"``,
+        around the whole walk serially.  Folded stacks land in
+        ``self.profiles`` keyed by node name (plus ``"parent"``).
     flight_capacity:
         When set, attach one FlightRecorder of this capacity per cache
         node (``self.flights[node_id]``); windows replay-verify via
@@ -304,6 +315,7 @@ class NetworkSim:
         seed: int = 0,
         validate: bool = True,
         obs: Optional[Observability] = None,
+        profile: object = None,
         flight_capacity: Optional[int] = None,
     ) -> None:
         self.topology = topology
@@ -321,6 +333,11 @@ class NetworkSim:
         self.seed = seed
         self.validate = validate
         self.obs = obs
+        from repro.obs.prof import profile_spec
+
+        self._profile = profile_spec(profile)
+        #: Per-process folded stacks from the most recent profiled run.
+        self.profiles: Dict[str, Dict[str, int]] = {}
         self.flight_capacity = (
             None
             if flight_capacity is None
@@ -405,25 +422,45 @@ class NetworkSim:
             result = run_parallel(self, trace, batch=batch)
             obs = self.obs if self.obs is not None else default_observability()
             self._export_metrics(obs, result)
+            self._snap_timeline(obs)
             return result
         obs = self.obs if self.obs is not None else default_observability()
-        if not (obs.tracer.enabled or obs.registry.enabled):
-            return self._run_serial(trace, batch)
-        with obs.tracer.span(
-            "net.run",
-            strategy=self.strategy.name,
-            routing=self.routing.name,
-            nodes=len(self.topology.cache_nodes),
-            trace=getattr(trace, "name", "trace"),
-        ) as span:
-            result = self._run_serial(trace, batch)
-            span.set(
-                hits=result.network_hits,
-                origin=result.origin_total,
-                rejected=result.rejected_total,
-            )
-        self._export_metrics(obs, result)
+        self.profiles = {}
+        prof = None
+        if self._profile is not None:
+            from repro.obs.prof import DEFAULT_INTERVAL, SamplingProfiler
+
+            prof = SamplingProfiler(
+                float(self._profile.get("interval", DEFAULT_INTERVAL))
+            ).start()
+        try:
+            if not (obs.tracer.enabled or obs.registry.enabled):
+                result = self._run_serial(trace, batch)
+            else:
+                with obs.tracer.span(
+                    "net.run",
+                    strategy=self.strategy.name,
+                    routing=self.routing.name,
+                    nodes=len(self.topology.cache_nodes),
+                    trace=getattr(trace, "name", "trace"),
+                ) as span:
+                    result = self._run_serial(trace, batch)
+                    span.set(
+                        hits=result.network_hits,
+                        origin=result.origin_total,
+                        rejected=result.rejected_total,
+                    )
+                self._export_metrics(obs, result)
+        finally:
+            if prof is not None:
+                prof.stop()
+                self.profiles["parent"] = prof.folded()
+        self._snap_timeline(obs)
         return result
+
+    def _snap_timeline(self, obs: Observability) -> None:
+        if obs.timeline is not None:
+            obs.timeline.snap(obs.registry, time.time())
 
     def _export_metrics(self, obs: Observability, result: NetResult) -> None:
         reg = obs.registry
@@ -683,6 +720,7 @@ def simulate_network(
     batch: int = DEFAULT_BATCH,
     workers: Optional[str] = None,
     obs: Optional[Observability] = None,
+    profile: object = None,
     flight_capacity: Optional[int] = None,
 ) -> NetResult:
     """One-shot convenience wrapper around :class:`NetworkSim`."""
@@ -697,6 +735,7 @@ def simulate_network(
         seed=seed,
         validate=validate,
         obs=obs,
+        profile=profile,
         flight_capacity=flight_capacity,
     )
     return sim.run(trace, batch=batch, workers=workers)

@@ -30,11 +30,24 @@ same residency/insert/evict/queue code the serial engine runs, so
 equivalence is by construction, not by parallel reimplementation.
 Flight recorders ride along: each worker records its own window and
 ships the ring back at EOF.
+
+Observability rides the links too.  When the parent tracer has a file
+sink, the ingress node derives a per-batch trace id (``base + 1`` —
+the global clock makes it unique) and every forwarded batch carries
+``(trace_id, parent_span)`` two extra tuple slots; each node spills
+its spans to ``<sink>.w<node_id>`` (span-id namespace ``node_id + 1``,
+see :mod:`repro.obs.distrib`) and the parent's origin drain closes
+each tree with a ``net.origin`` span.  ``python -m repro.obs trace``
+merges the spill files back into edge→…→origin request trees.  When
+``NetworkSim(profile=...)`` is set, each node process runs a
+:class:`~repro.obs.prof.SamplingProfiler` and ships its folded stacks
+back in the result payload (``sim.profiles``, keyed by node name).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -101,6 +114,24 @@ def _node_worker(recv, send, result, cfg) -> None:
         strategy.reset(topo, cfg["seed"])
         admit_local = strategy.admit_local
 
+        tracer = None
+        span_emit = None
+        ids = None
+        if cfg.get("trace_jsonl"):
+            from repro.obs.distrib import emit_span, span_ids, spill_path
+            from repro.obs.tracing import JsonlSink, Tracer
+
+            tracer = Tracer(JsonlSink(spill_path(cfg["trace_jsonl"], node_id + 1)))
+            span_emit = emit_span
+            ids = span_ids(node_id + 1)
+        profiler = None
+        if cfg.get("profile"):
+            from repro.obs.prof import DEFAULT_INTERVAL, SamplingProfiler
+
+            profiler = SamplingProfiler(
+                float(cfg["profile"].get("interval", DEFAULT_INTERVAL))
+            ).start()
+
         res = st.res
         queue_capacity = st.queue_capacity
         tenant_hits = st.tenant_hits
@@ -121,8 +152,15 @@ def _node_worker(recv, send, result, cfg) -> None:
                 items = [
                     (base + i, page, False) for i, page in enumerate(pages)
                 ]
-            else:  # forwarded batch: (ts, pages, flags)
+                # The edge roots each trace: the global clock makes
+                # base + 1 unique, and 0 still means "untraced".
+                trace_id = base + 1 if tracer is not None else 0
+                parent_span = None
+            else:  # forwarded batch: (ts, pages, flags[, trace, span])
                 items = list(zip(msg[1], msg[2], msg[3]))
+                trace_id = msg[4] if len(msg) > 4 else 0
+                parent_span = msg[5] if len(msg) > 5 else None
+            t_ns = time.perf_counter_ns() if trace_id else 0
             out_t: List[int] = []
             out_p: List[int] = []
             out_f: List[bool] = []
@@ -149,9 +187,30 @@ def _node_worker(recv, send, result, cfg) -> None:
                 out_t.append(t)
                 out_p.append(page)
                 out_f.append(True)
+            my_span = None
+            if trace_id and tracer is not None:
+                my_span = next(ids)
+                span_emit(
+                    tracer,
+                    "net.node",
+                    (time.perf_counter_ns() - t_ns) * 1e-9,
+                    trace_id=trace_id,
+                    span_id=my_span,
+                    parent_id=parent_span,
+                    node=spec.name,
+                    n=len(items),
+                    fwd=len(out_t),
+                )
             if out_t:
-                send.send(("f", out_t, out_p, out_f))
+                if trace_id and my_span is not None:
+                    send.send(("f", out_t, out_p, out_f, trace_id, my_span))
+                else:
+                    send.send(("f", out_t, out_p, out_f))
 
+        if profiler is not None:
+            profiler.stop()
+        if tracer is not None:
+            tracer.close()
         stats = st.stats(policy.name)
         result.send(
             (
@@ -160,6 +219,9 @@ def _node_worker(recv, send, result, cfg) -> None:
                     "stats": stats,
                     "flight_ring": list(fl.ring) if fl is not None else None,
                     "flight_meta": dict(fl.meta) if fl is not None else None,
+                    "profile": (
+                        profiler.folded() if profiler is not None else None
+                    ),
                 },
             )
         )
@@ -232,6 +294,14 @@ def run_parallel(sim, trace, batch: Optional[int] = None) -> NetResult:
     # Worker order along the chain, ingress first.
     chain = [v for v in route if v != topo.origin]
 
+    from repro.obs import default_observability
+
+    obs = sim.obs if sim.obs is not None else default_observability()
+    trace_base = (
+        getattr(obs.tracer.sink, "path", None) if obs.tracer.enabled else None
+    )
+    profile = getattr(sim, "_profile", None)
+
     start_method = (
         "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     )
@@ -254,6 +324,8 @@ def run_parallel(sim, trace, batch: Optional[int] = None) -> NetResult:
             "num_users": num_users,
             "horizon": horizon,
             "validate": sim.validate,
+            "trace_jsonl": trace_base,
+            "profile": profile,
             "flight_capacity": sim.flight_capacity,
             "flight_meta": {
                 "policy": names[v],
@@ -296,6 +368,20 @@ def run_parallel(sim, trace, batch: Optional[int] = None) -> NetResult:
     feeder = threading.Thread(target=_feed, name="net-feeder", daemon=True)
     feeder.start()
 
+    sim.profiles = {}
+    parent_prof = None
+    if profile:
+        from repro.obs.prof import DEFAULT_INTERVAL, SamplingProfiler
+
+        parent_prof = SamplingProfiler(
+            float(profile.get("interval", DEFAULT_INTERVAL))
+        ).start()
+    span_emit = None
+    if trace_base:
+        from repro.obs.distrib import emit_span
+
+        span_emit = emit_span
+
     # Drain the top of the chain: whatever no cache served hits the
     # origin here, in global clock order.
     top = links[-1][0]
@@ -305,10 +391,24 @@ def run_parallel(sim, trace, batch: Optional[int] = None) -> NetResult:
         msg = top.recv()
         if msg[0] == "eof":
             break
+        t_ns = time.perf_counter_ns() if span_emit is not None else 0
         for page in msg[2]:
             origin_fetches[owners_l[page]] += 1
         origin_count += len(msg[2])
+        if span_emit is not None and len(msg) > 4 and msg[4]:
+            span_emit(
+                obs.tracer,
+                "net.origin",
+                (time.perf_counter_ns() - t_ns) * 1e-9,
+                trace_id=msg[4],
+                span_id=next(obs.tracer._ids),
+                parent_id=msg[5],
+                n=len(msg[2]),
+            )
     feeder.join()
+    if parent_prof is not None:
+        parent_prof.stop()
+        sim.profiles["parent"] = parent_prof.folded()
     if feed_err:  # pragma: no cover - error path
         raise feed_err[0]
 
@@ -345,6 +445,8 @@ def run_parallel(sim, trace, batch: Optional[int] = None) -> NetResult:
             fl.note_config(**payload["flight_meta"])
             fl.extend(payload["flight_ring"])
             sim.flights[spec.node_id] = fl
+        if payload.get("profile") is not None:
+            sim.profiles[spec.name] = payload["profile"]
     latency.add(2.0 * prefix[-1], origin_count)
 
     total = sum(n.hits for n in nodes) + origin_count

@@ -41,6 +41,15 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.obs.audit import AUDIT_MODES, CompetitiveAuditor
+from repro.obs.distrib import (
+    SpanContext,
+    TraceNode,
+    TraceTree,
+    format_trace_tree,
+    merge_spans,
+    merge_traces,
+    trace_report,
+)
 from repro.obs.export import (
     escape_label_value,
     parse_prometheus,
@@ -81,6 +90,8 @@ from repro.obs.registry import (
     exponential_buckets,
     obs_enabled_from_env,
 )
+from repro.obs.prof import SamplingProfiler, merge_folded, read_folded
+from repro.obs.timeline import Timeline
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, JsonlSink, ListSink, Span, Tracer
 
 
@@ -93,6 +104,7 @@ class Observability:
     monitor: Optional[InvariantMonitor] = None
     flight: Optional[FlightRecorder] = None
     auditor: Optional[CompetitiveAuditor] = None
+    timeline: Optional[Timeline] = None
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -106,6 +118,7 @@ class Observability:
         monitor: Optional[InvariantMonitor] = None,
         flight: Optional[FlightRecorder] = None,
         auditor: Optional[CompetitiveAuditor] = None,
+        timeline: Optional[Timeline] = None,
     ) -> "Observability":
         """Metrics on (regardless of env); tracing on iff *sink* given."""
         return cls(
@@ -114,6 +127,7 @@ class Observability:
             monitor=monitor,
             flight=flight,
             auditor=auditor,
+            timeline=timeline,
         )
 
     @property
@@ -173,20 +187,31 @@ __all__ = [
     "RateWindow",
     "ReplayCheck",
     "ReplayMismatch",
+    "SamplingProfiler",
     "Span",
+    "SpanContext",
+    "Timeline",
+    "TraceNode",
+    "TraceTree",
     "Tracer",
     "default_observability",
     "escape_label_value",
     "exponential_buckets",
+    "format_trace_tree",
     "load_flight",
+    "merge_folded",
+    "merge_spans",
+    "merge_traces",
     "obs_enabled_from_env",
     "parse_prometheus",
+    "read_folded",
     "read_jsonl",
     "render_prometheus",
     "replay_verify",
     "sample_value",
     "set_default_observability",
     "summarize_spans",
+    "trace_report",
     "unescape_label_value",
     "verify_flight",
     "watch_simulation",

@@ -1,6 +1,6 @@
 """Command-line telemetry tooling: ``python -m repro.obs``.
 
-Four subcommands::
+Six subcommands::
 
     # Aggregate a JSONL trace into a per-span latency table:
     python -m repro.obs summary trace.jsonl
@@ -8,18 +8,29 @@ Four subcommands::
     # Print the last N events of a JSONL trace, human-readable:
     python -m repro.obs tail trace.jsonl -n 20
 
+    # Merge distributed span files (parent + worker spills) into
+    # request trees and report link integrity:
+    python -m repro.obs trace trace.jsonl trace.jsonl.w0 trace.jsonl.w1
+
+    # Merge folded-stack profiles and print the hottest stacks:
+    python -m repro.obs prof server.folded server.folded.w0
+
     # Scrape a running cache server's Prometheus metrics over TCP:
     python -m repro.obs scrape --host 127.0.0.1 --port 9731
 
     # Live terminal dashboard (stats + metrics + Theorem-1.1 audit):
     python -m repro.obs dash --port 9731 --interval 1.0
 
-``summary`` renders count / total / mean / p50 / p95 / max per span
-name; ``scrape`` sends ``{"op": "metrics"}`` to the serve front end and
-prints the exposition text (``--parse`` validates it and prints sorted
-samples instead); ``dash`` re-renders per-tenant cost/miss curves, the
-audited competitive ratio against the live Theorem 1.1 bound, queue
-depth, and latency sparklines every interval.
+``summary`` renders count / total / mean / p50 / p95 / p99 / max per
+span name; ``trace`` rebuilds cross-process request trees from the
+``trace`` ids the worker transports propagate (see
+:mod:`repro.obs.distrib`); ``prof`` merges per-process folded stacks
+(:mod:`repro.obs.prof`) into the fleet view; ``scrape`` sends
+``{"op": "metrics"}`` to the serve front end and prints the exposition
+text (``--parse`` validates it and prints sorted samples instead);
+``dash`` re-renders per-tenant cost/miss curves, the audited
+competitive ratio against the live Theorem 1.1 bound, queue depth, and
+latency/trend sparklines every interval.
 """
 
 from __future__ import annotations
@@ -65,6 +76,56 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     events = read_jsonl(args.trace)
     for event in events[-args.n :]:
         print(_format_event(event))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.distrib import format_trace_tree, merge_traces, trace_report
+
+    trees = merge_traces(args.traces)
+    if not trees:
+        print("no distributed spans found (no 'trace' field in events)")
+        return 1
+    report = trace_report(trees)
+    shown = trees if args.all else trees[: args.n]
+    for tree in shown:
+        print(format_trace_tree(tree))
+        print()
+    if len(shown) < len(trees):
+        print(f"... {len(trees) - len(shown)} more trees (use --all)")
+    print(
+        f"{report['traces']} traces, {report['spans']} spans, "
+        f"{report['complete']} complete, "
+        f"{report['orphan_spans']} orphan spans, "
+        f"{report['multi_root']} multi-root"
+    )
+    return 0 if report["orphan_spans"] == 0 else 2
+
+
+def _cmd_prof(args: argparse.Namespace) -> int:
+    from repro.obs.prof import merge_folded, read_folded, top_stacks
+
+    per_proc = {path: read_folded(path) for path in args.folded}
+    merged = (
+        merge_folded(per_proc)
+        if len(per_proc) > 1
+        else next(iter(per_proc.values()))
+    )
+    if not merged:
+        print("no samples")
+        return 1
+    total = sum(merged.values())
+    print(f"{total} samples across {len(per_proc)} file(s)")
+    for stack, count, frac in top_stacks(merged, args.n):
+        leaf = stack.rsplit(";", 2)
+        print(f"{frac * 100:6.2f}%  {count:8d}  {';'.join(leaf[-2:])}")
+    if args.out:
+        from repro.obs.prof import render_folded
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for line in render_folded(merged):
+                fh.write(line + "\n")
+        print(f"merged folded stacks -> {args.out}")
     return 0
 
 
@@ -119,6 +180,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     tail_p.add_argument("trace", help="JSONL trace path")
     tail_p.add_argument("-n", type=int, default=20, help="events to show")
 
+    trace_p = sub.add_parser(
+        "trace", help="merge distributed span files into request trees"
+    )
+    trace_p.add_argument(
+        "traces", nargs="+", help="JSONL span files (parent + worker spills)"
+    )
+    trace_p.add_argument("-n", type=int, default=5, help="trees to render")
+    trace_p.add_argument(
+        "--all", action="store_true", help="render every merged tree"
+    )
+
+    prof_p = sub.add_parser(
+        "prof", help="merge folded-stack profiles, print hottest stacks"
+    )
+    prof_p.add_argument("folded", nargs="+", help="folded-stack files")
+    prof_p.add_argument("-n", type=int, default=10, help="stacks to show")
+    prof_p.add_argument(
+        "--out", default=None, help="write the merged folded stacks here"
+    )
+
     scrape_p = sub.add_parser("scrape", help="fetch metrics from a server")
     scrape_p.add_argument("--host", default="127.0.0.1")
     scrape_p.add_argument("--port", type=int, required=True)
@@ -146,6 +227,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "summary": _cmd_summary,
         "tail": _cmd_tail,
+        "trace": _cmd_trace,
+        "prof": _cmd_prof,
         "scrape": _cmd_scrape,
         "dash": _cmd_dash,
     }[args.command]

@@ -11,21 +11,29 @@ optional ``audit`` op) every ``--interval`` seconds and renders:
   gauge (when the server carries a
   :class:`~repro.obs.audit.CompetitiveAuditor`), as a bounded bar plus
   the ratio's history sparkline;
-* queue depth and apply-latency histogram sparklines.
+* queue depth and apply-latency histogram sparklines;
+* timeline trends (request rate, windowed apply p95) and a per-node
+  panel when the scraped registry carries ``net_node_*`` series — the
+  scrape loop feeds every parsed frame into a
+  :class:`~repro.obs.timeline.Timeline`, so the remote dashboard sees
+  the exact series an in-process timeline would.
 
 Rendering is split from transport so it is testable offline:
 :func:`render_dashboard` is a pure function from a list of
-:class:`DashFrame` snapshots to a string (``tests/test_obs_dash.py``
-feeds it canned frames); :func:`run_dash` owns the TCP loop and the
-ANSI screen clearing.
+:class:`DashFrame` snapshots (plus an optional fed timeline) to a
+string (``tests/test_obs_dash.py`` feeds it canned frames);
+:func:`run_dash` owns the TCP loop and the ANSI screen clearing.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.timeline import Timeline
 
 SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -67,6 +75,7 @@ class DashFrame:
     stats: Dict[str, object]
     metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]
     audit: Optional[Dict[str, object]] = None
+    ts: Optional[float] = None
 
 
 async def fetch_frame(host: str, port: int) -> DashFrame:
@@ -94,6 +103,7 @@ async def fetch_frame(host: str, port: int) -> DashFrame:
         stats=stats_resp["stats"],
         metrics=parse_prometheus(metrics_resp["metrics"]),
         audit=audit_resp.get("audit") if audit_resp.get("ok") else None,
+        ts=time.time(),
     )
 
 
@@ -118,8 +128,33 @@ def _latency_counts(
     return out
 
 
-def render_dashboard(frames: Sequence[DashFrame], width: int = 78) -> str:
-    """Render the newest frame (history feeds the sparklines)."""
+def _node_rows(
+    metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float],
+) -> List[Tuple[str, Dict[str, float]]]:
+    """Per-node ``net_node_*`` values keyed by the ``node`` label."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for (metric, labels), value in metrics.items():
+        if not metric.startswith("net_node_"):
+            continue
+        node = dict(labels).get("node")
+        if node is None:
+            continue
+        rows.setdefault(node, {})[metric] = value
+    return sorted(rows.items())
+
+
+def render_dashboard(
+    frames: Sequence[DashFrame],
+    width: int = 78,
+    *,
+    timeline: Optional[Timeline] = None,
+) -> str:
+    """Render the newest frame (history feeds the sparklines).
+
+    With a *timeline* (fed the same parsed frames — :func:`run_dash`
+    does this), adds derived trend rows: request rate, windowed apply
+    p95, and per-node hit rates for ``net_node_*`` series.
+    """
     if not frames:
         return "(no data yet)"
     cur = frames[-1]
@@ -164,6 +199,43 @@ def render_dashboard(frames: Sequence[DashFrame], width: int = 78) -> str:
             f"apply latency histogram ({int(sum(counts))} obs)  "
             f"{sparkline(counts, width=len(counts))}"
         )
+
+    if timeline is not None and len(timeline) >= 2:
+        rate = timeline.trend("serve_requests_total", rate=True)
+        if rate:
+            lines.append(f"req/s trend {rate[-1]:>10,.0f}  {sparkline(rate)}")
+        p95 = [
+            v
+            for _, v in timeline.quantile_series("serve_apply_seconds", 0.95)
+        ]
+        if p95:
+            lines.append(
+                f"apply p95 (windowed) {p95[-1] * 1e6:>9.0f}us"
+                f"  {sparkline(p95)}"
+            )
+
+    node_rows = _node_rows(cur.metrics)
+    if node_rows:
+        lines.append(rule)
+        lines.append(
+            f"{'node':>10} {'hits':>10} {'misses':>10} "
+            f"{'rejected':>9} {'occ':>8}  hits/s trend"
+        )
+        for node, row in node_rows:
+            trend = (
+                timeline.trend(
+                    "net_node_hits_total", {"node": node}, rate=True
+                )
+                if timeline is not None
+                else []
+            )
+            lines.append(
+                f"{node:>10} {int(row.get('net_node_hits_total', 0)):>10,} "
+                f"{int(row.get('net_node_misses_total', 0)):>10,} "
+                f"{int(row.get('net_node_rejected_total', 0)):>9,} "
+                f"{int(row.get('net_node_occupancy', 0)):>8,}"
+                f"  {sparkline(trend)}"
+            )
 
     tenants = stats.get("tenants") or []
     if tenants:
@@ -237,11 +309,14 @@ async def _dash_loop(
     history: int = 120,
 ) -> int:
     frames: List[DashFrame] = []
+    timeline = Timeline(capacity=max(2, history))
     n = 0
     while iterations is None or n < iterations:
-        frames.append(await fetch_frame(host, port))
+        frame = await fetch_frame(host, port)
+        frames.append(frame)
         del frames[:-history]
-        text = render_dashboard(frames)
+        timeline.ingest(frame.ts, frame.metrics)
+        text = render_dashboard(frames, timeline=timeline)
         if clear:
             print("\x1b[2J\x1b[H" + text, flush=True)
         else:

@@ -214,7 +214,8 @@ def summarize_spans(
     """Aggregate span events into per-name latency rows.
 
     Returns rows sorted by total time descending:
-    ``{"name", "count", "total_s", "mean_s", "p50_s", "p95_s", "max_s"}``.
+    ``{"name", "count", "total_s", "mean_s", "p50_s", "p95_s", "p99_s",
+    "max_s"}``.
     """
     durs: Dict[str, List[float]] = {}
     for event in events:
@@ -234,6 +235,7 @@ def summarize_spans(
                 "mean_s": sum(values) / n,
                 "p50_s": values[max(0, math.ceil(0.50 * n) - 1)],
                 "p95_s": values[max(0, math.ceil(0.95 * n) - 1)],
+                "p99_s": values[max(0, math.ceil(0.99 * n) - 1)],
                 "max_s": values[-1],
             }
         )

@@ -1,0 +1,263 @@
+"""Metrics timeline: a fixed-size ring of periodic registry snapshots.
+
+The registry (:mod:`repro.obs.registry`) holds *cumulative* state —
+monotone counters, current gauges, cumulative histogram buckets.  A
+controller (ROADMAP item 4) and the terminal dashboard both need
+*trends*: request rates, queue-wait percentiles over the last window,
+per-node occupancy over time.  :class:`Timeline` derives all of these
+from snapshots alone:
+
+* ``snap(registry)`` — serialize the registry through the same
+  render/parse pair the ``metrics`` scrape op uses and push the sample
+  dict into a bounded ring (``capacity`` snapshots, oldest evicted).
+  Using the scrape codec keeps the snapshot keys bit-compatible with
+  what ``obs dash`` parses off the wire, so a remote dashboard and an
+  in-process timeline see identical series.
+* ``ingest(ts, samples)`` — push an externally-parsed scrape (the dash
+  TCP path) into the same ring.
+* ``series(name, labels)`` — raw ``(ts, value)`` points (gauge trend).
+* ``rate_series(name, labels)`` — per-second deltas between adjacent
+  snapshots (counter → rate); counter resets clamp to 0.
+* ``quantile_series(name, q, labels)`` — *windowed* percentiles from
+  histogram bucket deltas between adjacent snapshots: the inverse CDF
+  of what was observed **during** each interval, not since process
+  start.
+
+Nothing here runs per request: the serve layer snapshots from a timer
+(`CacheServer` ticks it on the event loop; `NetworkSim` after each
+run), so the hot path never touches the timeline — the bench suite
+asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+SampleKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Default ring capacity: 4 minutes of history at the 1 s default tick.
+DEFAULT_CAPACITY = 240
+
+#: Default snapshot interval (seconds) for timer-driven owners.
+DEFAULT_INTERVAL = 1.0
+
+
+def _key(name: str, labels: Optional[Dict[str, object]]) -> SampleKey:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def snapshot_registry(registry: MetricsRegistry) -> Dict[SampleKey, float]:
+    """One sample dict via the scrape codec (render → strict parse)."""
+    from repro.obs.export import parse_prometheus, render_prometheus
+
+    return parse_prometheus(render_prometheus(registry))
+
+
+class Timeline:
+    """Bounded ring of timestamped metric snapshots.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum snapshots retained (FIFO eviction).
+    interval:
+        Advisory tick period for timer-driven owners (the timeline
+        itself never sleeps; whoever owns it calls :meth:`snap`).
+    """
+
+    __slots__ = ("capacity", "interval", "_ring")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        interval: float = DEFAULT_INTERVAL,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2 (deltas need pairs)")
+        self.capacity = capacity
+        self.interval = float(interval)
+        self._ring: Deque[Tuple[float, Dict[SampleKey, float]]] = deque(
+            maxlen=capacity
+        )
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    # -- feeding -------------------------------------------------------
+    def snap(self, registry: MetricsRegistry, ts: float) -> bool:
+        """Snapshot *registry* at time *ts*.  Returns False (and keeps
+        the ring unchanged) if the registry mutated mid-serialization —
+        the next tick simply retries."""
+        try:
+            samples = snapshot_registry(registry)
+        except RuntimeError:  # dict mutated during iteration (rare race)
+            return False
+        self.ingest(ts, samples)
+        return True
+
+    def ingest(self, ts: float, samples: Dict[SampleKey, float]) -> None:
+        """Push an already-parsed sample dict (dash scrape path)."""
+        self._ring.append((float(ts), samples))
+
+    # -- reading -------------------------------------------------------
+    def names(self) -> List[str]:
+        """Metric names present in the newest snapshot."""
+        if not self._ring:
+            return []
+        return sorted({name for name, _ in self._ring[-1][1]})
+
+    def label_sets(self, name: str) -> List[Tuple[Tuple[str, str], ...]]:
+        """Label tuples seen for *name* in the newest snapshot."""
+        if not self._ring:
+            return []
+        return sorted(
+            labels for n, labels in self._ring[-1][1] if n == name
+        )
+
+    def series(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> List[Tuple[float, float]]:
+        """Raw ``(ts, value)`` points for one sample key (gauge trend).
+
+        Snapshots that do not contain the key (metric not yet created)
+        are skipped, so the series starts when the metric does.
+        """
+        key = _key(name, labels)
+        out: List[Tuple[float, float]] = []
+        for ts, samples in self._ring:
+            value = samples.get(key)
+            if value is not None:
+                out.append((ts, value))
+        return out
+
+    def rate_series(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> List[Tuple[float, float]]:
+        """Per-second deltas between adjacent snapshots (counter→rate).
+
+        Each point is stamped with the *newer* snapshot's timestamp.
+        Negative deltas (counter reset) clamp to 0.
+        """
+        pts = self.series(name, labels)
+        out: List[Tuple[float, float]] = []
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            dt = t1 - t0
+            if dt <= 0:
+                continue
+            out.append((t1, max(0.0, v1 - v0) / dt))
+        return out
+
+    def _bucket_deltas(
+        self,
+        name: str,
+        labels: Optional[Dict[str, object]],
+        older: Dict[SampleKey, float],
+        newer: Dict[SampleKey, float],
+    ) -> List[Tuple[float, float]]:
+        """Per-bucket (le, count-delta) between two snapshots."""
+        want = _key(name, labels)[1]
+        deltas: List[Tuple[float, float]] = []
+        bucket_name = name + "_bucket"
+        for (n, lbls), v1 in newer.items():
+            if n != bucket_name:
+                continue
+            rest = tuple(kv for kv in lbls if kv[0] != "le")
+            if rest != want:
+                continue
+            le = next(val for key_, val in lbls if key_ == "le")
+            v0 = older.get((n, lbls), 0.0)
+            deltas.append((float(le.replace("+Inf", "inf")), v1 - v0))
+        deltas.sort()
+        return deltas
+
+    def window_quantile(
+        self,
+        name: str,
+        q: float,
+        labels: Optional[Dict[str, object]] = None,
+        window: int = 2,
+    ) -> Optional[float]:
+        """Quantile *q* of histogram *name* over the last *window*
+        snapshots (bucket-count deltas → inverse CDF; returns the
+        upper bound of the bucket containing the quantile).  ``None``
+        when the window saw no observations."""
+        if len(self._ring) < 2:
+            return None
+        window = max(2, min(window, len(self._ring)))
+        older = self._ring[-window][1]
+        newer = self._ring[-1][1]
+        return _quantile_from_deltas(
+            self._bucket_deltas(name, labels, older, newer), q
+        )
+
+    def quantile_series(
+        self,
+        name: str,
+        q: float,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> List[Tuple[float, float]]:
+        """Windowed quantile per adjacent snapshot pair: what the p-th
+        percentile was *during* each interval."""
+        out: List[Tuple[float, float]] = []
+        ring = list(self._ring)
+        for (t0, s0), (t1, s1) in zip(ring, ring[1:]):
+            value = _quantile_from_deltas(
+                self._bucket_deltas(name, labels, s0, s1), q
+            )
+            if value is not None:
+                out.append((t1, value))
+        return out
+
+    def trend(
+        self,
+        name: str,
+        labels: Optional[Dict[str, object]] = None,
+        *,
+        rate: bool = False,
+        width: int = 32,
+    ) -> List[float]:
+        """The last *width* values (or rates) — sparkline fodder."""
+        pts = (
+            self.rate_series(name, labels) if rate else self.series(name, labels)
+        )
+        return [v for _, v in pts[-width:]]
+
+
+def _quantile_from_deltas(
+    deltas: Sequence[Tuple[float, float]], q: float
+) -> Optional[float]:
+    """Inverse CDF over (le, delta-count) pairs (cumulative input)."""
+    if not deltas:
+        return None
+    # Bucket counts are cumulative; the total observed in the window is
+    # the +Inf (last) delta.
+    total = deltas[-1][1]
+    if total <= 0:
+        return None
+    target = q * total
+    for le, count in deltas:
+        if count >= target and count > 0:
+            if math.isinf(le) and len(deltas) > 1:
+                # Quantile beyond the largest finite bound: report that
+                # bound rather than infinity (standard Prometheus
+                # histogram_quantile behavior).
+                return deltas[-2][0]
+            return le
+    return deltas[-1][0] if not math.isinf(deltas[-1][0]) else None
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_INTERVAL",
+    "Timeline",
+    "snapshot_registry",
+]

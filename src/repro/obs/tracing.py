@@ -29,12 +29,18 @@ from __future__ import annotations
 import contextvars
 import itertools
 import json
+import os
 import time
 from typing import IO, Dict, List, Optional, Union
 
 _CURRENT_SPAN: contextvars.ContextVar[Optional[int]] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
 )
+
+# Passing ``separators=`` to json.dumps builds a fresh JSONEncoder per
+# call (~2x per-event cost on the serve hot path); one cached compact
+# encoder serves every sink write.
+_ENCODE = json.JSONEncoder(separators=(",", ":")).encode
 
 
 class ListSink:
@@ -53,11 +59,28 @@ class ListSink:
 
 
 class JsonlSink:
-    """Append events to a JSONL file (one compact object per line)."""
+    """Append events to a JSONL file (one compact object per line).
 
-    __slots__ = ("path", "_fh", "_owns")
+    Parameters
+    ----------
+    path_or_file:
+        File path (opened in append mode) or an already-open text file.
+    max_bytes:
+        Optional size cap.  When appending a line would push the file
+        past this many bytes, the current file is rotated to
+        ``<path>.1`` (replacing any previous ``.1``) and a fresh file is
+        started, so long ``--trace-jsonl`` serve runs keep at most
+        ``2 * max_bytes`` on disk.  Rotation needs a real path; file
+        objects are never rotated.
+    """
 
-    def __init__(self, path_or_file: Union[str, IO[str]]) -> None:
+    __slots__ = ("path", "max_bytes", "_fh", "_owns", "_bytes")
+
+    def __init__(
+        self,
+        path_or_file: Union[str, IO[str]],
+        max_bytes: Optional[int] = None,
+    ) -> None:
         if isinstance(path_or_file, str):
             self.path: Optional[str] = path_or_file
             self._fh: IO[str] = open(path_or_file, "a", encoding="utf-8")
@@ -66,9 +89,29 @@ class JsonlSink:
             self.path = getattr(path_or_file, "name", None)
             self._fh = path_or_file
             self._owns = False
+        self.max_bytes = max_bytes
+        self._bytes = 0
+        if max_bytes is not None:
+            if not (self._owns and self.path):
+                raise ValueError("max_bytes requires a file path")
+            self._bytes = os.path.getsize(self.path)
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        os.replace(self.path, self.path + ".1")  # type: ignore[operator]
+        self._fh = open(self.path, "a", encoding="utf-8")  # type: ignore[arg-type]
+        self._bytes = 0
 
     def write(self, event: Dict[str, object]) -> None:
-        self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        line = _ENCODE(event) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._bytes
+            and self._bytes + len(line) > self.max_bytes
+        ):
+            self._rotate()
+        self._bytes += len(line)
+        self._fh.write(line)
 
     def flush(self) -> None:
         self._fh.flush()
@@ -115,7 +158,7 @@ class Span:
         self.span_id = next(tracer._ids)
         self.parent_id = _CURRENT_SPAN.get()
         self.attrs = attrs
-        self._t0 = 0.0
+        self._t0 = 0
         self._ts = 0.0
         self._token: Optional[contextvars.Token] = None
 
@@ -125,12 +168,14 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._token = _CURRENT_SPAN.set(self.span_id)
+        # Wall clock is an *annotation* only; the duration comes from
+        # the monotonic ns counter, so spans survive clock steps.
         self._ts = time.time()
-        self._t0 = time.perf_counter()
+        self._t0 = time.perf_counter_ns()
         return self
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
-        dur = time.perf_counter() - self._t0
+        dur = (time.perf_counter_ns() - self._t0) * 1e-9
         if self._token is not None:
             _CURRENT_SPAN.reset(self._token)
         if exc_type is not None:

@@ -72,6 +72,8 @@ async def _serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         transport=args.transport,
         shm_threshold=args.shm_threshold,
+        profile=args.profile,
+        trace_sample=args.trace_sample,
     )
     await server.start()
     host, port = await server.start_tcp(args.host, args.port)
@@ -87,6 +89,20 @@ async def _serve(args: argparse.Namespace) -> int:
     finally:
         await server.stop()
         print(json.dumps(server.stats(), indent=2))
+        if args.profile:
+            profiles = server.profile_folded()
+            counts = " ".join(
+                f"{name}={sum(folded.values())}"
+                for name, folded in sorted(profiles.items())
+            )
+            print(f"profile samples: {counts}", flush=True)
+            if args.profile_out:
+                from repro.obs.prof import merge_folded, render_folded
+
+                with open(args.profile_out, "w", encoding="utf-8") as fh:
+                    for line in render_folded(merge_folded(profiles)):
+                        fh.write(line + "\n")
+                print(f"merged folded stacks -> {args.profile_out}")
         if obs.auditor is not None:
             print(json.dumps({"audit": server.audit()}, indent=2))
         if obs.monitor is not None:
@@ -148,6 +164,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace-jsonl", default=None, metavar="PATH",
         help="write pipeline span traces to this JSONL file "
         "(aggregate with `python -m repro.obs summary PATH`)",
+    )
+    serve_p.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="head-sample distributed traces: trace every Nth "
+        "submission (default 1 = all; higher N cuts tracing cost)",
+    )
+    serve_p.add_argument(
+        "--profile", nargs="?", const=True, default=None, type=float,
+        metavar="INTERVAL",
+        help="sampling profiler in the parent and every worker process "
+        "(optional interval, seconds; default 0.005)",
+    )
+    serve_p.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write the merged folded stacks here on shutdown "
+        "(inspect with `python -m repro.obs prof PATH`)",
     )
     serve_p.add_argument(
         "--monitor", action="store_true",

@@ -329,6 +329,8 @@ def serve_trace(
     workers: int = 1,
     transport: str = "ring",
     shm_threshold: Optional[int] = 4096,
+    profile: object = None,
+    trace_sample: int = 1,
 ) -> ReplayReport:
     """Build a server, replay *trace* (a :class:`Trace`, a columnar
     :class:`~repro.sim.colstore.TraceReader`, or a path to either)
@@ -340,7 +342,10 @@ def serve_trace(
     to run the replay under a specific telemetry bundle (the
     observability-overhead benchmarks do); ``workers > 1`` serves the
     shard set process-parallel over the given *transport* (results are
-    bit-identical for any worker count and either transport).  Startup
+    bit-identical for any worker count and either transport);
+    ``profile`` installs the sampling profiler in the parent and every
+    worker, and ``trace_sample`` head-samples distributed traces to
+    every *N*-th submission (see :class:`CacheServer`).  Startup
     (worker spawn) and drain are timed into the report's
     ``startup_seconds``/``drain_seconds`` and excluded from the
     throughput window."""
@@ -366,6 +371,8 @@ def serve_trace(
             workers=workers,
             transport=transport,
             shm_threshold=shm_threshold,
+            profile=profile,
+            trace_sample=trace_sample,
         )
         t0 = time.perf_counter()
         await server.start()

@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import json
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from time import monotonic, perf_counter
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
@@ -43,6 +44,7 @@ import numpy as np
 
 from repro.core.cost_functions import CostFunction
 from repro.obs import Observability, RateWindow
+from repro.obs.distrib import emit_span
 from repro.obs.registry import CollectedFamily
 from repro.serve.accounting import CostLedger
 from repro.serve.shard import PolicySpec, ShardManager
@@ -52,6 +54,11 @@ from repro.util.validation import check_positive_int
 
 class ServerClosed(RuntimeError):
     """Raised when submitting to a server that is stopping/stopped."""
+
+
+#: Shared no-op context manager for unsampled ingress spans —
+#: ``nullcontext`` holds no state, so one instance is reusable.
+_NULL_CM = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -205,6 +212,21 @@ class CacheServer:
     monitor_every:
         When ``obs.monitor`` is set, sample the invariant monitor every
         this many served requests (0 disables sampling).
+    profile:
+        Sampling profiler (:mod:`repro.obs.prof`): ``True`` installs
+        one at the default interval in this process *and* in every
+        worker; a float sets the interval in seconds; ``None``/
+        ``False`` (default) disables it.  Folded stacks are available
+        from :meth:`profile_folded` after :meth:`stop` (worker
+        profiles are gathered before the pool shuts down).
+    trace_sample:
+        Head-sampling rate for distributed traces: trace every *N*-th
+        submission (default 1 = every submission).  Unsampled
+        submissions carry ``trace_id=0`` on the worker wire — workers
+        skip their span spills automatically — and emit no parent-side
+        spans, so tracing cost scales with ``1/N`` while every sampled
+        tree stays complete (ingress → route → worker applies).  The
+        wire format is identical either way.
     """
 
     def __init__(
@@ -228,6 +250,8 @@ class CacheServer:
         workers: int = 1,
         transport: str = "ring",
         shm_threshold: Optional[int] = 4096,
+        profile: object = None,
+        trace_sample: int = 1,
     ) -> None:
         self.name = name
         self.shards = ShardManager(
@@ -276,6 +300,20 @@ class CacheServer:
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._t = 0
         self._closed = True
+        from repro.obs.prof import profile_spec
+
+        self._profile = profile_spec(profile)
+        self.profiler = None
+        self._pool_profiles: Dict[str, Dict[str, int]] = {}
+        self._timeline_task: Optional[asyncio.Task] = None
+        # Distributed-trace bookkeeping: submission t0 -> (trace_id,
+        # router span id), so the TCP reply span can link into the tree
+        # the workers extended.  Bounded: traces are best-effort.
+        self._route_ctx: Dict[int, Tuple[int, int]] = {}
+        self._reply_ctx: Optional[Tuple[int, int]] = None
+        self._trace_sample = check_positive_int(trace_sample, "trace_sample")
+        self._trace_seq = 0
+        self._ingress_seq = 0
 
         # --- Telemetry --------------------------------------------------
         self.obs = obs if obs is not None else Observability()
@@ -370,6 +408,25 @@ class CacheServer:
                 transport=self._transport,
                 shm_threshold=self._shm_threshold,
                 name=self.name,
+                # Workers spill spans next to the parent's JSONL trace
+                # (sink path required: in-memory sinks cannot cross the
+                # process boundary).
+                trace_jsonl=(
+                    getattr(self.obs.tracer.sink, "path", None)
+                    if self._tracing_on
+                    else None
+                ),
+                profile=self._profile,
+            )
+        if self._profile is not None and self.profiler is None:
+            from repro.obs.prof import DEFAULT_INTERVAL, SamplingProfiler
+
+            self.profiler = SamplingProfiler(
+                float(self._profile.get("interval", DEFAULT_INTERVAL))
+            ).start()
+        if self.obs.timeline is not None and self._timeline_task is None:
+            self._timeline_task = asyncio.create_task(
+                self._timeline_loop(), name=f"{self.name}-timeline"
             )
         self._queue = asyncio.Queue(maxsize=self._queue_limit)
         if self._tenant_inflight is not None:
@@ -394,13 +451,26 @@ class CacheServer:
             await self._queue.put(None)  # drain sentinel
             await self._consumer
         self._consumer = None
+        if self._timeline_task is not None:
+            self._timeline_task.cancel()
+            try:
+                await self._timeline_task
+            except asyncio.CancelledError:
+                pass
+            self._timeline_task = None
         if self._pool is not None:
             # Freeze the workers' ground truth so post-stop scrapes and
             # flight verification keep working, then shut them down.
             self._pool_snapshot(best_effort=True)
             self._sync_pool_flight(best_effort=True)
+            if self._profile is not None:
+                self._pool_profiles = self._pool.profile_gather(
+                    best_effort=True
+                )
             self._pool.close()
             self._pool = None
+        if self.profiler is not None:
+            self.profiler.stop()
         if self._auditor is not None:
             # End of stream: price the buffered tail so the final audit
             # covers every served request.
@@ -432,11 +502,23 @@ class CacheServer:
                     f"page {page} outside the universe [0, {num_pages})"
                 )
 
+    def _ingress_span(self, n: int):
+        """Ingress span for one submission, honouring ``trace_sample``.
+
+        Sampling is decided per ingress (its own counter: submissions
+        reach the consumer in the same order, but the spans are local
+        to the parent, so the two counters need not be fused)."""
+        if self._tracing_on and self._trace_sample > 1:
+            self._ingress_seq += 1
+            if self._ingress_seq % self._trace_sample:
+                return _NULL_CM
+        return self.obs.tracer.span("serve.ingress", n=n)
+
     async def _submit(self, pages: Sequence[int], detail: bool) -> asyncio.Future:
         if self._closed or self._queue is None:
             raise ServerClosed(f"server {self.name!r} is not accepting requests")
         self._check_pages(pages)
-        with self.obs.tracer.span("serve.ingress", n=len(pages)):
+        with self._ingress_span(len(pages)):
             credits: Optional[List[Tuple[int, int]]] = None
             if self._gates is not None:
                 per_tenant: Dict[int, int] = {}
@@ -689,6 +771,21 @@ class CacheServer:
         auditor = self._auditor
         t0 = self._t
         pages_arr = np.asarray(pages, dtype=np.int64)
+        # Distributed span context: a deterministic per-submission trace
+        # id (the global clock is unique and nonzero after +1) and a
+        # router-side root span id that the workers parent under.
+        trace_id = 0
+        root_span = 0
+        traced = False
+        if self._tracing_on:
+            traced = True
+            if self._trace_sample > 1:
+                self._trace_seq += 1
+                traced = not (self._trace_seq % self._trace_sample)
+            if traced:
+                trace_id = t0 + 1
+                root_span = next(self.obs.tracer._ids)
+                t_route = perf_counter()
         result: object
         if detail:
             served = pool.apply_detail(pages_arr, t0)
@@ -706,7 +803,7 @@ class CacheServer:
                 )
             result = outcomes
         else:
-            flags = pool.apply(pages_arr, t0)
+            flags = pool.apply(pages_arr, t0, trace_id, root_span)
             if auditor is not None:
                 for i, page in enumerate(pages):
                     auditor.observe(page, owners[page], bool(flags[i]))
@@ -717,17 +814,43 @@ class CacheServer:
                 misses=int(flags.size) - hits,
                 hit_flags=flags.astype(bool).tolist(),
             )
+        if trace_id:
+            # Root of the merged request tree: router-side route+merge.
+            emit_span(
+                self.obs.tracer,
+                "serve.route",
+                perf_counter() - t_route,
+                trace_id=trace_id,
+                span_id=root_span,
+                parent_id=None,
+                n=len(pages),
+                t0=t0,
+                workers=pool.num_workers,
+            )
+            if len(self._route_ctx) > 1024:  # best-effort bound
+                self._route_ctx.clear()
+            self._route_ctx[t0] = (trace_id, root_span)
         self._t = t0 + len(pages)
         if obs_on:
-            self._account(pages, t_enq, t_start)
+            self._account(pages, t_enq, t_start, traced)
         if credits is not None and self._gates is not None:
             for tenant, n in credits:
                 self._gates[tenant].release(n)
         if not fut.cancelled():
             fut.set_result(result)
 
-    def _account(self, pages: Sequence[int], t_enq: float, t_start: float) -> None:
-        """Post-apply telemetry for one submission (obs-active only)."""
+    def _account(
+        self,
+        pages: Sequence[int],
+        t_enq: float,
+        t_start: float,
+        traced: Optional[bool] = None,
+    ) -> None:
+        """Post-apply telemetry for one submission (obs-active only).
+
+        ``traced`` carries the pool path's per-submission sampling
+        decision; ``None`` (the in-process path) decides it here with
+        the same counter."""
         dur = perf_counter() - t_start
         queue_wait = (t_start - t_enq) if t_enq else 0.0
         n = len(pages)
@@ -735,9 +858,15 @@ class CacheServer:
             self._h_apply.observe(dur)
             self._h_queue.observe(queue_wait)
         if self._tracing_on:
-            tracer = self.obs.tracer
-            tracer.record_span("serve.queue_wait", queue_wait, n=n)
-            tracer.record_span("serve.apply", dur, n=n, t=self._t)
+            if traced is None:
+                traced = True
+                if self._trace_sample > 1:
+                    self._trace_seq += 1
+                    traced = not (self._trace_seq % self._trace_sample)
+            if traced:
+                tracer = self.obs.tracer
+                tracer.record_span("serve.queue_wait", queue_wait, n=n)
+                tracer.record_span("serve.apply", dur, n=n, t=self._t)
         # In parallel mode the workers sample their own monitors against
         # their own policy instances (budget invariants are per-instance,
         # so worker-local sampling is sound); drift is checked at
@@ -759,6 +888,33 @@ class CacheServer:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
+    async def _timeline_loop(self) -> None:
+        """Tick ``obs.timeline`` on the event loop: one registry
+        snapshot per interval, zero per-request work."""
+        import time as _time
+
+        timeline = self.obs.timeline
+        assert timeline is not None
+        while True:
+            await asyncio.sleep(timeline.interval)
+            timeline.snap(self.obs.registry, _time.time())
+
+    def profile_folded(self) -> Dict[str, Dict[str, int]]:
+        """Per-process folded stacks: ``{"parent": ..., "w0": ...}``.
+
+        Worker entries appear after :meth:`stop` (or an explicit
+        :meth:`~repro.serve.workers.ShardWorkerPool.profile_gather`);
+        merge with :func:`repro.obs.prof.merge_folded`.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        if self.profiler is not None:
+            out["parent"] = self.profiler.folded()
+        if self._pool is not None and self._profile is not None:
+            out.update(self._pool.profile_gather(best_effort=True))
+        else:
+            out.update(self._pool_profiles)
+        return out
+
     def _pool_snapshot(
         self, best_effort: bool = False
     ) -> Optional[Dict[str, object]]:
@@ -1137,14 +1293,32 @@ class CacheServer:
                 if not line:
                     break
                 response = await self._dispatch_line(line)
+                # Synchronous read (no await since dispatch returned):
+                # the route context this dispatch recorded, if any.
+                reply_ctx = self._reply_ctx
+                self._reply_ctx = None
                 payload = json.dumps(response).encode("utf-8") + b"\n"
                 if self._tracing_on:
                     t0 = perf_counter()
                     writer.write(payload)
                     await writer.drain()
-                    self.obs.tracer.record_span(
-                        "serve.reply", perf_counter() - t0, bytes=len(payload)
-                    )
+                    dur = perf_counter() - t0
+                    if reply_ctx is not None:
+                        # Close the distributed tree: router -> worker
+                        # apply -> reply, all under one trace id.
+                        emit_span(
+                            self.obs.tracer,
+                            "serve.reply",
+                            dur,
+                            trace_id=reply_ctx[0],
+                            span_id=next(self.obs.tracer._ids),
+                            parent_id=reply_ctx[1],
+                            bytes=len(payload),
+                        )
+                    else:
+                        self.obs.tracer.record_span(
+                            "serve.reply", dur, bytes=len(payload)
+                        )
                 else:
                     writer.write(payload)
                     await writer.drain()
@@ -1167,6 +1341,7 @@ class CacheServer:
             op = msg.get("op")
             if op == "request":
                 out = await self.request(int(msg["page"]))
+                self._reply_ctx = self._route_ctx.pop(out.t, None)
                 return {
                     "ok": True,
                     "hit": out.hit,
@@ -1177,6 +1352,7 @@ class CacheServer:
             if op == "batch":
                 pages = [int(p) for p in msg["pages"]]
                 out = await self.request_many(pages)
+                self._reply_ctx = self._route_ctx.pop(out.t0, None)
                 resp: Dict[str, object] = {
                     "ok": True,
                     "hits": out.hits,

@@ -70,6 +70,7 @@ from __future__ import annotations
 import heapq
 import pickle
 import struct
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -113,14 +114,18 @@ TRANSPORTS = ("ring", "pipe")
 # the header offsets exist for post-mortem inspection only.
 _RING_MAGIC = 0x52504C52494E4731  # "RPLRING1"
 _RING_HEADER = 64
-_DATA_REC_HEADER = 24  # nbytes + t0 + n
+# Data record header carries the distributed-tracing span context as
+# two extra int64 words (repro.obs.distrib): trace_id (0 = unsampled)
+# and the parent span id.  The layout is identical whether tracing is
+# on or off, so the hot path never branches on wire format.
+_DATA_REC_HEADER = 40  # nbytes + t0 + n + trace_id + parent_span
 _REPLY_REC_HEADER = 16  # nbytes + n
 _DEFAULT_DATA_CAP = 1 << 20
 _DEFAULT_REPLY_CAP = 1 << 17
 
 #: Pipe-transport data frame: tag byte + 7 pad (8-aligns the payload
-#: within the frame) + t0 + n, then pages/pos.
-_PIPE_HDR = 24
+#: within the frame) + t0 + n + trace_id + parent_span, then pages/pos.
+_PIPE_HDR = 40
 
 
 def _pad8(n: int) -> int:
@@ -163,6 +168,11 @@ class WorkerSpec:
     flight_meta: Dict[str, object] = field(default_factory=dict)
     monitor: bool = False
     monitor_every: int = 0
+    #: Parent's --trace-jsonl base path; the worker spills its spans to
+    #: ``distrib.spill_path(trace_jsonl, worker_id + 1)``.
+    trace_jsonl: Optional[str] = None
+    #: ``repro.obs.prof.profile_spec`` dict ({"interval": s}) or None.
+    profile: Optional[Dict[str, object]] = None
 
 
 class _WorkerState:
@@ -246,10 +256,41 @@ class _WorkerState:
             from repro.obs.monitor import InvariantMonitor
 
             self.monitor = InvariantMonitor(spec.costs)
+        # Distributed tracing: spans spill to a worker-local JSONL file
+        # (namespaced ids, see repro.obs.distrib); the parent merges
+        # the files after the run.
+        self.tracer = None
+        self._span_ids = None
+        self._emit_span = None
+        if spec.trace_jsonl:
+            from repro.obs.distrib import emit_span, span_ids, spill_path
+            from repro.obs.tracing import JsonlSink, Tracer
+
+            self.tracer = Tracer(
+                JsonlSink(spill_path(spec.trace_jsonl, spec.worker_id + 1))
+            )
+            self._span_ids = span_ids(spec.worker_id + 1)
+            self._emit_span = emit_span
+        self.profiler = None
+        if spec.profile:
+            from repro.obs.prof import DEFAULT_INTERVAL, SamplingProfiler
+
+            self.profiler = SamplingProfiler(
+                float(spec.profile.get("interval", DEFAULT_INTERVAL))
+            ).start()
 
     # ------------------------------------------------------------------
-    def apply(self, pages: List[int], ts: List[int]) -> bytearray:
+    def apply(
+        self,
+        pages: List[int],
+        ts: List[int],
+        trace_id: int = 0,
+        parent: int = 0,
+    ) -> bytearray:
         """Serve one routed batch; returns per-request hit flags."""
+        t_trace = 0
+        if trace_id and self.tracer is not None:
+            t_trace = time.perf_counter_ns()
         shard_ids = self.shard_table[np.asarray(pages, dtype=np.int64)].tolist()
         shards = self.shards
         owners = self.owners_list
@@ -274,6 +315,17 @@ class _WorkerState:
                     row[tenant] += 1
         self.served += len(pages)
         self._maybe_monitor(len(pages), ts[-1] + 1 if ts else 0)
+        if t_trace:
+            self._emit_span(  # type: ignore[misc]
+                self.tracer,
+                "worker.apply",
+                (time.perf_counter_ns() - t_trace) * 1e-9,
+                trace_id=trace_id,
+                span_id=next(self._span_ids),  # type: ignore[arg-type]
+                parent_id=parent,
+                w=self.spec.worker_id,
+                n=len(pages),
+            )
         return flags
 
     def apply_detail(
@@ -352,6 +404,20 @@ class _WorkerState:
             return {}, []
         return dict(self.flight.meta), list(self.flight.ring)
 
+    def profile_folded(self) -> Optional[Dict[str, int]]:
+        """This worker's folded-stack counts (None when not profiling)."""
+        if self.profiler is None:
+            return None
+        return self.profiler.folded()
+
+    def close(self) -> None:
+        """Stop the profiler and flush/close the span spill (idempotent)."""
+        if self.profiler is not None:
+            self.profiler.stop()
+        if self.tracer is not None:
+            self.tracer.close()
+            self.tracer = None
+
 
 class _WorkerRing:
     """Worker-side view of the shared ring (read data, write replies)."""
@@ -373,12 +439,12 @@ class _WorkerRing:
         self.buf = buf
         self.reply_off = 0
 
-    def read_batch(self, off: int) -> Tuple[int, List[int], List[int]]:
+    def read_batch(self, off: int) -> Tuple[int, List[int], List[int], int, int]:
         """Decode the data record at region offset *off* (from the
         doorbell frame)."""
         buf = self.buf
         base = _RING_HEADER + off
-        t0, m = struct.unpack_from("<qq", buf, base + 8)
+        t0, m, trace_id, parent = struct.unpack_from("<qqqq", buf, base + 8)
         pages = np.frombuffer(
             buf, dtype=np.int64, count=m, offset=base + _DATA_REC_HEADER
         ).tolist()
@@ -386,7 +452,7 @@ class _WorkerRing:
             buf, dtype=np.int32, count=m,
             offset=base + _DATA_REC_HEADER + 8 * m,
         ).tolist()
-        return t0, pages, pos
+        return t0, pages, pos, trace_id, parent
 
     def write_reply(self, flags: bytearray) -> int:
         """Frame the hit flags into the reply region; returns the
@@ -439,20 +505,24 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
                 if ring is None:
                     raise RuntimeError("ring doorbell before ring announce")
                 off = struct.unpack_from("<q", frame, 1)[0]
-                t0, pages, pos = ring.read_batch(off)
-                flags = state.apply(pages, [t0 + p for p in pos])
+                t0, pages, pos, trace_id, parent = ring.read_batch(off)
+                flags = state.apply(
+                    pages, [t0 + p for p in pos], trace_id, parent
+                )
                 roff = ring.write_reply(flags)
                 conn.send_bytes(b"r" + struct.pack("<q", roff))
             elif tag == b"p":  # pipe-framed batch
                 reply_kind = "bytes"
-                t0, m = struct.unpack_from("<qq", frame, 8)
+                t0, m, trace_id, parent = struct.unpack_from("<qqqq", frame, 8)
                 pages = np.frombuffer(
                     frame, dtype=np.int64, count=m, offset=_PIPE_HDR
                 ).tolist()
                 pos = np.frombuffer(
                     frame, dtype=np.int32, count=m, offset=_PIPE_HDR + 8 * m
                 ).tolist()
-                flags = state.apply(pages, [t0 + p for p in pos])
+                flags = state.apply(
+                    pages, [t0 + p for p in pos], trace_id, parent
+                )
                 conn.send_bytes(b"F" + bytes(flags))
             elif tag == b"!":  # control op (pickled)
                 reply_kind = "pickle"
@@ -467,12 +537,15 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
                     conn.send(state.snapshot())
                 elif op == "f":  # flight window gather
                     conn.send(state.flight_window())
+                elif op == "prof":  # folded-stack profile gather
+                    conn.send(state.profile_folded())
                 elif op == "ring":  # (re)announce the shared ring block
                     if ring is not None:
                         ring.close()
                     ring = _WorkerRing(msg[1])
                     conn.send(("ok",))
                 elif op == "c":  # close
+                    state.close()
                     conn.send(("bye", state.served))
                     return
                 else:  # pragma: no cover - protocol bug guard
@@ -492,6 +565,10 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
         except (BrokenPipeError, OSError):
             pass
     finally:
+        try:
+            state.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
         if ring is not None:
             ring.close()
         conn.close()
@@ -553,6 +630,8 @@ class ShardWorkerPool:
         shm_threshold: Optional[int] = None,
         start_method: Optional[str] = None,
         name: str = "pool",
+        trace_jsonl: Optional[str] = None,
+        profile: Optional[Dict[str, object]] = None,
     ) -> None:
         import multiprocessing as mp
 
@@ -626,6 +705,8 @@ class ShardWorkerPool:
                     flight_meta=dict(flight_meta or {}),
                     monitor=monitor,
                     monitor_every=monitor_every,
+                    trace_jsonl=trace_jsonl,
+                    profile=dict(profile) if profile else None,
                 )
             )
         try:
@@ -765,7 +846,15 @@ class ShardWorkerPool:
             "data_off": 0,
         }
 
-    def _ring_send(self, w: int, t0: int, wpages: np.ndarray, pos: np.ndarray) -> None:
+    def _ring_send(
+        self,
+        w: int,
+        t0: int,
+        wpages: np.ndarray,
+        pos: np.ndarray,
+        trace_id: int = 0,
+        parent: int = 0,
+    ) -> None:
         """Frame one batch into worker *w*'s data ring and ring the
         doorbell carrying the record offset (the only pipe traffic for
         a ring exchange)."""
@@ -778,7 +867,7 @@ class ShardWorkerPool:
         if off + nbytes > int(ring["data_cap"]):  # restart at the base
             off = 0
         base = _RING_HEADER + off
-        struct.pack_into("<qqq", buf, base, nbytes, t0, m)
+        struct.pack_into("<qqqqq", buf, base, nbytes, t0, m, trace_id, parent)
         np.frombuffer(buf, dtype=np.int64, count=m, offset=base + _DATA_REC_HEADER)[
             :
         ] = wpages
@@ -804,7 +893,15 @@ class ShardWorkerPool:
             buf, dtype=np.uint8, count=m, offset=base + _REPLY_REC_HEADER
         )
 
-    def _pipe_send(self, w: int, t0: int, wpages: np.ndarray, pos: np.ndarray) -> None:
+    def _pipe_send(
+        self,
+        w: int,
+        t0: int,
+        wpages: np.ndarray,
+        pos: np.ndarray,
+        trace_id: int = 0,
+        parent: int = 0,
+    ) -> None:
         """Frame one batch into the reusable staging buffer and send it
         as a single payload — no pickling, no per-batch allocation once
         the buffer has grown to the working batch size."""
@@ -814,7 +911,7 @@ class ShardWorkerPool:
         if len(buf) < need:
             buf = self._staging[w] = bytearray(max(need, 4096))
         buf[0:1] = b"p"
-        struct.pack_into("<qq", buf, 8, t0, m)
+        struct.pack_into("<qqqq", buf, 8, t0, m, trace_id, parent)
         np.frombuffer(buf, dtype=np.int64, count=m, offset=_PIPE_HDR)[:] = wpages
         np.frombuffer(buf, dtype=np.int32, count=m, offset=_PIPE_HDR + 8 * m)[
             :
@@ -828,12 +925,20 @@ class ShardWorkerPool:
         """Per-page worker ids (the precomputed splitmix64 table)."""
         return self._page_worker[pages]
 
-    def apply(self, pages: np.ndarray, t0: int) -> np.ndarray:
+    def apply(
+        self,
+        pages: np.ndarray,
+        t0: int,
+        trace_id: int = 0,
+        parent: int = 0,
+    ) -> np.ndarray:
         """Serve one submission batch across the workers.
 
         *pages* is the batch in submission order; request *i* carries
         global time ``t0 + i``.  Returns the merged ``uint8`` hit-flag
-        array, index-aligned with *pages*.
+        array, index-aligned with *pages*.  A non-zero *trace_id*
+        propagates the distributed span context (*parent* is the
+        router-side span id) to every worker touched by the batch.
         """
         pages = np.ascontiguousarray(pages, dtype=np.int64)
         n = int(pages.size)
@@ -851,9 +956,9 @@ class ShardWorkerPool:
                 threshold is not None and m >= threshold
             )
             if via_ring:
-                self._ring_send(w, t0, wpages, pos)
+                self._ring_send(w, t0, wpages, pos, trace_id, parent)
             else:
-                self._pipe_send(w, t0, wpages, pos)
+                self._pipe_send(w, t0, wpages, pos, trace_id, parent)
             sends.append((w, pos, via_ring))
         flags = np.empty(n, dtype=np.uint8)
         for w, pos, via_ring in sends:
@@ -978,6 +1083,34 @@ class ShardWorkerPool:
             except WorkerCrashed:
                 if not best_effort:
                     raise
+        return out
+
+    def profile_gather(
+        self, best_effort: bool = False
+    ) -> Dict[str, Dict[str, int]]:
+        """Folded-stack counts per profiled worker, keyed ``w<i>``.
+
+        Empty when the pool was built without ``profile=``; merge with
+        the parent's own profile via :func:`repro.obs.prof.merge_folded`.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        polled: List[int] = []
+        for w in range(self.num_workers):
+            try:
+                self._send_control(w, ("prof",))
+                polled.append(w)
+            except WorkerCrashed:
+                if not best_effort:
+                    raise
+        for w in polled:
+            try:
+                folded = self._recv(w)
+            except WorkerCrashed:
+                if not best_effort:
+                    raise
+                continue
+            if folded is not None:
+                out[f"w{w}"] = folded
         return out
 
     def merged_flight_events(self, best_effort: bool = False) -> List[tuple]:

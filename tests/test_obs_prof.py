@@ -1,0 +1,168 @@
+"""Sampling profiler: capture, folded-stack codec, overhead budget.
+
+Timing-sensitive assertions are kept loose (sample counts bounded
+below, not pinned) so the suite stays deterministic on loaded CI
+machines; the strict <5% overhead bars live in
+``benchmarks/bench_obs.py``.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs.prof import (
+    DEFAULT_INTERVAL,
+    SamplingProfiler,
+    merge_folded,
+    parse_folded,
+    profile_spec,
+    read_folded,
+    render_folded,
+    top_stacks,
+)
+
+
+def busy(deadline: float) -> int:
+    """Spin until *deadline* — a recognizable frame to sample."""
+    acc = 0
+    while time.perf_counter() < deadline:
+        acc += sum(range(50))
+    return acc
+
+
+class TestSampling:
+    def test_thread_mode_samples_the_busy_function(self):
+        p = SamplingProfiler(0.001)
+        with p:
+            busy(time.perf_counter() + 0.25)
+        assert p.samples >= 10
+        folded = p.folded()
+        assert folded and sum(folded.values()) == p.samples
+        assert any(":busy" in stack for stack in folded)
+        # Stacks are rooted at the outermost frame.
+        assert all(";" in stack or ":" in stack for stack in folded)
+
+    def test_target_thread_id_samples_another_thread(self):
+        ready = threading.Event()
+        done = threading.Event()
+
+        def worker():
+            ready.set()
+            busy(time.perf_counter() + 0.25)
+            done.set()
+
+        t = threading.Thread(target=worker, daemon=True)
+        t.start()
+        ready.wait(1.0)
+        p = SamplingProfiler(0.001, target_thread_id=t.ident).start()
+        done.wait(2.0)
+        p.stop()
+        t.join(timeout=1.0)
+        assert any(":busy" in s for s in p.folded())
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+    )
+    def test_signal_mode_samples_main_thread(self):
+        p = SamplingProfiler(0.001, mode="signal")
+        with p:
+            busy(time.perf_counter() + 0.25)
+        assert p.samples >= 5
+        assert any(":busy" in s for s in p.folded())
+        # The itimer is disarmed and the old handler restored.
+        assert signal.getsignal(signal.SIGALRM) != p._on_signal
+
+    def test_start_stop_idempotent(self):
+        p = SamplingProfiler(0.01)
+        assert p.start() is p
+        assert p.start() is p
+        assert p.stop() is p
+        assert p.stop() is p
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SamplingProfiler(0.0)
+        with pytest.raises(ValueError, match="mode"):
+            SamplingProfiler(0.01, mode="tracing")
+
+
+class TestOverheadBudget:
+    def test_budget_overrun_doubles_interval(self):
+        p = SamplingProfiler(0.001, max_overhead=1e-9)
+        # Drive the recorder directly: every sample overruns the
+        # impossible budget, so each one doubles the interval.
+        frame = next(iter(sys._current_frames().values()))
+        for _ in range(4):
+            p._record(frame)
+        assert p.backoffs == 4
+        assert p.interval == pytest.approx(0.016)
+        assert p.samples == 4
+
+    def test_interval_capped(self):
+        p = SamplingProfiler(0.9, max_overhead=1e-9)
+        frame = next(iter(sys._current_frames().values()))
+        p._record(frame)
+        p._record(frame)
+        assert p.interval == 1.0
+
+
+class TestFoldedCodec:
+    def test_render_parse_round_trip(self):
+        counts = {"a.py:f;a.py:g": 3, "b.py:main": 11, "x y:z": 1}
+        lines = render_folded(counts)
+        # Hottest first, count is the last space-separated token.
+        assert lines[0] == "b.py:main 11"
+        assert parse_folded(lines) == counts
+        assert parse_folded(lines + ["", "  "]) == counts
+
+    def test_parse_rejects_countless_lines(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_folded(["justonetoken"])
+
+    def test_dump_read_round_trip(self, tmp_path):
+        p = SamplingProfiler(0.001)
+        p.counts = {"m.py:f": 2, "m.py:f;m.py:g": 5}
+        path = str(tmp_path / "prof.folded")
+        p.dump(path)
+        assert read_folded(path) == p.counts
+
+    def test_merge_folded_prefixes_process(self):
+        merged = merge_folded(
+            {
+                "w0": {"m:f": 2, "m:f;m:g": 1},
+                "w1": {"m:f": 3},
+                "parent": {"s:route": 4},
+            }
+        )
+        assert merged == {
+            "w0;m:f": 2,
+            "w0;m:f;m:g": 1,
+            "w1;m:f": 3,
+            "parent;s:route": 4,
+        }
+
+    def test_top_stacks_fractions(self):
+        ranked = top_stacks({"a": 1, "b": 3}, n=5)
+        assert ranked[0] == ("b", 3, 0.75)
+        assert ranked[1] == ("a", 1, 0.25)
+        assert top_stacks({}, n=2) == []
+
+
+class TestProfileSpec:
+    def test_disabled_forms(self):
+        assert profile_spec(None) is None
+        assert profile_spec(False) is None
+
+    def test_enabled_forms(self):
+        assert profile_spec(True) == {"interval": DEFAULT_INTERVAL}
+        assert profile_spec(0.01) == {"interval": 0.01}
+        assert profile_spec(2) == {"interval": 2.0}
+        assert profile_spec(True, path="/tmp/x") == {
+            "interval": DEFAULT_INTERVAL,
+            "path": "/tmp/x",
+        }

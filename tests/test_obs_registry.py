@@ -263,3 +263,76 @@ class TestRateWindow:
     def test_invalid_horizon(self):
         with pytest.raises(ValueError, match="> 0"):
             RateWindow(horizon=0)
+
+
+class TestDistributedLabelCardinality:
+    def test_node_x_worker_product_trips_the_guard(self):
+        """The distributed-observability label shape (per-node AND
+        per-worker) grows as a product; the guard must trip on the
+        first combination past the cap while keeping every existing
+        series live."""
+        reg = MetricsRegistry(enabled=True, max_label_sets=6)
+        fam = reg.counter(
+            "net_worker_spans_total", "x", labels=("node", "worker")
+        )
+        for node in ("edge", "l1", "l2"):
+            for worker in ("w0", "w1"):
+                fam.labels(node=node, worker=worker).inc()
+        with pytest.raises(LabelCardinalityError, match="more than 6"):
+            fam.labels(node="origin", worker="w0")
+        # The 6 in-cap series keep counting.
+        fam.labels(node="edge", worker="w1").inc(3)
+        assert (
+            reg.get_sample_value(
+                "net_worker_spans_total", {"node": "edge", "worker": "w1"}
+            )
+            == 4.0
+        )
+
+    def test_per_family_caps_are_independent(self):
+        reg = MetricsRegistry(enabled=True, max_label_sets=2)
+        nodes = reg.counter("node_total", "x", labels=("node",))
+        workers = reg.counter("worker_total", "x", labels=("worker",))
+        nodes.labels("a").inc()
+        nodes.labels("b").inc()
+        workers.labels("w0").inc()
+        workers.labels("w1").inc()
+        with pytest.raises(LabelCardinalityError):
+            nodes.labels("c")
+        # The sibling family is unaffected by the tripped one.
+        workers.labels("w0").inc()
+        assert reg.get_sample_value("worker_total", {"worker": "w0"}) == 2.0
+
+
+class TestLogBucketBoundaries:
+    def test_observation_exactly_on_every_log_bound(self):
+        """``le`` semantics on log-spaced bounds: a value exactly equal
+        to ``start * factor**i`` lands in bucket ``i``, never in
+        ``i+1`` — even where the float product is not exactly
+        representable."""
+        buckets = exponential_buckets(1e-6, 2.0, 12)
+        h = Histogram(buckets=buckets)
+        for bound in buckets:
+            h.observe(bound)
+        cumulative = h.cumulative()
+        for i, (bound, cum) in enumerate(cumulative[:-1]):
+            assert cum == i + 1, (
+                f"value at bound {bound!r} leaked past its bucket"
+            )
+        assert cumulative[-1] == (math.inf, len(buckets))
+
+    def test_nextafter_past_bound_lands_one_bucket_up(self):
+        buckets = exponential_buckets(1e-3, 10.0, 3)  # 1ms, 10ms, 100ms
+        h = Histogram(buckets=buckets)
+        h.observe(math.nextafter(1e-3, math.inf))
+        assert h.cumulative() == [(1e-3, 0), (1e-2, 1), (1e-1, 1), (math.inf, 1)]
+
+    def test_boundary_matches_linear_scan_on_default_buckets(self):
+        h = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        values = list(DEFAULT_LATENCY_BUCKETS) + [
+            math.nextafter(b, 0.0) for b in DEFAULT_LATENCY_BUCKETS
+        ]
+        for v in values:
+            h.observe(v)
+        for bound, cum in h.cumulative():
+            assert cum == sum(1 for v in values if v <= bound)

@@ -1,0 +1,174 @@
+"""Metrics timeline: ring eviction, series/rate derivation, windowed
+histogram quantiles, and the dash-feed path (ingest of parsed scrapes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, Timeline
+from repro.obs.timeline import snapshot_registry
+
+
+def make_registry():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("reqs_total", "requests")
+    reg.gauge("depth", "queue depth")
+    reg.histogram("lat_seconds", "latency", buckets=(0.001, 0.01, 0.1))
+    return reg
+
+
+class TestRing:
+    def test_capacity_evicts_oldest(self):
+        tl = Timeline(capacity=3)
+        for i in range(5):
+            tl.ingest(float(i), {("g", ()): float(i)})
+        assert len(tl) == 3
+        assert tl.series("g") == [(2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            Timeline(capacity=1)
+
+    def test_clear(self):
+        tl = Timeline()
+        tl.ingest(0.0, {})
+        tl.clear()
+        assert len(tl) == 0
+        assert tl.names() == []
+
+
+class TestSnap:
+    def test_snap_uses_the_scrape_codec(self):
+        reg = make_registry()
+        reg.counter("reqs_total", "requests").inc(7)
+        samples = snapshot_registry(reg)
+        assert samples[("reqs_total", ())] == 7.0
+        tl = Timeline()
+        assert tl.snap(reg, ts=1.0)
+        assert tl.series("reqs_total") == [(1.0, 7.0)]
+
+    def test_names_and_label_sets_from_newest(self):
+        reg = make_registry()
+        fam = reg.counter("per_node_total", "x", labels=("node",))
+        fam.labels("edge").inc()
+        fam.labels("l1").inc(2)
+        tl = Timeline()
+        tl.snap(reg, ts=0.0)
+        assert "per_node_total" in tl.names()
+        assert tl.label_sets("per_node_total") == [
+            (("node", "edge"),),
+            (("node", "l1"),),
+        ]
+        assert tl.series("per_node_total", {"node": "l1"}) == [(0.0, 2.0)]
+
+
+class TestRates:
+    def test_counter_to_rate(self):
+        tl = Timeline()
+        for ts, v in ((0.0, 0.0), (2.0, 10.0), (4.0, 30.0)):
+            tl.ingest(ts, {("c_total", ()): v})
+        assert tl.rate_series("c_total") == [(2.0, 5.0), (4.0, 10.0)]
+
+    def test_counter_reset_clamps_to_zero(self):
+        tl = Timeline()
+        tl.ingest(0.0, {("c_total", ()): 100.0})
+        tl.ingest(1.0, {("c_total", ()): 3.0})
+        assert tl.rate_series("c_total") == [(1.0, 0.0)]
+
+    def test_missing_snapshots_skipped(self):
+        tl = Timeline()
+        tl.ingest(0.0, {})
+        tl.ingest(1.0, {("c_total", ()): 5.0})
+        tl.ingest(2.0, {("c_total", ()): 9.0})
+        assert tl.series("c_total") == [(1.0, 5.0), (2.0, 9.0)]
+        assert tl.rate_series("c_total") == [(2.0, 4.0)]
+
+    def test_trend_values(self):
+        tl = Timeline()
+        for i in range(40):
+            tl.ingest(float(i), {("g", ()): float(i * i)})
+        trend = tl.trend("g", width=8)
+        assert len(trend) == 8
+        assert trend[-1] == 39.0 * 39.0
+        rates = tl.trend("g", rate=True, width=4)
+        assert len(rates) == 4
+
+
+class TestWindowedQuantiles:
+    def feed(self, tl, observations_per_snap):
+        """Observe into a real histogram and snap after each window."""
+        reg = make_registry()
+        hist = reg.histogram(
+            "lat_seconds", "latency", buckets=(0.001, 0.01, 0.1)
+        )
+        ts = 0.0
+        tl.snap(reg, ts=ts)
+        for window in observations_per_snap:
+            for v in window:
+                hist.observe(v)
+            ts += 1.0
+            tl.snap(reg, ts=ts)
+
+    def test_quantile_is_windowed_not_cumulative(self):
+        tl = Timeline()
+        # First interval: all fast.  Second interval: all slow.  The
+        # cumulative histogram would blend them; the windowed quantile
+        # must see only the latest interval.
+        self.feed(tl, [[0.0005] * 100, [0.05] * 100])
+        assert tl.window_quantile("lat_seconds", 0.5) == 0.1
+        series = tl.quantile_series("lat_seconds", 0.5)
+        assert [v for _, v in series] == [0.001, 0.1]
+
+    def test_quantile_none_when_idle_window(self):
+        tl = Timeline()
+        self.feed(tl, [[0.0005] * 10, []])
+        assert tl.window_quantile("lat_seconds", 0.5) is None
+
+    def test_quantile_in_inf_bucket_reports_largest_finite(self):
+        tl = Timeline()
+        self.feed(tl, [[5.0] * 10])
+        # Observations beyond the last bound: report the largest finite
+        # bound (histogram_quantile behavior), not infinity.
+        assert tl.window_quantile("lat_seconds", 0.99) == 0.1
+
+    def test_window_spans_multiple_snapshots(self):
+        tl = Timeline()
+        self.feed(tl, [[0.0005] * 100, [0.05] * 100])
+        # window=3 covers both intervals: the median over the union
+        # straddles the two modes.
+        assert tl.window_quantile("lat_seconds", 0.9, window=3) == 0.1
+        assert tl.window_quantile("lat_seconds", 0.25, window=3) == 0.001
+
+    def test_too_few_snapshots(self):
+        tl = Timeline()
+        assert tl.window_quantile("lat_seconds", 0.5) is None
+        tl.ingest(0.0, {})
+        assert tl.window_quantile("lat_seconds", 0.5) is None
+
+
+class TestDashFeed:
+    def test_render_dashboard_uses_timeline_trends(self):
+        from repro.obs.dash import DashFrame, render_dashboard
+
+        tl = Timeline()
+        frames = []
+        for i in range(4):
+            metrics = {
+                ("serve_requests_total", ()): float(i * 1000),
+                ("net_node_hits_total", (("node", "edge"),)): float(i * 10),
+                ("net_node_misses_total", (("node", "edge"),)): float(i),
+            }
+            frame = DashFrame(
+                stats={"requests": i * 1000, "hits": 0, "misses": 0},
+                metrics=metrics,
+                ts=float(i),
+            )
+            frames.append(frame)
+            tl.ingest(frame.ts, frame.metrics)
+        text = render_dashboard(frames, timeline=tl)
+        assert "req/s trend" in text
+        assert "edge" in text  # per-node panel
+        # Without a timeline the trend rows are absent but the render
+        # still succeeds (offline/unit path).
+        assert "req/s trend" not in render_dashboard(frames[-1:])
