@@ -4,8 +4,8 @@
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 # Output file for `make bench-json`; override per PR:
-#   make bench-json OUT=BENCH_PR7.json
-OUT ?= BENCH_PR7.json
+#   make bench-json OUT=BENCH_PR9.json
+OUT ?= BENCH_PR9.json
 
 .PHONY: test bench bench-json experiments experiments-full examples api-docs serve all
 

@@ -57,6 +57,11 @@ process boundaries:
 * **Timeline: zero per-request work.**  ``obs.timeline`` is snapped by
   a per-interval event-loop tick, never on the request path; attaching
   one must not change serve throughput.
+* **Alerts: tick-only evaluation.**  The alert engine is a pure reader
+  of the timeline ring, evaluated inside the same tick — attaching the
+  full serve rule pack must fit the same bar as the bare timeline.
+  ``/metrics`` render latency over the HTTP admin plane is reported
+  informationally (it is a scrape-path cost, never a request-path one).
 
 Timing asserts here use best-of-N with generous margins so CI noise
 does not flake them; the precise measured numbers live in
@@ -113,6 +118,9 @@ DISTRIB_ENABLED_BAR = 0.15
 DISTRIB_TRACE_SAMPLE = 32
 DISTRIB_HEADER_NS_BAR = 2_000
 TIMELINE_OVERHEAD_BAR = 0.08
+#: Alert evaluation rides the timeline tick, so attaching the full
+#: serve rule pack claims the same zero-per-request-work bar.
+ALERTS_OVERHEAD_BAR = 0.08
 
 
 def _flight_obs(fl):
@@ -516,6 +524,110 @@ def test_bench_serve_distrib(benchmark, zipf_hot_50k, tmp_path, distrib):
         )
         obs.tracer.close()
         return rps
+
+    rps = benchmark.pedantic(run, rounds=3)
+    assert rps > 0
+
+# ----------------------------------------------------------------------
+# Alerting + HTTP admin plane (PR 9)
+# ----------------------------------------------------------------------
+
+
+def test_serve_alerts_add_no_per_request_work(zipf_hot_50k):
+    """The alert engine evaluates on the timeline tick only: attaching
+    the full serve rule pack on top of a ticking timeline must not
+    change throughput versus the bare timeline."""
+    from repro.obs import Timeline
+    from repro.obs.alerts import AlertEngine, serve_rule_pack
+
+    off = on = 0.0
+    engine = None
+    for _ in range(3):
+        off = max(
+            off,
+            _best_serve_rps(
+                zipf_hot_50k,
+                Observability.enabled(
+                    timeline=Timeline(capacity=64, interval=0.05)
+                ),
+                reps=1,
+            ),
+        )
+        tl = Timeline(capacity=64, interval=0.05)
+        engine = AlertEngine(tl, serve_rule_pack(), enabled=True)
+        on = max(
+            on,
+            _best_serve_rps(
+                zipf_hot_50k,
+                Observability.enabled(timeline=tl),
+                reps=1,
+                alerts=engine,
+            ),
+        )
+    assert engine is not None and engine.evaluations >= 1, (
+        "alert engine never evaluated — the tick path was not exercised"
+    )
+    overhead = 1.0 - on / off
+    assert overhead < ALERTS_OVERHEAD_BAR, (
+        f"alert-engine overhead {overhead:.1%} "
+        f"(off={off / 1e3:.0f}k, on={on / 1e3:.0f}k rps, "
+        f"bar {ALERTS_OVERHEAD_BAR:.0%})"
+    )
+
+
+def test_http_metrics_render_latency_informational(zipf_hot_50k):
+    """Scrape-path cost of the admin plane: time GET /metrics end to
+    end (HTTP parse + render + response) against a registry populated
+    by a real serve run.  Informational — printed, loosely sanity-
+    bounded, never a throughput bar."""
+    import json
+    import urllib.request
+
+    from repro.obs.httpd import ObsHttpServer, ObsHttpThread
+
+    obs = Observability.enabled()
+    _best_serve_rps(zipf_hot_50k, obs, reps=1)
+    text = obs.registry.render()
+    assert text  # populated registry, not an empty render
+    thread = ObsHttpThread(ObsHttpServer(metrics=obs.registry.render))
+    host, port = thread.start()
+    url = f"http://{host}:{port}/metrics"
+    try:
+        best = float("inf")
+        for _ in range(20):
+            t0 = time.perf_counter()
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                body = resp.read()
+            best = min(best, time.perf_counter() - t0)
+        assert body.decode() == obs.registry.render()
+    finally:
+        thread.stop()
+    print(
+        json.dumps(
+            {
+                "http_metrics_render_best_ms": round(best * 1e3, 3),
+                "exposition_bytes": len(body),
+            }
+        )
+    )
+    assert best < 0.5, f"/metrics took {best * 1e3:.1f}ms (sanity bound)"
+
+
+@pytest.mark.parametrize("alerts", ["off", "pack"])
+def test_bench_serve_alerts(benchmark, zipf_hot_50k, alerts):
+    """pytest-benchmark rows: ticking timeline alone vs timeline + the
+    full serve rule pack evaluated every tick."""
+    from repro.obs import Timeline
+    from repro.obs.alerts import AlertEngine, serve_rule_pack
+
+    def run():
+        tl = Timeline(capacity=64, interval=0.05)
+        kw = {}
+        if alerts == "pack":
+            kw["alerts"] = AlertEngine(tl, serve_rule_pack(), enabled=True)
+        return _best_serve_rps(
+            zipf_hot_50k, Observability.enabled(timeline=tl), reps=1, **kw
+        )
 
     rps = benchmark.pedantic(run, rounds=3)
     assert rps > 0

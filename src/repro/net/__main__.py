@@ -136,6 +136,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import JsonlSink, Observability
 
         obs = Observability.enabled(sink=JsonlSink(args.trace_jsonl))
+    elif args.http is not None:
+        from repro.obs import Observability
+
+        # The admin plane needs its own registry/timeline to export.
+        obs = Observability.enabled()
     sim = NetworkSim(
         topo,
         args.policy,
@@ -145,9 +150,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         obs=obs,
         profile=args.profile,
+        http_port=args.http,
     )
     result = sim.run(trace, workers=args.workers)
     result.check_conservation()
+    if sim.http_address is not None:
+        h, p = sim.http_address
+        print(
+            f"http admin plane on http://{h}:{p} "
+            f"(/metrics /alerts /timeline)",
+            flush=True,
+        )
+        if sim.alerts is not None:
+            active = sim.alerts.active()
+            if active:
+                print(f"alerts active: {[a.rule for a in active]}", flush=True)
+        if args.http_hold:
+            import time as _time
+
+            print(f"holding for {args.http_hold:.0f}s (ctrl-c to stop)")
+            try:
+                _time.sleep(args.http_hold)
+            except KeyboardInterrupt:
+                pass
+        sim.stop_http()
     if obs is not None:
         obs.tracer.close()
 
@@ -279,6 +305,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument(
         "--profile-out", default=None, metavar="PATH",
         help="write the merged folded stacks here",
+    )
+    run_p.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="expose the HTTP admin plane during the run (0 = "
+        "ephemeral): /metrics /alerts /timeline, with the per-node "
+        "net alert rule pack attached",
+    )
+    run_p.add_argument(
+        "--http-hold", type=float, default=0.0, metavar="SECONDS",
+        help="keep the admin plane up this long after the run so the "
+        "endpoints can be scraped (default 0 = stop immediately)",
     )
 
     topo_p = sub.add_parser("topology", help="emit a topology JSON")

@@ -300,6 +300,14 @@ class NetworkSim:
         When set, attach one FlightRecorder of this capacity per cache
         node (``self.flights[node_id]``); windows replay-verify via
         :func:`repro.obs.flight.verify_flight`.
+    http_port / http_host / alerts:
+        ``http_port`` (0 = ephemeral) starts the HTTP admin plane on a
+        daemon thread at the first :meth:`run` (``/metrics``,
+        ``/alerts``, ``/timeline``; see :mod:`repro.obs.httpd`) and
+        attaches an :class:`~repro.obs.alerts.AlertEngine` over
+        :func:`~repro.obs.alerts.net_rule_pack` (per-node rejection and
+        occupancy rules) unless an explicit ``alerts`` engine is given;
+        alert evaluation rides the post-run timeline snapshot.
     """
 
     def __init__(
@@ -317,6 +325,9 @@ class NetworkSim:
         obs: Optional[Observability] = None,
         profile: object = None,
         flight_capacity: Optional[int] = None,
+        http_port: Optional[int] = None,
+        http_host: str = "127.0.0.1",
+        alerts: object = None,
     ) -> None:
         self.topology = topology
         self.policy_spec = policy
@@ -345,6 +356,33 @@ class NetworkSim:
         )
         #: Per-node flight recorders from the most recent run.
         self.flights: Dict[int, FlightRecorder] = {}
+        # HTTP admin plane + alerting: a daemon-thread HTTP server (the
+        # sim itself is synchronous) over the run's registry/timeline,
+        # with per-node alert rules from the net rule pack.  Alert
+        # evaluation rides the post-run timeline snapshot.
+        self._http_port = http_port
+        self._http_host = http_host
+        self._http_thread = None
+        self.http_address: Optional[Tuple[str, int]] = None
+        if http_port is not None or alerts is not None:
+            if self.obs is None:
+                self.obs = default_observability()
+            if self.obs.timeline is None:
+                from repro.obs.timeline import Timeline
+
+                self.obs.timeline = Timeline()
+            if alerts is None:
+                from repro.obs.alerts import AlertEngine, net_rule_pack
+
+                alerts = AlertEngine(
+                    self.obs.timeline, net_rule_pack(topology)
+                )
+            elif alerts.timeline is not self.obs.timeline:  # type: ignore[attr-defined]
+                raise ValueError(
+                    "alerts.timeline must be obs.timeline — the engine "
+                    "reads the ring the post-run snapshot feeds"
+                )
+        self.alerts = alerts
 
     # ------------------------------------------------------------------
     def _build_policy(self, spec: PolicySpec, node_id: int) -> EvictionPolicy:
@@ -412,6 +450,8 @@ class NetworkSim:
         with ``local`` admission strategies only; see
         :mod:`repro.net.parallel`.
         """
+        if self._http_port is not None and self._http_thread is None:
+            self.start_http()
         if workers is not None:
             if workers != "per-node":
                 raise ValueError(
@@ -458,9 +498,40 @@ class NetworkSim:
         self._snap_timeline(obs)
         return result
 
+    def start_http(self) -> Tuple[str, int]:
+        """Start the HTTP admin plane (daemon thread + private loop);
+        returns the bound ``(host, port)``.  Called lazily by
+        :meth:`run` when ``http_port=`` was given; the endpoint stays
+        up across runs until :meth:`stop_http`."""
+        if self._http_thread is not None:
+            assert self.http_address is not None
+            return self.http_address
+        from repro.obs.httpd import ObsHttpServer, ObsHttpThread
+
+        obs = self.obs if self.obs is not None else default_observability()
+        server = ObsHttpServer(
+            metrics=obs.registry.render,
+            alerts=self.alerts,
+            timeline=obs.timeline,
+            name="netsim",
+        )
+        self._http_thread = ObsHttpThread(
+            server, self._http_host, 0 if self._http_port is None else self._http_port
+        )
+        self.http_address = self._http_thread.start()
+        return self.http_address
+
+    def stop_http(self) -> None:
+        if self._http_thread is not None:
+            self._http_thread.stop()
+            self._http_thread = None
+            self.http_address = None
+
     def _snap_timeline(self, obs: Observability) -> None:
         if obs.timeline is not None:
-            obs.timeline.snap(obs.registry, time.time())
+            ts = time.time()
+            if obs.timeline.snap(obs.registry, ts) and self.alerts is not None:
+                self.alerts.evaluate(ts)  # type: ignore[attr-defined]
 
     def _export_metrics(self, obs: Observability, result: NetResult) -> None:
         reg = obs.registry

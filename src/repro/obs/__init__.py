@@ -22,7 +22,14 @@ shared layer:
   :func:`replay_verify`, a deterministic bit-for-bit replay checker;
 * :mod:`repro.obs.audit` — :class:`CompetitiveAuditor`, a streaming
   online-vs-offline cost audit exposing live ``audit_ratio`` /
-  ``audit_theorem11_bound`` gauges for Theorem 1.1.
+  ``audit_theorem11_bound`` gauges for Theorem 1.1;
+* :mod:`repro.obs.alerts` — :class:`AlertEngine`, declarative alert
+  rules (threshold / absence / rate-of-change / multi-window
+  burn-rate SLOs) evaluated on the Timeline tick with a
+  pending→firing→resolved state machine and pluggable sinks;
+* :mod:`repro.obs.httpd` — :class:`ObsHttpServer`, the stdlib-asyncio
+  HTTP admin plane (``/metrics``, ``/health``, ``/ready``,
+  ``/alerts``, ``/timeline``) attachable to serve and net owners.
 
 ``python -m repro.obs`` tails/aggregates JSONL traces, scrapes a
 running server's metrics, and renders a live terminal dashboard
@@ -40,6 +47,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.alerts import (
+    AbsenceRule,
+    Alert,
+    AlertEngine,
+    AlertRule,
+    BurnRateRule,
+    CallbackSink,
+    LogSink,
+    RateOfChangeRule,
+    ThresholdRule,
+    net_rule_pack,
+    serve_rule_pack,
+)
 from repro.obs.audit import AUDIT_MODES, CompetitiveAuditor
 from repro.obs.distrib import (
     SpanContext,
@@ -59,6 +79,7 @@ from repro.obs.export import (
     summarize_spans,
     unescape_label_value,
 )
+from repro.obs.httpd import ObsHttpServer, ObsHttpThread
 from repro.obs.flight import (
     DecisionEvent,
     EVENT_FIELDS,
@@ -162,6 +183,12 @@ def set_default_observability(obs: Optional[Observability]) -> None:
 
 __all__ = [
     "AUDIT_MODES",
+    "AbsenceRule",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "BurnRateRule",
+    "CallbackSink",
     "CompetitiveAuditor",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
@@ -176,6 +203,7 @@ __all__ = [
     "JsonlSink",
     "LabelCardinalityError",
     "ListSink",
+    "LogSink",
     "MetricsRegistry",
     "MonitorSample",
     "MonitoredRun",
@@ -183,13 +211,17 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "OBS_ENV",
+    "ObsHttpServer",
+    "ObsHttpThread",
     "Observability",
+    "RateOfChangeRule",
     "RateWindow",
     "ReplayCheck",
     "ReplayMismatch",
     "SamplingProfiler",
     "Span",
     "SpanContext",
+    "ThresholdRule",
     "Timeline",
     "TraceNode",
     "TraceTree",
@@ -202,6 +234,7 @@ __all__ = [
     "merge_folded",
     "merge_spans",
     "merge_traces",
+    "net_rule_pack",
     "obs_enabled_from_env",
     "parse_prometheus",
     "read_folded",
@@ -209,6 +242,7 @@ __all__ = [
     "render_prometheus",
     "replay_verify",
     "sample_value",
+    "serve_rule_pack",
     "set_default_observability",
     "summarize_spans",
     "trace_report",

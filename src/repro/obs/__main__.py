@@ -29,8 +29,9 @@ span name; ``trace`` rebuilds cross-process request trees from the
 ``{"op": "metrics"}`` to the serve front end and prints the exposition
 text (``--parse`` validates it and prints sorted samples instead);
 ``dash`` re-renders per-tenant cost/miss curves, the audited
-competitive ratio against the live Theorem 1.1 bound, queue depth, and
-latency/trend sparklines every interval.
+competitive ratio against the live Theorem 1.1 bound, queue depth,
+latency/trend sparklines, and active alerts (``--http PORT`` reads
+them from the admin plane's ``/alerts``) every interval.
 """
 
 from __future__ import annotations
@@ -164,6 +165,7 @@ def _cmd_dash(args: argparse.Namespace) -> int:
         interval=args.interval,
         iterations=args.iterations,
         clear=not args.no_clear,
+        http_port=args.http,
     )
 
 
@@ -221,6 +223,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     dash_p.add_argument(
         "--no-clear", action="store_true",
         help="append frames instead of clearing the screen (for logs/CI)",
+    )
+    dash_p.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="scrape the ALERTS panel from the HTTP admin plane's "
+        "/alerts on this port instead of the TCP alerts op",
     )
 
     args = parser.parse_args(argv)

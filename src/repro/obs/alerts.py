@@ -1,0 +1,831 @@
+"""Declarative alerting over the metrics :class:`~repro.obs.timeline.Timeline`.
+
+The observability stack can *see* everything — counters, invariant
+drift flags, the Theorem-1.1 audit gauges, windowed rates — but until
+now nothing *reacted*.  :class:`AlertEngine` closes that loop with
+declarative rules evaluated against Timeline snapshots on the existing
+per-interval tick (:meth:`CacheServer._timeline_loop
+<repro.serve.server.CacheServer>` / :meth:`NetworkSim run
+<repro.net.netsim.NetworkSim.run>`), so alerting adds **zero
+per-request work**: the hot path never touches the engine, and the
+bench suite asserts exactly that.
+
+Rule kinds (all subclasses of :class:`AlertRule`):
+
+* :class:`ThresholdRule` — latest value vs. a static bound *or* another
+  metric's latest value (``threshold_metric``), e.g. audited online
+  cost vs. the live Theorem-1.1 bound gauge;
+* :class:`AbsenceRule` — a metric absent from (or stale across) recent
+  snapshots for longer than ``stale_after`` seconds;
+* :class:`RateOfChangeRule` — the per-second rate between the two
+  newest snapshots (:meth:`Timeline.rate_series`, counter resets
+  clamped), e.g. "drift flags are *increasing*" or "a worker crashed";
+* :class:`BurnRateRule` — SRE-style multi-window multi-burn-rate SLOs
+  over an error-budget objective: the bad/total rate ratio averaged
+  over a long *and* a short window must both exceed
+  ``factor * (1 - objective)`` for the pair to breach.
+
+Every rule evaluation yields the *breaching label sets* (rules without
+an explicit ``labels`` filter fan out across every label set of the
+metric, so one rule covers all tenants/nodes/shards with deduped
+per-label-set alerts).  The engine runs each breach through a
+pending → firing → resolved state machine: a breach becomes ``pending``
+immediately, ``firing`` once it has persisted ``for_duration`` seconds
+(0 = fire on first evaluation), and ``resolved`` when it clears while
+firing (a pending alert that clears is dropped silently — it never
+notified).  Transitions are pushed to pluggable notification sinks:
+
+* :class:`~repro.obs.tracing.JsonlSink` — one JSON object per
+  transition; size rotation (``max_bytes`` → ``<path>.1``) applies to
+  alert notifications exactly as it does to trace events;
+* :class:`CallbackSink` — invoke a callable per transition (the hook a
+  future elastic controller subscribes through);
+* :class:`LogSink` — stdlib :mod:`logging`, severity-mapped.
+
+:func:`serve_rule_pack` and :func:`net_rule_pack` bundle default rules
+for the signals the serve and net layers already export.  The whole
+engine is env-gated like the registry: under ``REPRO_OBS=off`` (and no
+explicit ``enabled=True``) :meth:`AlertEngine.evaluate` is a no-op and
+:meth:`AlertEngine.snapshot` reports ``{"enabled": false}``.
+"""
+
+from __future__ import annotations
+
+import logging
+import operator
+import time
+from collections import deque
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.obs.registry import obs_enabled_from_env
+from repro.obs.timeline import Timeline
+
+#: Canonical label-set form: sorted ``(key, value)`` string pairs —
+#: the same shape :func:`repro.obs.export.parse_prometheus` produces.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+PENDING = "pending"
+FIRING = "firing"
+RESOLVED = "resolved"
+
+SEVERITIES = ("info", "warning", "critical")
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+#: Default multi-window multi-burn-rate pairs, ``(long_s, short_s,
+#: factor)`` — the classic 1h/5m fast-burn and 6h/30m slow-burn pages
+#: scaled for a 30-day budget.
+DEFAULT_BURN_WINDOWS: Tuple[Tuple[float, float, float], ...] = (
+    (3600.0, 300.0, 14.4),
+    (21600.0, 1800.0, 6.0),
+)
+
+
+def _canon_labels(labels: Optional[Dict[str, object]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Breach:
+    """One breaching label set reported by a rule evaluation."""
+
+    __slots__ = ("labels", "value", "threshold")
+
+    def __init__(self, labels: LabelSet, value: float, threshold: float) -> None:
+        self.labels = labels
+        self.value = float(value)
+        self.threshold = float(threshold)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Breach(labels={dict(self.labels)!r}, value={self.value:g}, "
+            f"threshold={self.threshold:g})"
+        )
+
+
+class AlertRule:
+    """Base class: a named condition evaluated against a Timeline.
+
+    Parameters
+    ----------
+    name:
+        Unique rule name; alerts dedup on ``(name, labels)``.
+    severity:
+        ``"info"``, ``"warning"``, or ``"critical"``.
+    for_duration:
+        Seconds a breach must persist before the alert fires (0 =
+        fire on the first evaluation that sees it).
+    labels:
+        Optional label filter: only label sets containing these pairs
+        are evaluated.  ``None`` fans out across every label set.
+    description:
+        Human-readable condition, carried on every notification.
+    """
+
+    kind = "rule"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        severity: str = "warning",
+        for_duration: float = 0.0,
+        labels: Optional[Dict[str, object]] = None,
+        description: str = "",
+    ) -> None:
+        if severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {severity!r}"
+            )
+        if for_duration < 0:
+            raise ValueError(f"for_duration must be >= 0, got {for_duration}")
+        self.name = name
+        self.severity = severity
+        self.for_duration = float(for_duration)
+        self.label_filter = _canon_labels(labels)
+        self.description = description
+
+    def evaluate(self, timeline: Timeline, now: float) -> List[Breach]:
+        """Breaching label sets at *now* (empty list = all clear)."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses ---------------------------------------
+    def _matches(self, labels: LabelSet) -> bool:
+        if not self.label_filter:
+            return True
+        have = set(labels)
+        return all(pair in have for pair in self.label_filter)
+
+    def _candidate_labels(
+        self, timeline: Timeline, metric: str
+    ) -> List[LabelSet]:
+        return [
+            labels
+            for labels in timeline.label_sets(metric)
+            if self._matches(labels)
+        ]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able rule summary (the ``/alerts`` rules listing)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "severity": self.severity,
+            "for_duration": self.for_duration,
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ThresholdRule(AlertRule):
+    """Latest value of *metric* vs. a static or metric-derived bound.
+
+    Exactly one of ``threshold`` (static) and ``threshold_metric``
+    (dynamic: the latest value of another metric, looked up first with
+    the same label set, then unlabelled, and scaled by
+    ``threshold_scale``) must be given.  The dynamic form expresses
+    relational conditions directly — e.g. ``audit_online_cost >
+    audit_theorem11_bound`` is the live Theorem-1.1 breach check.
+    """
+
+    kind = "threshold"
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        *,
+        op: str = ">",
+        threshold: Optional[float] = None,
+        threshold_metric: Optional[str] = None,
+        threshold_scale: float = 1.0,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(name, **kwargs)  # type: ignore[arg-type]
+        if (threshold is None) == (threshold_metric is None):
+            raise ValueError(
+                "exactly one of threshold / threshold_metric is required"
+            )
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}, got {op!r}")
+        self.metric = metric
+        self.op_name = op
+        self._op = _OPS[op]
+        self.threshold = None if threshold is None else float(threshold)
+        self.threshold_metric = threshold_metric
+        self.threshold_scale = float(threshold_scale)
+
+    def _bound(self, timeline: Timeline, labels: LabelSet) -> Optional[float]:
+        if self.threshold is not None:
+            return self.threshold
+        pairs = dict(timeline.latest(self.threshold_metric))
+        value = pairs.get(labels, pairs.get((), None))
+        return None if value is None else value * self.threshold_scale
+
+    def evaluate(self, timeline: Timeline, now: float) -> List[Breach]:
+        out: List[Breach] = []
+        for labels, value in timeline.latest(self.metric):
+            if not self._matches(labels):
+                continue
+            bound = self._bound(timeline, labels)
+            if bound is not None and self._op(value, bound):
+                out.append(Breach(labels, value, bound))
+        return out
+
+
+class AbsenceRule(AlertRule):
+    """*metric* absent or stale for longer than ``stale_after`` seconds.
+
+    Fires when no snapshot within the last ``stale_after`` seconds
+    contains the metric (with the rule's label filter, if any) — the
+    "is anything still scraping?" staleness check.  An empty timeline
+    never fires (there is no evidence either way yet).
+    """
+
+    kind = "absence"
+
+    def __init__(
+        self, name: str, metric: str, *, stale_after: float, **kwargs: object
+    ) -> None:
+        super().__init__(name, **kwargs)  # type: ignore[arg-type]
+        if stale_after <= 0:
+            raise ValueError(f"stale_after must be > 0, got {stale_after}")
+        self.metric = metric
+        self.stale_after = float(stale_after)
+
+    def evaluate(self, timeline: Timeline, now: float) -> List[Breach]:
+        if not len(timeline):
+            return []
+        last = timeline.last_seen(self.metric, match=self._matches)
+        if last is None:
+            oldest = timeline.oldest_ts()
+            assert oldest is not None
+            missing_for = now - oldest
+        else:
+            missing_for = now - last
+        if missing_for >= self.stale_after:
+            return [Breach(self.label_filter, missing_for, self.stale_after)]
+        return []
+
+
+class RateOfChangeRule(AlertRule):
+    """Per-second rate between the two newest snapshots vs. a bound.
+
+    Built on :meth:`Timeline.rate_series` (counter resets clamp to 0),
+    so "did this counter move?" rules — new drift flags, a worker
+    crash, queue rejections — fire while the counter is increasing and
+    resolve once it goes flat again.
+    """
+
+    kind = "rate"
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        *,
+        threshold: float,
+        op: str = ">",
+        **kwargs: object,
+    ) -> None:
+        super().__init__(name, **kwargs)  # type: ignore[arg-type]
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}, got {op!r}")
+        self.metric = metric
+        self.threshold = float(threshold)
+        self.op_name = op
+        self._op = _OPS[op]
+
+    def evaluate(self, timeline: Timeline, now: float) -> List[Breach]:
+        out: List[Breach] = []
+        for labels in self._candidate_labels(timeline, self.metric):
+            pts = timeline.rate_series(self.metric, dict(labels))
+            if pts and self._op(pts[-1][1], self.threshold):
+                out.append(Breach(labels, pts[-1][1], self.threshold))
+        return out
+
+
+def _window_mean(
+    pts: Sequence[Tuple[float, float]], now: float, window: float
+) -> Optional[float]:
+    vals = [v for ts, v in pts if ts >= now - window]
+    if not vals:
+        return None
+    return sum(vals) / len(vals)
+
+
+class BurnRateRule(AlertRule):
+    """Multi-window multi-burn-rate SLO over an error-budget objective.
+
+    The error budget is ``1 - objective`` (e.g. objective 0.99 → 1% of
+    requests may be "bad").  For each ``(long_s, short_s, factor)``
+    window pair, the bad/total rate ratio is averaged over both
+    windows; the pair breaches when **both** averages exceed
+    ``factor * budget`` — the long window proves the burn is
+    sustained, the short window proves it is still happening (so
+    recovered incidents resolve quickly).  Any breaching pair raises
+    the alert; the reported value is the worst burn-rate multiple.
+
+    Rates come from :meth:`Timeline.rate_series`, so counter resets
+    (worker restarts) clamp to zero instead of poisoning the windows.
+    """
+
+    kind = "burn-rate"
+
+    def __init__(
+        self,
+        name: str,
+        bad_metric: str,
+        total_metric: str,
+        *,
+        objective: float = 0.99,
+        windows: Iterable[Tuple[float, float, float]] = DEFAULT_BURN_WINDOWS,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(name, **kwargs)  # type: ignore[arg-type]
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        self.bad_metric = bad_metric
+        self.total_metric = total_metric
+        self.objective = float(objective)
+        self.budget = 1.0 - float(objective)
+        self.windows = tuple(
+            (float(lw), float(sw), float(f)) for lw, sw, f in windows
+        )
+        for long_w, short_w, factor in self.windows:
+            if not (long_w > short_w > 0 and factor > 0):
+                raise ValueError(
+                    f"bad window triple {(long_w, short_w, factor)}: "
+                    f"need long > short > 0 and factor > 0"
+                )
+
+    def burn_rates(
+        self, timeline: Timeline, now: float, labels: LabelSet
+    ) -> List[Tuple[float, float, float, Optional[float], Optional[float]]]:
+        """Per window pair: ``(long, short, factor, long_burn,
+        short_burn)`` — burn multiples of the budget (``None`` when a
+        window has no data)."""
+        label_dict = dict(labels)
+        bad_pts = timeline.rate_series(self.bad_metric, label_dict)
+        tot_pts = timeline.rate_series(self.total_metric, label_dict)
+        out = []
+        for long_w, short_w, factor in self.windows:
+            burns: List[Optional[float]] = []
+            for window in (long_w, short_w):
+                bad = _window_mean(bad_pts, now, window)
+                tot = _window_mean(tot_pts, now, window)
+                if bad is None or tot is None or tot <= 0:
+                    burns.append(None)
+                else:
+                    burns.append((bad / tot) / self.budget)
+            out.append((long_w, short_w, factor, burns[0], burns[1]))
+        return out
+
+    def evaluate(self, timeline: Timeline, now: float) -> List[Breach]:
+        out: List[Breach] = []
+        for labels in self._candidate_labels(timeline, self.total_metric):
+            worst: Optional[Tuple[float, float]] = None  # (burn, factor)
+            for long_w, short_w, factor, b_long, b_short in self.burn_rates(
+                timeline, now, labels
+            ):
+                if b_long is None or b_short is None:
+                    continue
+                if b_long > factor and b_short > factor:
+                    burn = max(b_long, b_short)
+                    if worst is None or burn > worst[0]:
+                        worst = (burn, factor)
+            if worst is not None:
+                out.append(Breach(labels, worst[0], worst[1]))
+        return out
+
+
+class Alert:
+    """One deduped ``(rule, labels)`` alert instance with its state."""
+
+    __slots__ = (
+        "rule",
+        "kind",
+        "severity",
+        "labels",
+        "state",
+        "since",
+        "value",
+        "threshold",
+        "description",
+        "fired_at",
+        "resolved_at",
+    )
+
+    def __init__(self, rule: AlertRule, breach: Breach, now: float) -> None:
+        self.rule = rule.name
+        self.kind = rule.kind
+        self.severity = rule.severity
+        self.labels = breach.labels
+        self.state = PENDING
+        self.since = now
+        self.value = breach.value
+        self.threshold = breach.threshold
+        self.description = rule.description
+        self.fired_at: Optional[float] = None
+        self.resolved_at: Optional[float] = None
+
+    def age(self, now: float) -> float:
+        """Seconds since the first breach."""
+        return max(0.0, now - self.since)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "kind": self.kind,
+            "severity": self.severity,
+            "labels": dict(self.labels),
+            "state": self.state,
+            "since": self.since,
+            "value": self.value,
+            "threshold": self.threshold,
+            "description": self.description,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Alert({self.rule!r}, state={self.state!r}, "
+            f"labels={dict(self.labels)!r}, value={self.value:g})"
+        )
+
+
+class CallbackSink:
+    """Invoke ``fn(event_dict)`` per alert transition."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Dict[str, object]], None]) -> None:
+        self.fn = fn
+
+    def write(self, event: Dict[str, object]) -> None:
+        self.fn(event)
+
+    def close(self) -> None:
+        pass
+
+
+class LogSink:
+    """Route alert transitions to stdlib :mod:`logging`.
+
+    Firing criticals log at ``ERROR``, other firings at ``WARNING``,
+    resolutions at ``INFO``.
+    """
+
+    __slots__ = ("logger",)
+
+    def __init__(self, logger: Optional[logging.Logger] = None) -> None:
+        self.logger = logger or logging.getLogger("repro.obs.alerts")
+
+    def write(self, event: Dict[str, object]) -> None:
+        if event.get("state") == FIRING:
+            level = (
+                logging.ERROR
+                if event.get("severity") == "critical"
+                else logging.WARNING
+            )
+        else:
+            level = logging.INFO
+        self.logger.log(
+            level,
+            "alert %s %s labels=%s value=%s threshold=%s",
+            event.get("state"),
+            event.get("rule"),
+            event.get("labels"),
+            event.get("value"),
+            event.get("threshold"),
+        )
+
+    def close(self) -> None:
+        pass
+
+
+class AlertEngine:
+    """Evaluate rules against a Timeline on its tick; notify sinks.
+
+    Parameters
+    ----------
+    timeline:
+        The snapshot ring the rules read.  The engine never snaps it —
+        whoever owns the timeline (the serve tick, the net run) calls
+        :meth:`evaluate` right after :meth:`Timeline.snap`.
+    rules, sinks:
+        Initial rule/sink lists (:meth:`add_rule` / :meth:`add_sink`
+        extend them).  Sinks need ``write(dict)``; a
+        :class:`~repro.obs.tracing.JsonlSink` (with its ``max_bytes``
+        rotation) works as-is.
+    enabled:
+        ``None`` (default) follows ``REPRO_OBS`` like the metrics
+        registry; a bool forces the engine on or off.  Disabled, the
+        engine is a no-op: :meth:`evaluate` returns immediately
+        without touching rules or sinks.
+    resolved_capacity:
+        Resolved-alert history bound (FIFO).
+    """
+
+    def __init__(
+        self,
+        timeline: Timeline,
+        rules: Iterable[AlertRule] = (),
+        sinks: Iterable[object] = (),
+        *,
+        enabled: Optional[bool] = None,
+        resolved_capacity: int = 256,
+    ) -> None:
+        self.timeline = timeline
+        self.rules: List[AlertRule] = list(rules)
+        self.sinks: List[object] = list(sinks)
+        self.enabled = (
+            obs_enabled_from_env() if enabled is None else bool(enabled)
+        )
+        seen = set()
+        for rule in self.rules:
+            if rule.name in seen:
+                raise ValueError(f"duplicate rule name {rule.name!r}")
+            seen.add(rule.name)
+        self._alerts: Dict[Tuple[str, LabelSet], Alert] = {}
+        self.resolved: Deque[Alert] = deque(maxlen=resolved_capacity)
+        self.evaluations = 0
+        self.notifications = 0
+
+    # -- assembly ------------------------------------------------------
+    def add_rule(self, rule: AlertRule) -> "AlertEngine":
+        if any(r.name == rule.name for r in self.rules):
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self.rules.append(rule)
+        return self
+
+    def add_sink(self, sink: object) -> "AlertEngine":
+        self.sinks.append(sink)
+        return self
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> List[Alert]:
+        """One evaluation pass; returns the alerts that *transitioned*
+        (fired or resolved) this pass.  No-op (and empty) when the
+        engine is disabled."""
+        if not self.enabled or not self.rules:
+            return []
+        now = time.time() if now is None else float(now)
+        self.evaluations += 1
+        breaching: Dict[Tuple[str, LabelSet], Tuple[AlertRule, Breach]] = {}
+        for rule in self.rules:
+            for breach in rule.evaluate(self.timeline, now):
+                breaching.setdefault((rule.name, breach.labels), (rule, breach))
+        transitions: List[Alert] = []
+        for key, (rule, breach) in breaching.items():
+            alert = self._alerts.get(key)
+            if alert is None:
+                alert = Alert(rule, breach, now)
+                self._alerts[key] = alert
+            else:
+                alert.value = breach.value
+                alert.threshold = breach.threshold
+            if alert.state == PENDING and alert.age(now) >= rule.for_duration:
+                alert.state = FIRING
+                alert.fired_at = now
+                transitions.append(alert)
+                self._notify(alert, now)
+        for key in [k for k in self._alerts if k not in breaching]:
+            alert = self._alerts.pop(key)
+            if alert.state == FIRING:
+                alert.state = RESOLVED
+                alert.resolved_at = now
+                self.resolved.append(alert)
+                transitions.append(alert)
+                self._notify(alert, now)
+            # A pending alert that clears never notified; drop silently.
+        return transitions
+
+    def _notify(self, alert: Alert, now: float) -> None:
+        event = {"type": "alert", "ts": now}
+        event.update(alert.to_dict())
+        for sink in self.sinks:
+            try:
+                sink.write(event)  # type: ignore[attr-defined]
+                # Alerts are rare and must be durable the moment they
+                # fire (a crash alert may precede a crash dump).
+                flush = getattr(sink, "flush", None)
+                if flush is not None:
+                    flush()
+            except OSError:  # pragma: no cover - notification must not
+                pass  # take down the serving loop
+        self.notifications += 1
+
+    # -- reading -------------------------------------------------------
+    def active(self) -> List[Alert]:
+        """Pending + firing alerts, firing first, then by rule name."""
+        return sorted(
+            self._alerts.values(),
+            key=lambda a: (a.state != FIRING, a.rule, a.labels),
+        )
+
+    def firing(self) -> List[Alert]:
+        return [a for a in self._alerts.values() if a.state == FIRING]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able engine state — the ``/alerts`` document."""
+        return {
+            "enabled": self.enabled,
+            "rules": [r.describe() for r in self.rules],
+            "evaluations": self.evaluations,
+            "notifications": self.notifications,
+            "active": [a.to_dict() for a in self.active()],
+            "resolved": [a.to_dict() for a in self.resolved],
+        }
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AlertEngine(enabled={self.enabled}, rules={len(self.rules)}, "
+            f"active={len(self._alerts)}, resolved={len(self.resolved)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in rule packs
+# ----------------------------------------------------------------------
+def serve_rule_pack(
+    *,
+    queue_limit: Optional[int] = None,
+    queue_frac: float = 0.9,
+    stale_after: Optional[float] = None,
+    miss_objective: Optional[float] = None,
+    burn_windows: Iterable[Tuple[float, float, float]] = DEFAULT_BURN_WINDOWS,
+) -> List[AlertRule]:
+    """Default rules for the signals :class:`CacheServer` exports.
+
+    * ``serve-invariant-drift`` — the live invariant monitor raised new
+      drift flags since the last tick;
+    * ``serve-worker-crashed`` — ``serve_worker_crashes_total`` moved
+      (a shard worker died; fires within one tick of the crash and
+      resolves once the counter goes flat);
+    * ``serve-theorem11-breach`` — audited online cost exceeds the live
+      Theorem-1.1 bound gauge (``audit_*`` gauges require an attached
+      :class:`~repro.obs.audit.CompetitiveAuditor`; absent metrics
+      simply never breach);
+    * ``serve-queue-saturated`` (with *queue_limit*) — ingress queue
+      depth at ≥ ``queue_frac`` of its bound;
+    * ``serve-scrape-stale`` (with *stale_after*) — the timeline
+      stopped seeing ``serve_requests_total``;
+    * ``serve-miss-slo`` (with *miss_objective*) — multi-window
+      burn-rate SLO on the miss ratio (objective = target hit rate).
+    """
+    rules: List[AlertRule] = [
+        RateOfChangeRule(
+            "serve-invariant-drift",
+            "serve_invariant_drift_flags_total",
+            threshold=0.0,
+            op=">",
+            severity="critical",
+            description="live invariant monitor raised new drift flags",
+        ),
+        RateOfChangeRule(
+            "serve-worker-crashed",
+            "serve_worker_crashes_total",
+            threshold=0.0,
+            op=">",
+            severity="critical",
+            description="a shard worker process died (WorkerCrashed)",
+        ),
+        ThresholdRule(
+            "serve-theorem11-breach",
+            "audit_online_cost",
+            op=">",
+            threshold_metric="audit_theorem11_bound",
+            severity="critical",
+            description="audited online cost exceeds the Theorem 1.1 bound",
+        ),
+    ]
+    if queue_limit is not None:
+        rules.append(
+            ThresholdRule(
+                "serve-queue-saturated",
+                "serve_queue_depth",
+                op=">=",
+                threshold=queue_frac * queue_limit,
+                severity="warning",
+                description=(
+                    f"ingress queue at >= {queue_frac:.0%} of its "
+                    f"{queue_limit}-submission bound"
+                ),
+            )
+        )
+    if stale_after is not None:
+        rules.append(
+            AbsenceRule(
+                "serve-scrape-stale",
+                "serve_requests_total",
+                stale_after=stale_after,
+                severity="warning",
+                description="timeline stopped seeing serve_requests_total",
+            )
+        )
+    if miss_objective is not None:
+        rules.append(
+            BurnRateRule(
+                "serve-miss-slo",
+                "serve_misses_total",
+                "serve_requests_total",
+                objective=miss_objective,
+                windows=burn_windows,
+                severity="warning",
+                description=(
+                    f"miss-ratio error budget (objective "
+                    f"{miss_objective:g}) burning too fast"
+                ),
+            )
+        )
+    return rules
+
+
+def net_rule_pack(
+    topology: object = None, *, occupancy_frac: float = 1.0
+) -> List[AlertRule]:
+    """Default rules for the signals :class:`NetworkSim` exports.
+
+    * ``net-node-rejections`` — any node's ingress queue is rejecting
+      (``net_node_rejected_total`` moved; per-node labels fan out
+      automatically);
+    * ``net-node-occupancy`` (with a *topology*) — one rule per cache
+      node, labelled ``{"node": name}``, firing when occupancy exceeds
+      ``occupancy_frac * k_v`` (over-occupancy means a capacity
+      invariant broke).
+    """
+    rules: List[AlertRule] = [
+        RateOfChangeRule(
+            "net-node-rejections",
+            "net_node_rejected_total",
+            threshold=0.0,
+            op=">",
+            severity="warning",
+            description="ingress queue rejecting requests",
+        ),
+    ]
+    if topology is not None:
+        for spec in topology.cache_nodes:  # type: ignore[attr-defined]
+            rules.append(
+                ThresholdRule(
+                    f"net-node-occupancy-{spec.name}",
+                    "net_node_occupancy",
+                    labels={"node": spec.name},
+                    op=">",
+                    threshold=occupancy_frac * spec.k,
+                    severity="critical",
+                    description=(
+                        f"node {spec.name} occupancy above "
+                        f"{occupancy_frac:g} * k_v={spec.k}"
+                    ),
+                )
+            )
+    return rules
+
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "AbsenceRule",
+    "Breach",
+    "BurnRateRule",
+    "CallbackSink",
+    "DEFAULT_BURN_WINDOWS",
+    "FIRING",
+    "LogSink",
+    "PENDING",
+    "RESOLVED",
+    "RateOfChangeRule",
+    "SEVERITIES",
+    "ThresholdRule",
+    "net_rule_pack",
+    "serve_rule_pack",
+]

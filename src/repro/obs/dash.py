@@ -12,6 +12,9 @@ optional ``audit`` op) every ``--interval`` seconds and renders:
   :class:`~repro.obs.audit.CompetitiveAuditor`), as a bounded bar plus
   the ratio's history sparkline;
 * queue depth and apply-latency histogram sparklines;
+* an ALERTS panel (active alerts with state, severity, age, value)
+  from the TCP ``alerts`` op — or, with ``--http``, the admin plane's
+  ``/alerts`` endpoint — omitted when the server has no alert engine;
 * timeline trends (request rate, windowed apply p95) and a per-node
   panel when the scraped registry carries ``net_node_*`` series — the
   scrape loop feeds every parsed frame into a
@@ -70,16 +73,56 @@ def ratio_bar(ratio: float, bound_ratio: float, width: int = 40) -> str:
 
 @dataclass(frozen=True)
 class DashFrame:
-    """One scrape: the three op documents (audit may be absent)."""
+    """One scrape: the op documents (audit/alerts may be absent)."""
 
     stats: Dict[str, object]
     metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]
     audit: Optional[Dict[str, object]] = None
     ts: Optional[float] = None
+    alerts: Optional[Dict[str, object]] = None
 
 
-async def fetch_frame(host: str, port: int) -> DashFrame:
-    """Scrape one :class:`DashFrame` over the serve TCP protocol."""
+async def _http_get_json(
+    host: str, port: int, path: str
+) -> Optional[Dict[str, object]]:
+    """Best-effort GET of a JSON document from the admin plane."""
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        return None
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        raw = await reader.read()
+    except (OSError, asyncio.IncompleteReadError):
+        return None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    try:
+        if int(head.split(None, 2)[1]) != 200:
+            return None
+        return json.loads(body)
+    except (IndexError, ValueError):
+        return None
+
+
+async def fetch_frame(
+    host: str, port: int, http_port: Optional[int] = None
+) -> DashFrame:
+    """Scrape one :class:`DashFrame` over the serve TCP protocol.
+
+    The ``audit`` and ``alerts`` ops are best-effort: a server without
+    an auditor or alert engine yields ``None`` for those panels.  With
+    *http_port*, alerts come from the admin plane's ``/alerts``
+    endpoint instead (also best-effort).
+    """
     from repro.obs.export import parse_prometheus
 
     reader, writer = await asyncio.open_connection(host, port)
@@ -96,14 +139,22 @@ async def fetch_frame(host: str, port: int) -> DashFrame:
         if not metrics_resp.get("ok"):
             raise RuntimeError(f"metrics failed: {metrics_resp.get('error')}")
         audit_resp = await ask("audit")
+        alerts_doc: Optional[Dict[str, object]] = None
+        if http_port is None:
+            alerts_resp = await ask("alerts")
+            if alerts_resp.get("ok"):
+                alerts_doc = alerts_resp.get("alerts")  # type: ignore[assignment]
     finally:
         writer.close()
         await writer.wait_closed()
+    if http_port is not None:
+        alerts_doc = await _http_get_json(host, http_port, "/alerts")
     return DashFrame(
         stats=stats_resp["stats"],
         metrics=parse_prometheus(metrics_resp["metrics"]),
         audit=audit_resp.get("audit") if audit_resp.get("ok") else None,
         ts=time.time(),
+        alerts=alerts_doc,
     )
 
 
@@ -297,6 +348,42 @@ def render_dashboard(
         ]
         lines.append(f"  ratio history  {sparkline(ratio_hist)}")
 
+    # ALERTS panel — omitted entirely when the server has no alert
+    # engine (alerts is None: op/endpoint absent), so old servers and
+    # plain deployments render exactly as before.
+    if cur.alerts is not None:
+        lines.append(rule)
+        alerts = cur.alerts
+        if not alerts.get("enabled", True):
+            lines.append("ALERTS: engine disabled (REPRO_OBS=off)")
+        else:
+            active = list(alerts.get("active") or [])
+            resolved = list(alerts.get("resolved") or [])
+            firing = sum(1 for a in active if a.get("state") == "firing")
+            pending = len(active) - firing
+            lines.append(
+                f"ALERTS: {firing} firing  {pending} pending  "
+                f"{len(resolved)} resolved  "
+                f"(rules {len(alerts.get('rules') or [])}, "
+                f"evals {int(alerts.get('evaluations', 0))})"
+            )
+            now = cur.ts if cur.ts is not None else time.time()
+            for a in active[:8]:
+                age = max(0.0, now - float(a.get("since", now)))
+                labels = ",".join(
+                    f"{k}={v}"
+                    for k, v in sorted((a.get("labels") or {}).items())
+                )
+                lines.append(
+                    f"  {str(a.get('state', '?')):>7} "
+                    f"{str(a.get('severity', '?')):>8} "
+                    f"{str(a.get('rule', '?')):<26} "
+                    f"age {age:7.1f}s  value {float(a.get('value', 0.0)):g}"
+                    + (f"  [{labels}]" if labels else "")
+                )
+            if len(active) > 8:
+                lines.append(f"  ... and {len(active) - 8} more")
+
     return "\n".join(lines)
 
 
@@ -307,12 +394,13 @@ async def _dash_loop(
     iterations: Optional[int],
     clear: bool,
     history: int = 120,
+    http_port: Optional[int] = None,
 ) -> int:
     frames: List[DashFrame] = []
     timeline = Timeline(capacity=max(2, history))
     n = 0
     while iterations is None or n < iterations:
-        frame = await fetch_frame(host, port)
+        frame = await fetch_frame(host, port, http_port=http_port)
         frames.append(frame)
         del frames[:-history]
         timeline.ingest(frame.ts, frame.metrics)
@@ -334,10 +422,18 @@ def run_dash(
     interval: float = 1.0,
     iterations: Optional[int] = None,
     clear: bool = True,
+    http_port: Optional[int] = None,
 ) -> int:
-    """Run the dashboard loop (Ctrl-C to stop when unbounded)."""
+    """Run the dashboard loop (Ctrl-C to stop when unbounded).
+
+    With *http_port*, the ALERTS panel scrapes the admin plane's
+    ``/alerts`` instead of the TCP ``alerts`` op."""
     try:
-        return asyncio.run(_dash_loop(host, port, interval, iterations, clear))
+        return asyncio.run(
+            _dash_loop(
+                host, port, interval, iterations, clear, http_port=http_port
+            )
+        )
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         return 0
 

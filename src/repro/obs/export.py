@@ -27,6 +27,10 @@ from repro.obs.registry import MetricsRegistry, format_value
 #: Parsed sample key: (metric name, sorted (label, value) pairs).
 SampleKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
+#: Content-Type for the text exposition format this module renders —
+#: what the HTTP admin plane's ``/metrics`` endpoint advertises.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^{}]*)\})?"
@@ -244,6 +248,7 @@ def summarize_spans(
 
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
     "SampleKey",
     "escape_label_value",
     "parse_prometheus",

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.registry import MetricsRegistry
 
@@ -109,6 +109,59 @@ class Timeline:
         self._ring.append((float(ts), samples))
 
     # -- reading -------------------------------------------------------
+    def latest_ts(self) -> Optional[float]:
+        """Timestamp of the newest snapshot (``None`` when empty)."""
+        return self._ring[-1][0] if self._ring else None
+
+    def oldest_ts(self) -> Optional[float]:
+        """Timestamp of the oldest retained snapshot (``None`` when
+        empty)."""
+        return self._ring[0][0] if self._ring else None
+
+    def latest(
+        self, name: str
+    ) -> List[Tuple[Tuple[Tuple[str, str], ...], float]]:
+        """``(labels, value)`` pairs for *name* in the newest snapshot.
+
+        This is the instantaneous view alert threshold rules evaluate:
+        every label set of the metric, at its most recent value.
+        """
+        if not self._ring:
+            return []
+        return sorted(
+            (labels, value)
+            for (n, labels), value in self._ring[-1][1].items()
+            if n == name
+        )
+
+    def last_seen(
+        self,
+        name: str,
+        labels: Optional[Dict[str, object]] = None,
+        *,
+        match: Optional[
+            Callable[[Tuple[Tuple[str, str], ...]], bool]
+        ] = None,
+    ) -> Optional[float]:
+        """Timestamp of the newest snapshot containing *name*.
+
+        With *labels*, the exact sample key must be present; with
+        *match*, any label set satisfying the predicate counts.
+        Returns ``None`` when no retained snapshot has the metric —
+        the staleness signal absence rules consume.
+        """
+        if labels is not None:
+            key = _key(name, labels)
+            for ts, samples in reversed(self._ring):
+                if key in samples:
+                    return ts
+            return None
+        for ts, samples in reversed(self._ring):
+            for n, lbls in samples:
+                if n == name and (match is None or match(lbls)):
+                    return ts
+        return None
+
     def names(self) -> List[str]:
         """Metric names present in the newest snapshot."""
         if not self._ring:

@@ -56,6 +56,23 @@ async def _serve(args: argparse.Namespace) -> int:
         obs.auditor = CompetitiveAuditor(
             costs, args.k, window=args.audit_window
         )
+    alerts = None
+    if args.http is not None or args.alerts_jsonl:
+        from repro.obs.alerts import AlertEngine, serve_rule_pack
+        from repro.obs.timeline import Timeline
+
+        if obs.timeline is None:
+            obs.timeline = Timeline(interval=args.timeline_interval)
+        sinks = []
+        if args.alerts_jsonl:
+            sinks.append(
+                JsonlSink(args.alerts_jsonl, max_bytes=args.alerts_max_bytes)
+            )
+        alerts = AlertEngine(
+            obs.timeline,
+            serve_rule_pack(queue_limit=args.queue_limit),
+            sinks,
+        )
     server = CacheServer(
         args.policy,
         args.k,
@@ -74,6 +91,9 @@ async def _serve(args: argparse.Namespace) -> int:
         shm_threshold=args.shm_threshold,
         profile=args.profile,
         trace_sample=args.trace_sample,
+        http_port=args.http,
+        http_host=args.host,
+        alerts=alerts,
     )
     await server.start()
     host, port = await server.start_tcp(args.host, args.port)
@@ -82,6 +102,13 @@ async def _serve(args: argparse.Namespace) -> int:
         f"workers={server.workers} on {host}:{port} (ctrl-c to stop)",
         flush=True,
     )
+    if server.http_address is not None:
+        http_host, http_port = server.http_address
+        print(
+            f"http admin plane on http://{http_host}:{http_port} "
+            f"(/metrics /health /ready /alerts /timeline /stats)",
+            flush=True,
+        )
     try:
         await asyncio.Event().wait()
     except (KeyboardInterrupt, asyncio.CancelledError):
@@ -111,6 +138,11 @@ async def _serve(args: argparse.Namespace) -> int:
             path = obs.flight.dump_jsonl(reason="shutdown")
             print(f"flight recorder: {len(obs.flight)} events -> {path}",
                   flush=True)
+        if server.alerts is not None:
+            print(
+                json.dumps({"alerts": server.alerts.snapshot()}), flush=True
+            )
+            server.alerts.close()
         obs.tracer.close()
     return 0
 
@@ -206,6 +238,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_p.add_argument(
         "--audit-window", type=int, default=None,
         help="auditor lookahead window (default 2*k)",
+    )
+    serve_p.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="expose the HTTP admin plane on this port (0 = ephemeral): "
+        "/metrics /health /ready /alerts /timeline /stats; attaches a "
+        "default alert engine over the serve rule pack",
+    )
+    serve_p.add_argument(
+        "--alerts-jsonl", default=None, metavar="PATH",
+        help="write alert transitions (fired/resolved) to this JSONL "
+        "file; implies the alert engine even without --http",
+    )
+    serve_p.add_argument(
+        "--alerts-max-bytes", type=int, default=None, metavar="N",
+        help="rotate the alerts JSONL at N bytes (to PATH.1, same "
+        "scheme as --trace-jsonl rotation)",
+    )
+    serve_p.add_argument(
+        "--timeline-interval", type=float, default=1.0, metavar="SECONDS",
+        help="timeline snapshot period — also the alert evaluation "
+        "cadence (default 1.0)",
     )
 
     replay_p = sub.add_parser(

@@ -331,6 +331,9 @@ def serve_trace(
     shm_threshold: Optional[int] = 4096,
     profile: object = None,
     trace_sample: int = 1,
+    http_port: Optional[int] = None,
+    http_host: str = "127.0.0.1",
+    alerts: object = None,
 ) -> ReplayReport:
     """Build a server, replay *trace* (a :class:`Trace`, a columnar
     :class:`~repro.sim.colstore.TraceReader`, or a path to either)
@@ -348,7 +351,10 @@ def serve_trace(
     every *N*-th submission (see :class:`CacheServer`).  Startup
     (worker spawn) and drain are timed into the report's
     ``startup_seconds``/``drain_seconds`` and excluded from the
-    throughput window."""
+    throughput window.  ``http_port``/``http_host``/``alerts`` expose
+    the HTTP admin plane (and optionally a custom
+    :class:`~repro.obs.alerts.AlertEngine`) for the replay's lifetime —
+    see :class:`CacheServer`."""
     if isinstance(trace, str):
         trace = load_trace_file(trace)
 
@@ -373,6 +379,9 @@ def serve_trace(
             shm_threshold=shm_threshold,
             profile=profile,
             trace_sample=trace_sample,
+            http_port=http_port,
+            http_host=http_host,
+            alerts=alerts,
         )
         t0 = time.perf_counter()
         await server.start()

@@ -46,6 +46,7 @@ from repro.core.cost_functions import CostFunction
 from repro.obs import Observability, RateWindow
 from repro.obs.distrib import emit_span
 from repro.obs.registry import CollectedFamily
+from repro.obs.timeline import Timeline
 from repro.serve.accounting import CostLedger
 from repro.serve.shard import PolicySpec, ShardManager
 from repro.sim.trace import Trace
@@ -252,6 +253,9 @@ class CacheServer:
         shm_threshold: Optional[int] = 4096,
         profile: object = None,
         trace_sample: int = 1,
+        http_port: Optional[int] = None,
+        http_host: str = "127.0.0.1",
+        alerts: object = None,
     ) -> None:
         self.name = name
         self.shards = ShardManager(
@@ -369,6 +373,36 @@ class CacheServer:
             for shard in self.shards.shards:
                 shard.timing = [0.0, 0]
 
+        # --- Alerting + HTTP admin plane --------------------------------
+        # Alert rules evaluate on the timeline tick (zero per-request
+        # work).  ``http_port=`` auto-builds a default engine over the
+        # serve rule pack when none was given; an explicit ``alerts=``
+        # engine must read the same timeline the server ticks.
+        self._http_port = http_port
+        self._http_host = http_host
+        self._httpd = None
+        self.http_address: Optional[Tuple[str, int]] = None
+        self._crashes = 0
+        if alerts is None and http_port is not None:
+            from repro.obs.alerts import AlertEngine, serve_rule_pack
+
+            if self.obs.timeline is None:
+                self.obs.timeline = Timeline()
+            alerts = AlertEngine(
+                self.obs.timeline,
+                serve_rule_pack(queue_limit=self._queue_limit),
+            )
+        if alerts is not None:
+            engine_timeline = alerts.timeline  # type: ignore[attr-defined]
+            if self.obs.timeline is None:
+                self.obs.timeline = engine_timeline
+            elif engine_timeline is not self.obs.timeline:
+                raise ValueError(
+                    "alerts.timeline must be obs.timeline — the engine "
+                    "reads the ring this server's timeline tick feeds"
+                )
+        self.alerts = alerts
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -436,6 +470,8 @@ class CacheServer:
             ]
         self._closed = False
         self._consumer = asyncio.create_task(self._run(), name=f"{self.name}-consumer")
+        if self._http_port is not None and self._httpd is None:
+            await self.start_http(self._http_host, self._http_port)
         return self
 
     async def stop(self) -> None:
@@ -475,6 +511,12 @@ class CacheServer:
             # End of stream: price the buffered tail so the final audit
             # covers every served request.
             self._auditor.finalize()
+        # The admin plane goes away last: /ready served 503 from the
+        # moment _closed flipped, through the whole drain, until here —
+        # so load balancers see "draining" for the full shutdown.
+        if self._httpd is not None:
+            await self._httpd.stop()
+            self._httpd = None
 
     async def drain(self) -> None:
         """Wait until everything currently queued has been served."""
@@ -646,6 +688,10 @@ class CacheServer:
         request is always *answered*, here with the crash error), and
         auto-dump the surviving workers' flight windows."""
         self._closed = True
+        # The timeline tick and HTTP plane keep running after a crash,
+        # so the crash-counter bump below reaches the next snapshot and
+        # the serve-worker-crashed alert fires within one tick.
+        self._crashes += 1
         self._fail_item(item, exc)
         queue = self._queue
         assert queue is not None
@@ -897,7 +943,11 @@ class CacheServer:
         assert timeline is not None
         while True:
             await asyncio.sleep(timeline.interval)
-            timeline.snap(self.obs.registry, _time.time())
+            ts = _time.time()
+            if timeline.snap(self.obs.registry, ts) and self.alerts is not None:
+                # Alert rules read the snapshot that just landed — the
+                # whole alerting pipeline rides this one timer.
+                self.alerts.evaluate(ts)  # type: ignore[attr-defined]
 
     def profile_folded(self) -> Dict[str, Dict[str, int]]:
         """Per-process folded stacks: ``{"parent": ..., "w0": ...}``.
@@ -1040,6 +1090,12 @@ class CacheServer:
                 "gauge",
                 "Submissions currently queued",
                 [({}, float(self.queue_depth))],
+            ),
+            (
+                "serve_worker_crashes_total",
+                "counter",
+                "Worker processes lost (WorkerCrashed)",
+                [({}, float(self._crashes))],
             ),
         ]
         if ledger.costs is not None:
@@ -1284,6 +1340,32 @@ class CacheServer:
         sock_host, sock_port = self._tcp_server.sockets[0].getsockname()[:2]
         return sock_host, sock_port
 
+    async def start_http(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Expose the HTTP admin plane (``/metrics``, ``/health``,
+        ``/ready``, ``/alerts``, ``/timeline``, ``/stats``) on the
+        event loop; returns the bound ``(host, port)``.
+
+        ``/metrics`` serves the same worker-merged scrape as the TCP
+        ``metrics`` op; ``/ready`` is drain-aware (503 the moment
+        :meth:`stop` begins, while accepted requests still drain).
+        """
+        if self._httpd is not None:
+            raise RuntimeError("HTTP admin plane already started")
+        from repro.obs.httpd import ObsHttpServer
+
+        self._httpd = ObsHttpServer(
+            metrics=self.prometheus_metrics,
+            alerts=self.alerts,
+            timeline=self.obs.timeline,
+            stats=self.stats,
+            ready=lambda: not self._closed,
+            name=self.name,
+        )
+        self.http_address = await self._httpd.start(host, port)
+        return self.http_address
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -1379,6 +1461,10 @@ class CacheServer:
                     "marginal_quote": ledger.marginal_quote(tenant),
                     "cost": ledger.cost_of(tenant),
                 }
+            if op == "alerts":
+                if self.alerts is None:
+                    return {"ok": False, "error": "no alert engine attached"}
+                return {"ok": True, "alerts": self.alerts.snapshot()}  # type: ignore[attr-defined]
             if op == "ping":
                 return {"ok": True, "time": self._t}
             return {"ok": False, "error": f"unknown op {op!r}"}

@@ -1,0 +1,576 @@
+"""The declarative alert engine: rule kinds, SLO burn-rate math, the
+pending→firing→resolved state machine, notification sinks (including
+JSONL rotation on the alert path), env gating, and the rule packs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.alerts import (
+    AbsenceRule,
+    AlertEngine,
+    BurnRateRule,
+    CallbackSink,
+    FIRING,
+    LogSink,
+    PENDING,
+    RESOLVED,
+    RateOfChangeRule,
+    ThresholdRule,
+    net_rule_pack,
+    serve_rule_pack,
+)
+from repro.obs.tracing import JsonlSink
+from repro.obs.timeline import Timeline
+
+
+def make_timeline(*snaps):
+    """Timeline from ``(ts, {(name, labels): value})`` tuples."""
+    tl = Timeline(capacity=max(2, len(snaps)))
+    for ts, samples in snaps:
+        tl.ingest(ts, samples)
+    return tl
+
+
+def counter(name, value, **labels):
+    key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+    return {(name, key): float(value)}
+
+
+def merged(*dicts):
+    out = {}
+    for d in dicts:
+        out.update(d)
+    return out
+
+
+class TestTimelineHelpers:
+    def test_latest_and_ts(self):
+        tl = make_timeline((1.0, counter("m", 5)), (2.0, counter("m", 9)))
+        assert tl.latest("m") == [((), 9.0)]
+        assert tl.latest_ts() == 2.0
+        assert tl.oldest_ts() == 1.0
+        assert Timeline().latest("m") == []
+        assert Timeline().latest_ts() is None
+
+    def test_last_seen(self):
+        tl = make_timeline(
+            (1.0, counter("m", 1, node="a")),
+            (2.0, counter("other", 3)),
+        )
+        assert tl.last_seen("m") == 1.0
+        assert tl.last_seen("m", {"node": "a"}) == 1.0
+        assert tl.last_seen("m", {"node": "b"}) is None
+        assert tl.last_seen("other") == 2.0
+        assert tl.last_seen("absent") is None
+        assert tl.last_seen("m", match=lambda lbls: dict(lbls)["node"] == "a") == 1.0
+
+
+class TestThresholdRule:
+    def test_static_threshold_and_ops(self):
+        tl = make_timeline((1.0, counter("g", 7)))
+        assert ThresholdRule("r", "g", op=">", threshold=5).evaluate(tl, 1.0)
+        assert not ThresholdRule("r", "g", op="<", threshold=5).evaluate(tl, 1.0)
+        b = ThresholdRule("r", "g", op=">=", threshold=7).evaluate(tl, 1.0)
+        assert b and b[0].value == 7.0 and b[0].threshold == 7.0
+
+    def test_fans_out_across_label_sets(self):
+        tl = make_timeline(
+            (1.0, merged(counter("g", 3, node="a"), counter("g", 9, node="b")))
+        )
+        breaches = ThresholdRule("r", "g", threshold=5).evaluate(tl, 1.0)
+        assert [dict(b.labels)["node"] for b in breaches] == ["b"]
+
+    def test_label_filter_restricts(self):
+        tl = make_timeline(
+            (1.0, merged(counter("g", 9, node="a"), counter("g", 9, node="b")))
+        )
+        rule = ThresholdRule("r", "g", threshold=5, labels={"node": "a"})
+        assert [dict(b.labels)["node"] for b in rule.evaluate(tl, 1.0)] == ["a"]
+
+    def test_dynamic_threshold_metric(self):
+        # online > bound * scale, bound looked up unlabelled.
+        tl = make_timeline(
+            (1.0, merged(counter("online", 12), counter("bound", 10)))
+        )
+        assert ThresholdRule(
+            "r", "online", threshold_metric="bound"
+        ).evaluate(tl, 1.0)
+        assert not ThresholdRule(
+            "r", "online", threshold_metric="bound", threshold_scale=1.5
+        ).evaluate(tl, 1.0)
+        # Missing bound metric -> never breaches.
+        tl2 = make_timeline((1.0, counter("online", 12)))
+        assert not ThresholdRule(
+            "r", "online", threshold_metric="bound"
+        ).evaluate(tl2, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ThresholdRule("r", "g")
+        with pytest.raises(ValueError, match="exactly one"):
+            ThresholdRule("r", "g", threshold=1, threshold_metric="b")
+        with pytest.raises(ValueError, match="op"):
+            ThresholdRule("r", "g", threshold=1, op="~")
+        with pytest.raises(ValueError, match="severity"):
+            ThresholdRule("r", "g", threshold=1, severity="fatal")
+        with pytest.raises(ValueError, match="for_duration"):
+            ThresholdRule("r", "g", threshold=1, for_duration=-1)
+
+
+class TestAbsenceRule:
+    def test_stale_metric_fires(self):
+        tl = make_timeline(
+            (0.0, counter("m", 1)), (10.0, counter("other", 1))
+        )
+        rule = AbsenceRule("r", "m", stale_after=5.0)
+        b = rule.evaluate(tl, 10.0)
+        assert b and b[0].value == 10.0  # missing for 10 s
+
+    def test_fresh_metric_quiet(self):
+        tl = make_timeline((0.0, counter("m", 1)), (10.0, counter("m", 2)))
+        assert not AbsenceRule("r", "m", stale_after=5.0).evaluate(tl, 12.0)
+
+    def test_never_seen_counts_from_oldest_snapshot(self):
+        tl = make_timeline((0.0, counter("other", 1)), (1.0, counter("other", 2)))
+        assert AbsenceRule("r", "m", stale_after=5.0).evaluate(tl, 6.0)
+        assert not AbsenceRule("r", "m", stale_after=5.0).evaluate(tl, 3.0)
+
+    def test_empty_timeline_never_fires(self):
+        assert not AbsenceRule("r", "m", stale_after=5.0).evaluate(
+            Timeline(), 100.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="stale_after"):
+            AbsenceRule("r", "m", stale_after=0)
+
+
+class TestRateOfChangeRule:
+    def test_fires_while_increasing_then_clears(self):
+        tl = make_timeline((0.0, counter("c", 0)), (1.0, counter("c", 5)))
+        rule = RateOfChangeRule("r", "c", threshold=0.0)
+        b = rule.evaluate(tl, 1.0)
+        assert b and b[0].value == 5.0
+        tl.ingest(2.0, counter("c", 5))  # flat -> rate 0
+        assert not rule.evaluate(tl, 2.0)
+
+    def test_counter_reset_clamps(self):
+        tl = make_timeline((0.0, counter("c", 100)), (1.0, counter("c", 3)))
+        assert not RateOfChangeRule("r", "c", threshold=0.0).evaluate(tl, 1.0)
+
+    def test_per_label_set(self):
+        tl = make_timeline(
+            (0.0, merged(counter("c", 0, node="a"), counter("c", 0, node="b"))),
+            (1.0, merged(counter("c", 4, node="a"), counter("c", 0, node="b"))),
+        )
+        b = RateOfChangeRule("r", "c", threshold=0.0).evaluate(tl, 1.0)
+        assert [dict(x.labels)["node"] for x in b] == ["a"]
+
+
+class TestBurnRateMath:
+    WINDOWS = ((60.0, 10.0, 5.0),)
+
+    def steady(self, seconds, total_rate=100.0, bad_rate=10.0, reset_at=None):
+        """Synthetic counters at 1 Hz; optional bad-counter reset."""
+        snaps = []
+        total = bad = 0.0
+        for t in range(seconds + 1):
+            if reset_at is not None and t == reset_at:
+                bad = 0.0
+            snaps.append(
+                (
+                    float(t),
+                    merged(counter("total", total), counter("bad", bad)),
+                )
+            )
+            total += total_rate
+            bad += bad_rate
+        return make_timeline(*snaps)
+
+    def test_burn_rate_value(self):
+        # bad/total = 0.1; budget = 0.01 -> burn = 10x on both windows.
+        tl = self.steady(90)
+        rule = BurnRateRule(
+            "r", "bad", "total", objective=0.99, windows=self.WINDOWS
+        )
+        rates = rule.burn_rates(tl, 90.0, ())
+        (long_w, short_w, factor, b_long, b_short) = rates[0]
+        assert (long_w, short_w, factor) == (60.0, 10.0, 5.0)
+        assert b_long == pytest.approx(10.0)
+        assert b_short == pytest.approx(10.0)
+        breaches = rule.evaluate(tl, 90.0)
+        assert breaches and breaches[0].value == pytest.approx(10.0)
+        assert breaches[0].threshold == 5.0
+
+    def test_requires_both_windows(self):
+        # Burn stops 20 s before "now": the short window (10 s) goes
+        # quiet, so the alert clears even though the long window still
+        # remembers the incident.
+        snaps = []
+        total = bad = 0.0
+        for t in range(91):
+            snaps.append(
+                (float(t), merged(counter("total", total), counter("bad", bad)))
+            )
+            total += 100.0
+            if t < 70:
+                bad += 10.0
+        tl = make_timeline(*snaps)
+        rule = BurnRateRule(
+            "r", "bad", "total", objective=0.99, windows=self.WINDOWS
+        )
+        (_, _, _, b_long, b_short) = rule.burn_rates(tl, 90.0, ())[0]
+        assert b_long > 5.0 and b_short == pytest.approx(0.0)
+        assert not rule.evaluate(tl, 90.0)
+
+    def test_counter_reset_does_not_poison_windows(self):
+        # A mid-series reset clamps one rate point to zero instead of
+        # producing a huge negative delta; burn stays finite, positive,
+        # and below the no-reset value.
+        tl = self.steady(90, reset_at=85)
+        rule = BurnRateRule(
+            "r", "bad", "total", objective=0.99, windows=self.WINDOWS
+        )
+        (_, _, _, b_long, b_short) = rule.burn_rates(tl, 90.0, ())[0]
+        assert 0.0 < b_short < 10.0
+        assert 0.0 < b_long < 10.0
+
+    def test_healthy_service_quiet(self):
+        tl = self.steady(90, bad_rate=0.01)  # 0.01% bad << 1% budget
+        rule = BurnRateRule(
+            "r", "bad", "total", objective=0.99, windows=self.WINDOWS
+        )
+        assert not rule.evaluate(tl, 90.0)
+
+    def test_no_data_is_quiet(self):
+        rule = BurnRateRule("r", "bad", "total", objective=0.99)
+        assert not rule.evaluate(Timeline(), 0.0)
+        # total present but bad never sampled -> no burn computable.
+        tl = make_timeline((0.0, counter("total", 0)), (1.0, counter("total", 5)))
+        assert not rule.evaluate(tl, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            BurnRateRule("r", "b", "t", objective=1.0)
+        with pytest.raises(ValueError, match="window triple"):
+            BurnRateRule("r", "b", "t", windows=((10.0, 60.0, 2.0),))
+
+
+class TestStateMachine:
+    def engine(self, rules, **kw):
+        tl = kw.pop("timeline", Timeline())
+        return AlertEngine(tl, rules, enabled=True, **kw), tl
+
+    def test_fire_immediately_without_for_duration(self):
+        eng, tl = self.engine([ThresholdRule("r", "g", threshold=5)])
+        tl.ingest(1.0, counter("g", 9))
+        transitions = eng.evaluate(1.0)
+        assert [a.state for a in transitions] == [FIRING]
+        assert transitions[0].fired_at == 1.0
+
+    def test_for_duration_holds_pending(self):
+        eng, tl = self.engine(
+            [ThresholdRule("r", "g", threshold=5, for_duration=3.0)]
+        )
+        tl.ingest(1.0, counter("g", 9))
+        assert eng.evaluate(1.0) == []
+        assert [a.state for a in eng.active()] == [PENDING]
+        tl.ingest(3.0, counter("g", 9))
+        assert eng.evaluate(3.0) == []  # 2 s < 3 s
+        tl.ingest(4.5, counter("g", 9))
+        fired = eng.evaluate(4.5)
+        assert [a.state for a in fired] == [FIRING]
+        assert fired[0].since == 1.0  # age counts from first breach
+
+    def test_pending_clears_silently(self):
+        events = []
+        eng, tl = self.engine(
+            [ThresholdRule("r", "g", threshold=5, for_duration=10.0)],
+            sinks=[CallbackSink(events.append)],
+        )
+        tl.ingest(1.0, counter("g", 9))
+        eng.evaluate(1.0)
+        tl.ingest(2.0, counter("g", 1))  # recovers before firing
+        assert eng.evaluate(2.0) == []
+        assert eng.active() == [] and list(eng.resolved) == []
+        assert events == []  # pending never notifies
+
+    def test_firing_resolves_with_notification(self):
+        events = []
+        eng, tl = self.engine(
+            [ThresholdRule("r", "g", threshold=5)],
+            sinks=[CallbackSink(events.append)],
+        )
+        tl.ingest(1.0, counter("g", 9))
+        eng.evaluate(1.0)
+        tl.ingest(2.0, counter("g", 1))
+        transitions = eng.evaluate(2.0)
+        assert [a.state for a in transitions] == [RESOLVED]
+        assert transitions[0].resolved_at == 2.0
+        assert [e["state"] for e in events] == [FIRING, RESOLVED]
+        assert [a.state for a in eng.resolved] == [RESOLVED]
+        assert eng.active() == []
+
+    def test_dedup_by_rule_and_labels(self):
+        eng, tl = self.engine([ThresholdRule("r", "g", threshold=5)])
+        tl.ingest(1.0, merged(counter("g", 9, node="a"), counter("g", 9, node="b")))
+        assert len(eng.evaluate(1.0)) == 2
+        tl.ingest(2.0, merged(counter("g", 9, node="a"), counter("g", 9, node="b")))
+        assert eng.evaluate(2.0) == []  # still firing, no re-notification
+        assert len(eng.active()) == 2
+        assert eng.notifications == 2
+
+    def test_value_updates_while_firing(self):
+        eng, tl = self.engine([ThresholdRule("r", "g", threshold=5)])
+        tl.ingest(1.0, counter("g", 9))
+        eng.evaluate(1.0)
+        tl.ingest(2.0, counter("g", 77))
+        eng.evaluate(2.0)
+        assert eng.active()[0].value == 77.0
+
+    def test_resolved_history_bounded(self):
+        eng, tl = self.engine(
+            [ThresholdRule("r", "g", threshold=5)], resolved_capacity=3
+        )
+        for i in range(5):
+            tl.ingest(2.0 * i, counter("g", 9))
+            eng.evaluate(2.0 * i)
+            tl.ingest(2.0 * i + 1, counter("g", 1))
+            eng.evaluate(2.0 * i + 1)
+        assert len(eng.resolved) == 3
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine(
+                Timeline(),
+                [
+                    ThresholdRule("r", "g", threshold=1),
+                    AbsenceRule("r", "g", stale_after=1),
+                ],
+            )
+        eng = AlertEngine(Timeline(), [ThresholdRule("r", "g", threshold=1)])
+        with pytest.raises(ValueError, match="duplicate"):
+            eng.add_rule(ThresholdRule("r", "h", threshold=1))
+
+    def test_snapshot_is_json_able(self):
+        eng, tl = self.engine([ThresholdRule("r", "g", threshold=5)])
+        tl.ingest(1.0, counter("g", 9, tenant=3))
+        eng.evaluate(1.0)
+        doc = json.loads(json.dumps(eng.snapshot()))
+        assert doc["enabled"] is True
+        assert doc["active"][0]["labels"] == {"tenant": "3"}
+        assert doc["active"][0]["state"] == FIRING
+        assert doc["rules"][0]["name"] == "r"
+
+
+class TestEnvGating:
+    def test_disabled_engine_is_a_noop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "off")
+        events = []
+        tl = make_timeline((1.0, counter("g", 9)))
+        eng = AlertEngine(
+            tl,
+            [ThresholdRule("r", "g", threshold=5)],
+            sinks=[CallbackSink(events.append)],
+        )
+        assert eng.enabled is False
+        assert eng.evaluate(1.0) == []
+        assert eng.evaluations == 0 and eng.notifications == 0
+        assert events == [] and eng.active() == []
+        assert eng.snapshot()["enabled"] is False
+
+    def test_env_on_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert AlertEngine(Timeline()).enabled is True
+
+    def test_explicit_enabled_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "off")
+        tl = make_timeline((1.0, counter("g", 9)))
+        eng = AlertEngine(
+            tl, [ThresholdRule("r", "g", threshold=5)], enabled=True
+        )
+        assert len(eng.evaluate(1.0)) == 1
+
+
+class TestSinks:
+    def test_callback_and_log_sinks(self, caplog):
+        seen = []
+        cb = CallbackSink(seen.append)
+        logger = logging.getLogger("test.alerts")
+        log = LogSink(logger)
+        tl = make_timeline((1.0, counter("g", 9)))
+        eng = AlertEngine(
+            tl,
+            [ThresholdRule("r", "g", threshold=5, severity="critical")],
+            sinks=[cb, log],
+            enabled=True,
+        )
+        with caplog.at_level(logging.INFO, logger="test.alerts"):
+            eng.evaluate(1.0)
+            tl.ingest(2.0, counter("g", 1))
+            eng.evaluate(2.0)
+        assert [e["state"] for e in seen] == [FIRING, RESOLVED]
+        assert [r.levelno for r in caplog.records] == [
+            logging.ERROR,
+            logging.INFO,
+        ]
+        eng.close()  # no-op closes must not raise
+
+    def test_jsonl_sink_records_transitions(self, tmp_path):
+        path = str(tmp_path / "alerts.jsonl")
+        tl = make_timeline((1.0, counter("g", 9)))
+        eng = AlertEngine(
+            tl,
+            [ThresholdRule("r", "g", threshold=5)],
+            sinks=[JsonlSink(path)],
+            enabled=True,
+        )
+        eng.evaluate(1.0)
+        tl.ingest(2.0, counter("g", 1))
+        eng.evaluate(2.0)
+        # Flushed per event: readable before close().
+        lines = [json.loads(l) for l in open(path, encoding="utf-8")]
+        assert [e["state"] for e in lines] == [FIRING, RESOLVED]
+        assert all(e["type"] == "alert" for e in lines)
+        eng.close()
+
+
+class TestJsonlRotationOnAlertPath:
+    """Satellite: ``max_bytes`` rotation must hold for alert
+    notifications exactly as for trace events, with the ``.1`` suffix
+    scheme — boundary-exact."""
+
+    def test_boundary_exact_fit_does_not_rotate(self, tmp_path):
+        path = str(tmp_path / "a.jsonl")
+        sink = JsonlSink(path, max_bytes=16)
+        line = {"a": 1}  # -> '{"a":1}\n' = 8 bytes
+        sink.write(line)
+        sink.write(line)  # 8 + 8 == 16: exact fit, no rotation
+        sink.close()
+        import os
+
+        assert os.path.getsize(path) == 16
+        assert not os.path.exists(path + ".1")
+
+    def test_one_byte_past_boundary_rotates_to_dot1(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "a.jsonl")
+        sink = JsonlSink(path, max_bytes=16)
+        for _ in range(3):  # third write: 16 + 8 > 16 -> rotate first
+            sink.write({"a": 1})
+        sink.close()
+        assert os.path.getsize(path + ".1") == 16
+        assert os.path.getsize(path) == 8
+        # Rotation replaces any previous .1 (never .2).
+        sink = JsonlSink(path, max_bytes=16)
+        sink.write({"a": 2})
+        sink.write({"a": 3})
+        sink.close()
+        assert sorted(os.listdir(tmp_path)) == ["a.jsonl", "a.jsonl.1"]
+
+    def test_alert_engine_rotation_end_to_end(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "alerts.jsonl")
+        tl = Timeline(capacity=8)
+        eng = AlertEngine(
+            tl,
+            [ThresholdRule("r", "g", threshold=5)],
+            sinks=[JsonlSink(path, max_bytes=512)],
+            enabled=True,
+        )
+        for i in range(12):  # fire/resolve cycles -> 24 notifications
+            tl.ingest(2.0 * i, counter("g", 9))
+            eng.evaluate(2.0 * i)
+            tl.ingest(2.0 * i + 1, counter("g", 1))
+            eng.evaluate(2.0 * i + 1)
+        eng.close()
+        assert os.path.exists(path + ".1")
+        assert os.path.getsize(path) <= 512
+        assert os.path.getsize(path + ".1") <= 512
+        for p in (path, path + ".1"):
+            for line in open(p, encoding="utf-8"):
+                event = json.loads(line)
+                assert event["type"] == "alert"
+                assert event["state"] in (FIRING, RESOLVED)
+
+
+class TestRulePacks:
+    def test_serve_pack_contents(self):
+        names = [r.name for r in serve_rule_pack()]
+        assert names == [
+            "serve-invariant-drift",
+            "serve-worker-crashed",
+            "serve-theorem11-breach",
+        ]
+        full = serve_rule_pack(
+            queue_limit=100, stale_after=30.0, miss_objective=0.9
+        )
+        names = [r.name for r in full]
+        assert "serve-queue-saturated" in names
+        assert "serve-scrape-stale" in names
+        assert "serve-miss-slo" in names
+        queue_rule = next(r for r in full if r.name == "serve-queue-saturated")
+        assert queue_rule.threshold == pytest.approx(90.0)
+
+    def test_serve_pack_crash_rule_fires_on_counter_bump(self):
+        tl = make_timeline(
+            (0.0, counter("serve_worker_crashes_total", 0)),
+            (1.0, counter("serve_worker_crashes_total", 1)),
+        )
+        eng = AlertEngine(tl, serve_rule_pack(), enabled=True)
+        fired = eng.evaluate(1.0)
+        assert [a.rule for a in fired] == ["serve-worker-crashed"]
+        tl.ingest(2.0, counter("serve_worker_crashes_total", 1))
+        resolved = eng.evaluate(2.0)
+        assert [(a.rule, a.state) for a in resolved] == [
+            ("serve-worker-crashed", RESOLVED)
+        ]
+
+    def test_serve_pack_theorem11_rule(self):
+        tl = make_timeline(
+            (
+                1.0,
+                merged(
+                    counter("audit_online_cost", 120),
+                    counter("audit_theorem11_bound", 100),
+                ),
+            )
+        )
+        eng = AlertEngine(tl, serve_rule_pack(), enabled=True)
+        assert [a.rule for a in eng.evaluate(1.0)] == ["serve-theorem11-breach"]
+
+    def test_net_pack_per_node_occupancy(self):
+        class Spec:
+            def __init__(self, name, k):
+                self.name, self.k = name, k
+
+        class Topo:
+            cache_nodes = [Spec("L1", 10), Spec("L2.0", 20)]
+
+        rules = net_rule_pack(Topo())
+        names = [r.name for r in rules]
+        assert names == [
+            "net-node-rejections",
+            "net-node-occupancy-L1",
+            "net-node-occupancy-L2.0",
+        ]
+        tl = make_timeline(
+            (
+                1.0,
+                merged(
+                    counter("net_node_occupancy", 11, node="L1"),
+                    counter("net_node_occupancy", 19, node="L2.0"),
+                ),
+            )
+        )
+        eng = AlertEngine(tl, rules, enabled=True)
+        fired = eng.evaluate(1.0)
+        assert [a.rule for a in fired] == ["net-node-occupancy-L1"]
+        assert dict(fired[0].labels) == {"node": "L1"}

@@ -172,3 +172,93 @@ class TestRenderDashboard:
             DashFrame(stats=big, metrics={}),
         ])
         assert text.count("\n") > 5
+
+
+def make_alerts(active=(), resolved=(), enabled=True, rules=3, evals=42):
+    return {
+        "enabled": enabled,
+        "rules": [{"name": f"r{i}"} for i in range(rules)],
+        "evaluations": evals,
+        "notifications": 2 * len(resolved),
+        "active": list(active),
+        "resolved": list(resolved),
+    }
+
+
+def make_alert(rule="serve-worker-crashed", state="firing",
+               severity="critical", since=90.0, value=1.0, labels=None):
+    return {
+        "rule": rule,
+        "state": state,
+        "severity": severity,
+        "since": since,
+        "value": value,
+        "threshold": 0.0,
+        "labels": labels or {},
+    }
+
+
+class TestAlertsPanel:
+    def test_omitted_when_engine_absent(self):
+        frame = DashFrame(stats=make_stats(), metrics={}, alerts=None)
+        assert "ALERTS" not in render_dashboard([frame])
+
+    def test_disabled_engine_banner(self):
+        frame = DashFrame(
+            stats=make_stats(), metrics={},
+            alerts=make_alerts(enabled=False),
+        )
+        assert "ALERTS: engine disabled (REPRO_OBS=off)" in \
+            render_dashboard([frame])
+
+    def test_quiet_engine_counts(self):
+        frame = DashFrame(
+            stats=make_stats(), metrics={}, alerts=make_alerts()
+        )
+        text = render_dashboard([frame])
+        assert "ALERTS: 0 firing  0 pending  0 resolved  " \
+            "(rules 3, evals 42)" in text
+
+    def test_active_rows_with_age_and_labels(self):
+        frame = DashFrame(
+            ts=100.0,
+            stats=make_stats(),
+            metrics={},
+            alerts=make_alerts(
+                active=[
+                    make_alert(since=90.0, labels={"node": "L1"}),
+                    make_alert(rule="serve-miss-slo", state="pending",
+                               severity="warning", since=99.0, value=14.4),
+                ],
+                resolved=[make_alert(state="resolved")],
+            ),
+        )
+        text = render_dashboard([frame])
+        assert "ALERTS: 1 firing  1 pending  1 resolved" in text
+        assert "firing" in text and "critical" in text
+        assert "serve-worker-crashed" in text
+        assert "age    10.0s" in text and "[node=L1]" in text
+        assert "serve-miss-slo" in text and "value 14.4" in text
+
+    def test_row_cap_with_more_marker(self):
+        frame = DashFrame(
+            ts=100.0,
+            stats=make_stats(),
+            metrics={},
+            alerts=make_alerts(
+                active=[make_alert(rule=f"rule-{i}") for i in range(11)]
+            ),
+        )
+        text = render_dashboard([frame])
+        assert "... and 3 more" in text
+        assert "rule-7" in text and "rule-8" not in text
+
+    def test_malformed_alert_doc_tolerated(self):
+        # A half-written /alerts response (e.g. engine mid-shutdown)
+        # must degrade, not crash the dashboard.
+        frame = DashFrame(
+            stats=make_stats(), metrics={},
+            alerts={"active": [{}], "resolved": None},
+        )
+        text = render_dashboard([frame])
+        assert "ALERTS: 0 firing  1 pending  0 resolved" in text
